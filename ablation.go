@@ -1,0 +1,53 @@
+package mom
+
+import (
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// runTransposeAblation times transposing 256 8x8 halfword tiles on the
+// 4-way MOM machine, either with the dedicated MOMTRANSH instruction
+// (3 instructions per tile) or with the packed unpack network (the
+// MMX-style fallback MOM makes unnecessary).
+func runTransposeAblation(useMatrixOp bool, width int) (int64, error) {
+	const tiles = 256
+	b := asm.New("transpose-ablation")
+	rng := uint64(1)
+	blocks := make([]int16, 64*tiles)
+	for i := range blocks {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		blocks[i] = int16(rng >> 48)
+	}
+	b.AllocH("in", blocks, 8)
+	b.Alloc("out", 128*tiles, 8)
+	inP, outP, stride, ctr := isa.R(8), isa.R(9), isa.R(10), isa.R(11)
+	b.MovI(inP, int64(b.Sym("in")))
+	b.MovI(outP, int64(b.Sym("out")))
+	b.MovI(stride, 8)
+	b.SetVLI(16)
+	if useMatrixOp {
+		b.Loop(ctr, tiles, func() {
+			b.MomLd(isa.V(0), inP, stride, 0)
+			b.Op(isa.MOMTRANSH, isa.V(1), isa.V(0), isa.Reg{})
+			b.MomSt(isa.V(1), outP, stride, 0)
+			b.AddI(inP, inP, 128)
+			b.AddI(outP, outP, 128)
+		})
+	} else {
+		b.Loop(ctr, tiles, func() {
+			kernels.EmitTransposeUnpack(b, inP, outP)
+			b.AddI(inP, inP, 128)
+			b.AddI(outP, outP, 128)
+		})
+	}
+	sim := cpu.New(cpu.NewConfig(width, isa.ExtMOM), mem.NewPerfect(1))
+	res, err := sim.Run(emu.New(b.Build()), maxDynInsts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}

@@ -1,0 +1,181 @@
+package mom
+
+// The benchmark harness: one benchmark per paper artifact. Each benchmark
+// regenerates its table/figure and reports the headline simulated metrics
+// via b.ReportMetric, so `go test -bench=.` reproduces the evaluation.
+//
+// Benchmarks use ScaleTest workloads so the full suite stays tractable;
+// `cmd/momsim -scale bench` runs the full-size versions.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFigure5 regenerates the kernel-level study and reports the mean
+// MOM-over-MMX and MOM-over-Alpha speed-ups at 4-way issue.
+func BenchmarkFigure5(b *testing.B) {
+	var rows []KernelSpeedup
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Figure5(ScaleTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	speed := map[string]float64{}
+	for _, r := range rows {
+		if r.Width == 4 {
+			speed[fmt.Sprintf("%s/%s", r.Kernel, r.ISA)] = r.Speedup
+		}
+	}
+	var momVsAlpha, momVsMMX float64
+	n := 0.0
+	for _, k := range KernelNames() {
+		momVsAlpha += speed[k+"/MOM"] / speed[k+"/Alpha"]
+		momVsMMX += speed[k+"/MOM"] / speed[k+"/MMX"]
+		n++
+	}
+	b.ReportMetric(momVsAlpha/n, "MOM-vs-Alpha-4way")
+	b.ReportMetric(momVsMMX/n, "MOM-vs-MMX-4way")
+}
+
+// BenchmarkFigure5Kernels times each kernel/ISA pair individually at 4-way
+// (the bars of Figure 5), reporting simulated cycles.
+func BenchmarkFigure5Kernels(b *testing.B) {
+	for _, k := range KernelNames() {
+		for _, i := range AllISAs {
+			k, i := k, i
+			b.Run(fmt.Sprintf("%s/%s", k, i), func(b *testing.B) {
+				var cycles int64
+				for n := 0; n < b.N; n++ {
+					r, err := RunKernel(k, i, 4, PerfectMemory(1), ScaleTest)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = r.Cycles
+				}
+				b.ReportMetric(float64(cycles), "simcycles")
+			})
+		}
+	}
+}
+
+// BenchmarkLatencyStudy regenerates the Section 4.1 latency-tolerance
+// experiment and reports the mean slow-down per ISA.
+func BenchmarkLatencyStudy(b *testing.B) {
+	var rows []LatencyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = LatencyStudy(ScaleTest, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sums := map[ISA]float64{}
+	counts := map[ISA]float64{}
+	for _, r := range rows {
+		sums[r.ISA] += r.Slowdown
+		counts[r.ISA]++
+	}
+	for _, i := range AllISAs {
+		b.ReportMetric(sums[i]/counts[i], i.String()+"-slowdown")
+	}
+}
+
+// BenchmarkFigure7 regenerates the program-level study and reports the mean
+// MOM (multi-address) and MMX speed-ups over Alpha at 4-way.
+func BenchmarkFigure7(b *testing.B) {
+	var rows []AppSpeedup
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = Figure7(ScaleTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var momS, mmxS float64
+	n := 0.0
+	for _, r := range rows {
+		if r.Width != 4 {
+			continue
+		}
+		switch {
+		case r.Config.ISA == MOM && r.Config.Cache == MultiAddress:
+			momS += r.Speedup
+			n++
+		case r.Config.ISA == MMX:
+			mmxS += r.Speedup
+		}
+	}
+	b.ReportMetric(momS/n, "MOM-vs-Alpha-apps")
+	b.ReportMetric(mmxS/n, "MMX-vs-Alpha-apps")
+}
+
+// BenchmarkFigure7Apps times each application/configuration pair (the bars
+// of Figure 7) at 4-way issue.
+func BenchmarkFigure7Apps(b *testing.B) {
+	for _, a := range AppNames() {
+		for _, cfg := range Figure7Configs {
+			a, cfg := a, cfg
+			b.Run(fmt.Sprintf("%s/%s", a, cfg), func(b *testing.B) {
+				var cycles int64
+				for n := 0; n < b.N; n++ {
+					r, err := RunApp(a, cfg.ISA, 4, DetailedMemory(cfg.Cache), ScaleTest)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = r.Cycles
+				}
+				b.ReportMetric(float64(cycles), "simcycles")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 recomputes the register-file area model (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	var rows []Table2Entry
+	for i := 0; i < b.N; i++ {
+		rows = Table2()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.NormalizedArea, r.ISA+"-area")
+	}
+}
+
+// BenchmarkRegisterPressure sweeps the number of in-flight matrix registers
+// (the "preliminary simulations" behind Table 2's 20 physical MOM
+// registers): the ablation shows performance saturating around the chosen
+// file size.
+func BenchmarkRegisterPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernel("idct", MOM, 4, PerfectMemory(1), ScaleTest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransposeAblation compares the two ways MOM code can transpose
+// 8x8 halfword tiles: the dedicated matrix transpose instruction
+// (MOMTRANSH, "especially useful to switch vector dimensions without using
+// pack/unpack operations" — the paper's matrix-operation argument) against
+// the classic MMX unpack network. Reported metric: cycles per block.
+func BenchmarkTransposeAblation(b *testing.B) {
+	for _, width := range []int{1, 4} {
+		for _, mode := range []string{"momtransh", "unpack-network"} {
+			mode, width := mode, width
+			b.Run(fmt.Sprintf("%s/%d-way", mode, width), func(b *testing.B) {
+				var cycles int64
+				for n := 0; n < b.N; n++ {
+					c, err := runTransposeAblation(mode == "momtransh", width)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles)/256, "simcycles/block")
+			})
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Command momsim runs the paper's experiments and prints paper-style
+// tables. Examples:
+//
+//	momsim -exp fig5 -scale bench     # Figure 5 (kernel speed-ups)
+//	momsim -exp latency               # Section 4.1 latency tolerance
+//	momsim -exp fig7 -scale bench     # Figure 7 (application speed-ups)
+//	momsim -exp table1 -isa MOM       # processor configurations
+//	momsim -exp table2                # register file area comparison
+//	momsim -exp table3                # memory model ports
+//	momsim -exp fetch                 # fetch-pressure (ops per instruction)
+//	momsim -kernel motion1 -isa MOM -width 4   # one kernel run
+//	momsim -app mpeg2decode -isa MOM -width 8 -cache vector
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	mom "repro"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|isacount|all")
+		scale  = flag.String("scale", "test", "workload scale: test|bench")
+		isaStr = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+		width  = flag.Int("width", 4, "issue width: 1|2|4|8")
+		kernel = flag.String("kernel", "", "run a single kernel")
+		app    = flag.String("app", "", "run a single application")
+		cache  = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
+		verify = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
+		format = flag.String("format", "table", "experiment output format: table|csv")
+	)
+	flag.Parse()
+
+	sc := mom.ScaleTest
+	if *scale == "bench" {
+		sc = mom.ScaleBench
+	}
+	i, err := parseISA(*isaStr)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parseMem(*cache)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *verify:
+		for _, k := range mom.KernelNames() {
+			for _, lv := range mom.AllISAs {
+				if err := mom.VerifyKernel(k, lv, sc); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("ok  kernel %-14s %s\n", k, lv)
+			}
+		}
+		for _, a := range mom.AppNames() {
+			for _, lv := range mom.AllISAs {
+				if err := mom.VerifyApp(a, lv, sc); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("ok  app    %-14s %s\n", a, lv)
+			}
+		}
+	case *kernel != "":
+		res, err := mom.RunKernel(*kernel, i, *width, m, sc)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+	case *app != "":
+		res, err := mom.RunApp(*app, i, *width, m, sc)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+	case *exp != "":
+		for _, e := range strings.Split(*exp, ",") {
+			if err := runExperiment(e, sc, i, *format == "csv"); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiment(exp string, sc mom.Scale, i mom.ISA, csv bool) error {
+	switch exp {
+	case "fig5":
+		rows, err := mom.Figure5(sc)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return mom.WriteFigure5CSV(os.Stdout, rows)
+		}
+		fmt.Print(mom.FormatFigure5(rows))
+	case "latency":
+		rows, err := mom.LatencyStudy(sc, 4)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return mom.WriteLatencyCSV(os.Stdout, rows)
+		}
+		fmt.Print(mom.FormatLatency(rows))
+	case "fig7":
+		rows, err := mom.Figure7(sc)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return mom.WriteFigure7CSV(os.Stdout, rows)
+		}
+		fmt.Print(mom.FormatFigure7(rows))
+	case "table1":
+		fmt.Print(mom.FormatTable1(mom.Table1(i)))
+	case "table2":
+		fmt.Print(mom.FormatTable2(mom.Table2()))
+	case "table3":
+		fmt.Print(mom.FormatTable3(mom.Table3()))
+	case "fetch":
+		return fetchPressure(sc)
+	case "regsweep":
+		for _, k := range []string{"idct", "motion1"} {
+			rows, err := mom.RegisterSweep(sc, k)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("physical matrix registers vs performance — %s (4-way MOM)\n", k)
+			for _, r := range rows {
+				fmt.Printf("  %2d regs: %9d cycles (%.3fx of 32-reg file)\n",
+					r.MomPhys, r.Cycles, r.Slowdown)
+			}
+			fmt.Println()
+		}
+	case "memsweep":
+		for _, app := range []string{"mpeg2decode", "jpegdecode"} {
+			rows, err := mom.MemorySweep(sc, app)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("memory-system ablation — %s (4-way MOM, multi-address)\n", app)
+			for _, r := range rows {
+				fmt.Printf("  %d MSHRs, %d banks: %9d cycles (%.3fx of baseline)\n",
+					r.MSHRs, r.Banks, r.Cycles, r.Slowdown)
+			}
+			fmt.Println()
+		}
+	case "isacount":
+		mmx, mdmx, momN := mom.ISACounts()
+		fmt.Printf("multimedia instructions: MMX %d, MDMX %d, MOM %d\n", mmx, mdmx, momN)
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7"} {
+			if err := runExperiment(e, sc, i, csv); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// fetchPressure reports packed-word operations per instruction per ISA —
+// the paper's "MOM packs an order of magnitude more operations per
+// instruction" argument.
+func fetchPressure(sc mom.Scale) error {
+	fmt.Println("Fetch pressure — dynamic instructions and word-operations per instruction")
+	for _, k := range mom.KernelNames() {
+		fmt.Printf("\n%s\n", k)
+		for _, i := range mom.AllISAs {
+			res, err := mom.RunKernel(k, i, 4, mom.PerfectMemory(1), sc)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-6s insts=%9d  word-ops/inst=%5.2f\n",
+				i, res.Insts, float64(res.WordOps)/float64(res.Insts))
+		}
+	}
+	return nil
+}
+
+func printResult(r mom.Result) {
+	fmt.Printf("%s on %s/%d-way, %s memory\n", r.Workload, r.ISA, r.Width, r.MemName)
+	fmt.Printf("  cycles        %12d\n", r.Cycles)
+	fmt.Printf("  instructions  %12d\n", r.Insts)
+	fmt.Printf("  IPC           %12.3f\n", r.IPC())
+	fmt.Printf("  word-ops      %12d (%.2f per cycle)\n", r.WordOps, r.OPC())
+	fmt.Printf("  branches      %12d (%d mispredicted)\n", r.Branches, r.Mispredicts)
+	fmt.Printf("  loads/stores  %12d / %d\n", r.Loads, r.Stores)
+	if r.Mem.L1Hits+r.Mem.L1Misses > 0 {
+		fmt.Printf("  L1            %12d hits, %d misses\n", r.Mem.L1Hits, r.Mem.L1Misses)
+		fmt.Printf("  L2            %12d hits, %d misses\n", r.Mem.L2Hits, r.Mem.L2Misses)
+	}
+	if r.Mem.VecLoads+r.Mem.VecStores > 0 {
+		fmt.Printf("  vector mem    %12d loads, %d stores, %d elements\n",
+			r.Mem.VecLoads, r.Mem.VecStores, r.Mem.VecElems)
+	}
+	var classes []string
+	for c := range r.OpMix {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return r.OpMix[classes[i]] > r.OpMix[classes[j]] })
+	fmt.Printf("  op mix       ")
+	for _, c := range classes {
+		fmt.Printf(" %s=%.1f%%", c, 100*float64(r.OpMix[c])/float64(r.Insts))
+	}
+	fmt.Println()
+}
+
+func parseISA(s string) (mom.ISA, error) {
+	switch strings.ToLower(s) {
+	case "alpha":
+		return mom.Alpha, nil
+	case "mmx":
+		return mom.MMX, nil
+	case "mdmx":
+		return mom.MDMX, nil
+	case "mom":
+		return mom.MOM, nil
+	}
+	return 0, fmt.Errorf("unknown ISA %q", s)
+}
+
+func parseMem(s string) (mom.MemModel, error) {
+	switch s {
+	case "perfect":
+		return mom.PerfectMemory(1), nil
+	case "perfect50":
+		return mom.PerfectMemory(50), nil
+	case "conv":
+		return mom.DetailedMemory(mom.Conventional), nil
+	case "multi":
+		return mom.DetailedMemory(mom.MultiAddress), nil
+	case "vector":
+		return mom.DetailedMemory(mom.VectorCache), nil
+	case "collapsing":
+		return mom.DetailedMemory(mom.CollapsingBuffer), nil
+	}
+	return mom.MemModel{}, fmt.Errorf("unknown memory model %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "momsim:", err)
+	os.Exit(1)
+}

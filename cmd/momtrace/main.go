@@ -1,0 +1,135 @@
+// Command momtrace executes a kernel functionally and reports dynamic
+// statistics: operation mix, vector-length histogram and the stride
+// distribution of MOM memory accesses (the inputs to the cache-organisation
+// discussion of Section 4.2).
+//
+//	momtrace -kernel motion1 -isa MOM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	mom "repro"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "motion1", "kernel name")
+		app    = flag.String("app", "", "application name (overrides -kernel)")
+		isaStr = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+	)
+	flag.Parse()
+
+	var level mom.ISA
+	switch strings.ToLower(*isaStr) {
+	case "alpha":
+		level = mom.Alpha
+	case "mmx":
+		level = mom.MMX
+	case "mdmx":
+		level = mom.MDMX
+	case "mom":
+		level = mom.MOM
+	default:
+		fmt.Fprintf(os.Stderr, "momtrace: unknown ISA %q\n", *isaStr)
+		os.Exit(1)
+	}
+	var p *isa.Program
+	var err error
+	if *app != "" {
+		p, err = mom.BuildApp(*app, level, mom.ScaleTest)
+	} else {
+		p, err = mom.BuildKernel(*kernel, level, mom.ScaleTest)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace:", err)
+		os.Exit(1)
+	}
+
+	m := emu.New(p)
+	classCount := map[isa.Class]uint64{}
+	vlHist := map[int]uint64{}
+	strideHist := map[int64]uint64{}
+	var total, wordOps, taken, branches uint64
+	for {
+		d, ok := m.Step()
+		if !ok {
+			break
+		}
+		total++
+		classCount[d.Class]++
+		switch {
+		case d.Class == isa.ClassBranch:
+			branches++
+			if d.Taken {
+				taken++
+			}
+		case d.Class.IsVector():
+			vlHist[d.VL]++
+			wordOps += uint64(d.VL)
+			if d.Class.IsMem() {
+				strideHist[d.Stride]++
+			}
+		default:
+			wordOps++
+		}
+	}
+	if m.Err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace:", m.Err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d dynamic instructions, %d word-operations (%.2f per inst)\n",
+		p.Name, total, wordOps, float64(wordOps)/float64(total))
+	fmt.Printf("branches: %d (%.1f%% taken)\n\n", branches, 100*float64(taken)/float64(maxU(branches, 1)))
+
+	fmt.Println("operation mix:")
+	type kv struct {
+		k string
+		v uint64
+	}
+	var mix []kv
+	for c, n := range classCount {
+		mix = append(mix, kv{c.String(), n})
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].v > mix[j].v })
+	for _, e := range mix {
+		fmt.Printf("  %-8s %10d (%.1f%%)\n", e.k, e.v, 100*float64(e.v)/float64(total))
+	}
+
+	if len(vlHist) > 0 {
+		fmt.Println("\nvector length histogram:")
+		var vls []int
+		for vl := range vlHist {
+			vls = append(vls, vl)
+		}
+		sort.Ints(vls)
+		for _, vl := range vls {
+			fmt.Printf("  VL=%-3d %10d\n", vl, vlHist[vl])
+		}
+	}
+	if len(strideHist) > 0 {
+		fmt.Println("\nvector memory stride histogram (bytes):")
+		var strides []int64
+		for s := range strideHist {
+			strides = append(strides, s)
+		}
+		sort.Slice(strides, func(i, j int) bool { return strides[i] < strides[j] })
+		for _, s := range strides {
+			fmt.Printf("  stride %-6d %10d\n", s, strideHist[s])
+		}
+	}
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

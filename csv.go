@@ -1,0 +1,51 @@
+package mom
+
+import (
+	"fmt"
+	"io"
+)
+
+// Machine-readable exports of the experiment rows (for plotting the
+// figures outside Go).
+
+// WriteFigure5CSV emits kernel,isa,width,cycles,ipc,speedup rows.
+func WriteFigure5CSV(w io.Writer, rows []KernelSpeedup) error {
+	if _, err := fmt.Fprintln(w, "kernel,isa,width,cycles,ipc,speedup"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.4f,%.4f\n",
+			r.Kernel, r.ISA, r.Width, r.Cycles, r.IPC, r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLatencyCSV emits kernel,isa,width,cycles1,cycles50,slowdown rows.
+func WriteLatencyCSV(w io.Writer, rows []LatencyRow) error {
+	if _, err := fmt.Fprintln(w, "kernel,isa,width,cycles_lat1,cycles_lat50,slowdown"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.4f\n",
+			r.Kernel, r.ISA, r.Width, r.Cycles1, r.Cycles50, r.Slowdown); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure7CSV emits app,isa,cache,width,cycles,ipc,speedup rows.
+func WriteFigure7CSV(w io.Writer, rows []AppSpeedup) error {
+	if _, err := fmt.Fprintln(w, "app,isa,cache,width,cycles,ipc,speedup"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.4f,%.4f\n",
+			r.App, r.Config.ISA, r.Config.Cache, r.Width, r.Cycles, r.IPC, r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

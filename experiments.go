@@ -1,0 +1,433 @@
+package mom
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/regfile"
+)
+
+// This file contains the drivers that regenerate every table and figure of
+// the paper's evaluation (the experiment index lives in DESIGN.md).
+
+// Widths are the issue widths of the kernel study (Table 1 columns).
+var Widths = []int{1, 2, 4, 8}
+
+// KernelSpeedup is one bar of Figure 5.
+type KernelSpeedup struct {
+	Kernel  string
+	ISA     ISA
+	Width   int
+	Cycles  int64
+	IPC     float64
+	Speedup float64 // versus the 1-way Alpha run of the same kernel
+}
+
+// parallelFor runs fn(i) for i in [0,n) on all cores, collecting the first
+// error.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure5 reruns the kernel-level study: every kernel on every ISA at every
+// issue width, with the idealised 1-cycle memory, reporting speed-ups
+// relative to the 1-way Alpha machine.
+func Figure5(sc Scale) ([]KernelSpeedup, error) {
+	names := KernelNames()
+	type job struct {
+		kernel string
+		isa    ISA
+		width  int
+	}
+	var jobs []job
+	for _, k := range names {
+		for _, i := range AllISAs {
+			for _, w := range Widths {
+				jobs = append(jobs, job{k, i, w})
+			}
+		}
+	}
+	rows := make([]KernelSpeedup, len(jobs))
+	err := parallelFor(len(jobs), func(idx int) error {
+		j := jobs[idx]
+		res, err := RunKernel(j.kernel, j.isa, j.width, PerfectMemory(1), sc)
+		if err != nil {
+			return err
+		}
+		rows[idx] = KernelSpeedup{
+			Kernel: j.kernel, ISA: j.isa, Width: j.width,
+			Cycles: res.Cycles, IPC: res.IPC(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Baselines: 1-way Alpha per kernel.
+	base := map[string]int64{}
+	for _, r := range rows {
+		if r.ISA == Alpha && r.Width == 1 {
+			base[r.Kernel] = r.Cycles
+		}
+	}
+	for i := range rows {
+		if b := base[rows[i].Kernel]; b > 0 && rows[i].Cycles > 0 {
+			rows[i].Speedup = float64(b) / float64(rows[i].Cycles)
+		}
+	}
+	return rows, nil
+}
+
+// LatencyRow is one entry of the Section 4.1 latency-tolerance study.
+type LatencyRow struct {
+	Kernel   string
+	ISA      ISA
+	Width    int
+	Cycles1  int64
+	Cycles50 int64
+	Slowdown float64
+}
+
+// LatencyStudy reruns the kernels with the memory latency raised from 1 to
+// 50 cycles (the streaming-reference experiment); the paper reports
+// slow-downs of 3-9x for Alpha, 4-8x for MMX/MDMX and only 2-4x for MOM.
+func LatencyStudy(sc Scale, width int) ([]LatencyRow, error) {
+	names := KernelNames()
+	var jobs []struct {
+		kernel string
+		isa    ISA
+	}
+	for _, k := range names {
+		for _, i := range AllISAs {
+			jobs = append(jobs, struct {
+				kernel string
+				isa    ISA
+			}{k, i})
+		}
+	}
+	rows := make([]LatencyRow, len(jobs))
+	err := parallelFor(len(jobs), func(idx int) error {
+		j := jobs[idx]
+		r1, err := RunKernel(j.kernel, j.isa, width, PerfectMemory(1), sc)
+		if err != nil {
+			return err
+		}
+		r50, err := RunKernel(j.kernel, j.isa, width, PerfectMemory(50), sc)
+		if err != nil {
+			return err
+		}
+		rows[idx] = LatencyRow{
+			Kernel: j.kernel, ISA: j.isa, Width: width,
+			Cycles1: r1.Cycles, Cycles50: r50.Cycles,
+			Slowdown: float64(r50.Cycles) / float64(r1.Cycles),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// AppConfig is one machine configuration of the program-level study
+// (Figure 7): an ISA plus a cache organisation.
+type AppConfig struct {
+	ISA   ISA
+	Cache CacheMode
+}
+
+func (c AppConfig) String() string {
+	return fmt.Sprintf("%s/%s", c.ISA, c.Cache)
+}
+
+// Figure7Configs are the five configurations of Figure 7.
+var Figure7Configs = []AppConfig{
+	{Alpha, Conventional},
+	{MMX, Conventional},
+	{MOM, MultiAddress},
+	{MOM, VectorCache},
+	{MOM, CollapsingBuffer},
+}
+
+// AppSpeedup is one bar of Figure 7.
+type AppSpeedup struct {
+	App     string
+	Config  AppConfig
+	Width   int
+	Cycles  int64
+	IPC     float64
+	Speedup float64 // versus Alpha/conventional at the same width
+}
+
+// Figure7 reruns the program-level study: the five applications on the five
+// ISA/cache configurations at 4- and 8-way issue with the detailed memory
+// hierarchy.
+func Figure7(sc Scale) ([]AppSpeedup, error) {
+	names := AppNames()
+	widths := []int{4, 8}
+	type job struct {
+		app   string
+		cfg   AppConfig
+		width int
+	}
+	var jobs []job
+	for _, a := range names {
+		for _, cfg := range Figure7Configs {
+			for _, w := range widths {
+				jobs = append(jobs, job{a, cfg, w})
+			}
+		}
+	}
+	rows := make([]AppSpeedup, len(jobs))
+	err := parallelFor(len(jobs), func(idx int) error {
+		j := jobs[idx]
+		res, err := RunApp(j.app, j.cfg.ISA, j.width, DetailedMemory(j.cfg.Cache), sc)
+		if err != nil {
+			return err
+		}
+		rows[idx] = AppSpeedup{
+			App: j.app, Config: j.cfg, Width: j.width,
+			Cycles: res.Cycles, IPC: res.IPC(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := map[string]int64{}
+	for _, r := range rows {
+		if r.Config.ISA == Alpha {
+			base[fmt.Sprintf("%s/%d", r.App, r.Width)] = r.Cycles
+		}
+	}
+	for i := range rows {
+		if b := base[fmt.Sprintf("%s/%d", rows[i].App, rows[i].Width)]; b > 0 && rows[i].Cycles > 0 {
+			rows[i].Speedup = float64(b) / float64(rows[i].Cycles)
+		}
+	}
+	return rows, nil
+}
+
+// Table1Row describes one processor configuration column.
+type Table1Row struct {
+	Name   string
+	Values map[string]string
+}
+
+// Table1 reproduces the processor-configuration table for a given ISA.
+func Table1(i ISA) []Table1Row {
+	var rows []Table1Row
+	for _, w := range Widths {
+		c := cpu.NewConfig(w, i.ext())
+		rows = append(rows, Table1Row{
+			Name: c.Name,
+			Values: map[string]string{
+				"ROB size":           fmt.Sprint(c.ROBSize),
+				"Load/Store queue":   fmt.Sprint(c.LSQSize),
+				"Bimodal predictor":  fmt.Sprint(c.BimodalSize),
+				"BTB entries":        fmt.Sprint(c.BTBEntries),
+				"INT simple/complex": fmt.Sprintf("%d/%d", c.IntSimple, c.IntComplex),
+				"FP simple/complex":  fmt.Sprintf("%d/%d", c.FPSimple, c.FPComplex),
+				"MED simple/complex": fmt.Sprintf("%d/%d (x%d)", c.MedSimple, c.MedComplex, c.MedLanes),
+				"memory ports":       fmt.Sprintf("%d (x%d)", c.MemPorts, c.MemPortLanes),
+				"INT log/ph":         fmt.Sprintf("%d/%d", isa.NumInt, c.IntPhys),
+				"FP log/ph":          fmt.Sprintf("%d/%d", isa.NumFP, c.FPPhys),
+			},
+		})
+	}
+	return rows
+}
+
+// Table2Entry mirrors the register-file comparison row.
+type Table2Entry struct {
+	ISA            string
+	MediaRegs      string
+	AccRegs        string
+	MediaPorts     string
+	AccPorts       string
+	SizeBytes      int
+	NormalizedArea float64
+}
+
+// Table2 reproduces the multimedia register-file comparison (4-way machine).
+func Table2() []Table2Entry {
+	var out []Table2Entry
+	for _, e := range regfile.Table2() {
+		out = append(out, Table2Entry{
+			ISA: e.ISA, MediaRegs: e.MediaRegs, AccRegs: e.AccRegs,
+			MediaPorts: e.MediaPorts, AccPorts: e.AccPorts,
+			SizeBytes: e.SizeBytes, NormalizedArea: e.NormalizedArea,
+		})
+	}
+	return out
+}
+
+// Table3Row describes one memory-model column (port configuration).
+type Table3Row struct {
+	Model  string
+	Width  int
+	Values map[string]string
+}
+
+// Table3 reproduces the port configuration of the memory models.
+func Table3() []Table3Row {
+	var rows []Table3Row
+	for _, mode := range []CacheMode{Conventional, MultiAddress, VectorCache, CollapsingBuffer} {
+		for _, w := range []int{4, 8} {
+			v := map[string]string{}
+			switch mode {
+			case Conventional, MultiAddress:
+				if w == 4 {
+					v["L1 #ports"], v["L1 #banks"], v["L1 latency"] = "2", "4", "1 cyc"
+				} else {
+					v["L1 #ports"], v["L1 #banks"], v["L1 latency"] = "4", "8", "2 cyc"
+				}
+				v["L2 latency"] = "6 cyc"
+			default:
+				if w == 4 {
+					v["L1 #ports"], v["L1 #banks"], v["L1 latency"] = "1", "1", "1 cyc"
+					v["L2 #ports"] = "1x2"
+				} else {
+					v["L1 #ports"], v["L1 #banks"], v["L1 latency"] = "2", "2", "1 cyc"
+					v["L2 #ports"] = "1x4"
+				}
+				if mode == VectorCache {
+					v["L2 latency"] = "8 cyc"
+				} else {
+					v["L2 latency"] = "10 cyc"
+				}
+			}
+			rows = append(rows, Table3Row{Model: mode.String(), Width: w, Values: v})
+		}
+	}
+	return rows
+}
+
+// ISACounts reports the number of multimedia instructions available to each
+// extension (the paper: MMX 67, MDMX 88, MOM 121).
+func ISACounts() (mmx, mdmx, mom int) {
+	return isa.CountByExtension()
+}
+
+// RegSweepRow is one point of the physical-register sensitivity ablation
+// (the "preliminary simulations" behind Table 2's file sizes).
+type RegSweepRow struct {
+	Kernel   string
+	MomPhys  int
+	Cycles   int64
+	Slowdown float64 // versus the largest file swept
+}
+
+// RegisterSweep varies the number of physical matrix registers on the
+// 4-way MOM machine and reports the cycle cost, showing performance
+// saturating around the paper's choice of 20.
+func RegisterSweep(sc Scale, kernel string) ([]RegSweepRow, error) {
+	k, err := kernels.ByName(kernel, kernels.Scale(sc))
+	if err != nil {
+		return nil, err
+	}
+	p := k.Build(isa.ExtMOM)
+	sizes := []int{17, 18, 20, 24, 32}
+	rows := make([]RegSweepRow, len(sizes))
+	err = parallelFor(len(sizes), func(i int) error {
+		cfg := cpu.NewConfig(4, isa.ExtMOM)
+		cfg.MomPhys = sizes[i]
+		sim := cpu.New(cfg, mem.NewPerfect(1))
+		res, err := sim.Run(emu.New(p), maxDynInsts)
+		if err != nil {
+			return err
+		}
+		rows[i] = RegSweepRow{Kernel: kernel, MomPhys: sizes[i], Cycles: res.Cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := rows[len(rows)-1].Cycles
+	for i := range rows {
+		rows[i].Slowdown = float64(rows[i].Cycles) / float64(base)
+	}
+	return rows, nil
+}
+
+// MemSweepRow is one point of the memory-system ablation: shrinking the
+// MSHR pool or the L1 banking shows which resources the streaming MOM
+// accesses actually need.
+type MemSweepRow struct {
+	App      string
+	MSHRs    int
+	Banks    int
+	Cycles   int64
+	Slowdown float64 // versus the Table 3 configuration
+}
+
+// MemorySweep runs an application on the 4-way MOM multi-address machine
+// with reduced MSHR counts and bank counts.
+func MemorySweep(sc Scale, app string) ([]MemSweepRow, error) {
+	type variant struct{ mshrs, banks int }
+	variants := []variant{
+		{8, 4}, // Table 3 baseline
+		{4, 4},
+		{2, 4},
+		{1, 4},
+		{8, 2},
+		{8, 1},
+	}
+	a, err := apps.ByName(app, apps.Scale(sc))
+	if err != nil {
+		return nil, err
+	}
+	p := a.Build(isa.ExtMOM)
+	rows := make([]MemSweepRow, len(variants))
+	err = parallelFor(len(variants), func(i int) error {
+		v := variants[i]
+		model := mem.NewHierarchy(mem.HierConfig{
+			Width: 4, Mode: mem.ModeMultiAddress, MSHRs: v.mshrs, L1Banks: v.banks,
+		})
+		sim := cpu.New(cpu.NewConfig(4, isa.ExtMOM), model)
+		res, err := sim.Run(emu.New(p), maxDynInsts)
+		if err != nil {
+			return err
+		}
+		rows[i] = MemSweepRow{App: app, MSHRs: v.mshrs, Banks: v.banks, Cycles: res.Cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := rows[0].Cycles
+	for i := range rows {
+		rows[i].Slowdown = float64(rows[i].Cycles) / float64(base)
+	}
+	return rows, nil
+}

@@ -1,0 +1,69 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// App bundles the program generators and the verifier for one application.
+type App struct {
+	Name string
+	// Build produces the complete application program for one ISA level.
+	Build func(ext isa.Ext) *isa.Program
+	// Verify checks the outputs (bitstreams, reconstructed planes, encoded
+	// frames) against the golden pipeline.
+	Verify func(p *isa.Program, m *emu.Machine) error
+}
+
+// Scale selects workload sizes (mirrors kernels.Scale).
+type Scale int
+
+const (
+	ScaleTest Scale = iota
+	ScaleBench
+)
+
+// All returns the five applications of the paper's program-level study.
+func All(sc Scale) []App {
+	return []App{
+		NewMPEG2Encode(sc),
+		NewMPEG2Decode(sc),
+		NewJPEGEncode(sc),
+		NewJPEGDecode(sc),
+		NewGSMEncode(sc),
+	}
+}
+
+// Names lists the application names.
+func Names() []string {
+	var out []string
+	for _, a := range All(ScaleTest) {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// ByName returns the application with the given name.
+func ByName(name string, sc Scale) (App, error) {
+	for _, a := range All(sc) {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// RunAndVerify executes the program functionally and applies the verifier.
+func RunAndVerify(a App, ext isa.Ext, maxSteps uint64) error {
+	p := a.Build(ext)
+	m := emu.New(p)
+	if _, err := m.Run(maxSteps); err != nil {
+		return fmt.Errorf("%s/%s: %w", a.Name, ext, err)
+	}
+	if err := a.Verify(p, m); err != nil {
+		return fmt.Errorf("%s/%s: %w", a.Name, ext, err)
+	}
+	return nil
+}

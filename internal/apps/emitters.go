@@ -1,0 +1,556 @@
+// Package apps implements the five Mediabench applications of the paper's
+// program-level study — mpeg2 encode, mpeg2 decode, jpeg encode, jpeg
+// decode and gsm encode — as complete simulated programs: the DLP-rich
+// kernels are emitted through the per-ISA generators of internal/kernels,
+// while control flow, quantisation and entropy coding remain scalar Alpha
+// code shared by every ISA level (exactly the paper's methodology). Each
+// application is verified bit-exactly against a golden Go implementation of
+// the identical pipeline.
+package apps
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// ---- bit writer (MSB-first, matches media.BitWriter bit for bit) ----
+
+// bitWriter keeps its state in three dedicated registers for the duration
+// of an entropy phase.
+type bitWriter struct {
+	b              *asm.Builder
+	cur, nbit, ptr isa.Reg
+}
+
+// newBitWriter binds the writer to registers r20..r22.
+func newBitWriter(b *asm.Builder) bitWriter {
+	return bitWriter{b: b, cur: isa.R(20), nbit: isa.R(21), ptr: isa.R(22)}
+}
+
+func (w bitWriter) init(bufAddr int64) {
+	w.b.MovI(w.cur, 0)
+	w.b.MovI(w.nbit, 0)
+	w.b.MovI(w.ptr, bufAddr)
+}
+
+// drain emits the "while nbit >= 8 emit byte" loop.
+func (w bitWriter) drain() {
+	b := w.b
+	cond, byt := isa.R(23), isa.R(24)
+	b.While(cond, func() {
+		b.SrlI(cond, w.nbit, 3) // nbit >= 8
+	}, func() {
+		b.AddI(w.nbit, w.nbit, -8)
+		b.Op(isa.SRL, byt, w.cur, w.nbit)
+		b.Stb(byt, w.ptr, 0)
+		b.AddI(w.ptr, w.ptr, 1)
+	})
+}
+
+// writeImm writes the low n bits of v (n a build-time constant).
+func (w bitWriter) writeImm(v isa.Reg, n int64) {
+	b := w.b
+	t := isa.R(25)
+	b.SllI(w.cur, w.cur, n)
+	b.AndI(t, v, (1<<n)-1)
+	b.Op(isa.OR, w.cur, w.cur, t)
+	b.AddI(w.nbit, w.nbit, n)
+	w.drain()
+}
+
+// writeConst writes an n-bit constant.
+func (w bitWriter) writeConst(v, n int64) {
+	t := isa.R(24)
+	w.b.MovI(t, v)
+	w.writeImm(t, n)
+}
+
+// writeReg writes the low n bits of v (n in a register, 1..32).
+func (w bitWriter) writeReg(v, n isa.Reg) {
+	b := w.b
+	t, mask, one := isa.R(25), isa.R(26), isa.R(27)
+	b.Op(isa.SLL, w.cur, w.cur, n)
+	b.MovI(one, 1)
+	b.Op(isa.SLL, mask, one, n)
+	b.AddI(mask, mask, -1)
+	b.Op(isa.AND, t, v, mask)
+	b.Op(isa.OR, w.cur, w.cur, t)
+	b.Add(w.nbit, w.nbit, n)
+	w.drain()
+}
+
+// save spills the writer state to three words at addr (other phases are
+// free to clobber its registers between entropy phases).
+func (w bitWriter) save(addr int64) {
+	t := isa.R(23)
+	w.b.MovI(t, addr)
+	w.b.Stq(w.cur, t, 0)
+	w.b.Stq(w.nbit, t, 8)
+	w.b.Stq(w.ptr, t, 16)
+}
+
+// load restores the writer state from addr.
+func (w bitWriter) load(addr int64) {
+	t := isa.R(23)
+	w.b.MovI(t, addr)
+	w.b.Ldq(w.cur, t, 0)
+	w.b.Ldq(w.nbit, t, 8)
+	w.b.Ldq(w.ptr, t, 16)
+}
+
+// finish pads the last byte and stores the stream length (bytes) at lenAddr.
+func (w bitWriter) finish(bufAddr, lenAddr int64) {
+	b := w.b
+	t, byt := isa.R(25), isa.R(24)
+	b.If(w.nbit, func() {
+		b.MovI(t, 8)
+		b.Sub(t, t, w.nbit)
+		b.Op(isa.SLL, byt, w.cur, t)
+		b.Stb(byt, w.ptr, 0)
+		b.AddI(w.ptr, w.ptr, 1)
+	}, nil)
+	b.MovI(t, bufAddr)
+	b.Sub(t, w.ptr, t)
+	b.MovI(byt, lenAddr)
+	b.Stq(t, byt, 0)
+}
+
+// ---- bit reader (matches media.BitReader) ----
+
+type bitReader struct {
+	b              *asm.Builder
+	cur, nbit, ptr isa.Reg
+}
+
+func newBitReader(b *asm.Builder) bitReader {
+	return bitReader{b: b, cur: isa.R(20), nbit: isa.R(21), ptr: isa.R(22)}
+}
+
+func (r bitReader) init(bufAddr int64) {
+	r.b.MovI(r.cur, 0)
+	r.b.MovI(r.nbit, 0)
+	r.b.MovI(r.ptr, bufAddr)
+}
+
+// save / load spill and restore the reader state around other phases.
+func (r bitReader) save(addr int64) {
+	t := isa.R(23)
+	r.b.MovI(t, addr)
+	r.b.Stq(r.cur, t, 0)
+	r.b.Stq(r.nbit, t, 8)
+	r.b.Stq(r.ptr, t, 16)
+}
+
+func (r bitReader) load(addr int64) {
+	t := isa.R(23)
+	r.b.MovI(t, addr)
+	r.b.Ldq(r.cur, t, 0)
+	r.b.Ldq(r.nbit, t, 8)
+	r.b.Ldq(r.ptr, t, 16)
+}
+
+// readImm reads n bits (constant n) into out.
+func (r bitReader) readImm(out isa.Reg, n int64) {
+	b := r.b
+	cond, byt := isa.R(23), isa.R(24)
+	b.While(cond, func() {
+		// nbit < n ?
+		b.OpI(isa.CMPLT, cond, r.nbit, n)
+	}, func() {
+		b.SllI(r.cur, r.cur, 8)
+		b.Ldbu(byt, r.ptr, 0)
+		b.Op(isa.OR, r.cur, r.cur, byt)
+		b.AddI(r.ptr, r.ptr, 1)
+		b.AddI(r.nbit, r.nbit, 8)
+	})
+	b.AddI(r.nbit, r.nbit, -n)
+	b.Op(isa.SRL, out, r.cur, r.nbit)
+	b.AndI(out, out, (1<<n)-1)
+}
+
+// readReg reads n bits (register n) into out.
+func (r bitReader) readReg(out, n isa.Reg) {
+	b := r.b
+	cond, byt, mask, one := isa.R(23), isa.R(24), isa.R(26), isa.R(27)
+	b.While(cond, func() {
+		b.Sub(cond, r.nbit, n)
+		b.OpI(isa.CMPLT, cond, cond, 0)
+	}, func() {
+		b.SllI(r.cur, r.cur, 8)
+		b.Ldbu(byt, r.ptr, 0)
+		b.Op(isa.OR, r.cur, r.cur, byt)
+		b.AddI(r.ptr, r.ptr, 1)
+		b.AddI(r.nbit, r.nbit, 8)
+	})
+	b.Sub(r.nbit, r.nbit, n)
+	b.Op(isa.SRL, out, r.cur, r.nbit)
+	b.MovI(one, 1)
+	b.Op(isa.SLL, mask, one, n)
+	b.AddI(mask, mask, -1)
+	b.Op(isa.AND, out, out, mask)
+}
+
+// ---- quantisation phases (scalar; shared by all ISA levels) ----
+
+// emitQuantPhase quantises nb contiguous blocks in place at coefAddr with
+// the reciprocal-multiply semantics of media.QuantizeCoef.
+func emitQuantPhase(b *asm.Builder, coefAddr int64, nb int, scale int32) {
+	blkP, bc := isa.R(8), isa.R(9)
+	x, nx, v, nv := isa.R(11), isa.R(12), isa.R(13), isa.R(14)
+	b.MovI(blkP, coefAddr)
+	b.Loop(bc, int64(nb), func() {
+		for i := 0; i < 64; i++ {
+			step := media.ScaledStep(i, scale)
+			recip := media.Recip(step)
+			b.Ldwu(x, blkP, int64(2*i))
+			b.Op(isa.SEXTW, x, x, isa.Reg{})
+			b.Op(isa.SUBQ, nx, isa.Zero, x)
+			b.Mov(v, x)
+			b.Op(isa.CMOVLT, v, x, nx) // v = |x|
+			b.AddI(v, v, int64(step/2))
+			b.MulI(v, v, int64(recip))
+			b.SraI(v, v, 16)
+			b.Op(isa.SUBQ, nv, isa.Zero, v)
+			b.Op(isa.CMOVLT, v, x, nv) // restore sign of x
+			b.Stw(v, blkP, int64(2*i))
+		}
+		b.AddI(blkP, blkP, 128)
+	})
+}
+
+// emitDequantPhase inverts emitQuantPhase (media.DequantizeCoef semantics).
+func emitDequantPhase(b *asm.Builder, coefAddr int64, nb int, scale int32) {
+	blkP, bc := isa.R(8), isa.R(9)
+	x, t, hi, lo := isa.R(11), isa.R(12), isa.R(13), isa.R(14)
+	b.MovI(blkP, coefAddr)
+	b.MovI(hi, 32767)
+	b.MovI(lo, -32768)
+	b.Loop(bc, int64(nb), func() {
+		for i := 0; i < 64; i++ {
+			step := media.ScaledStep(i, scale)
+			b.Ldwu(x, blkP, int64(2*i))
+			b.Op(isa.SEXTW, x, x, isa.Reg{})
+			b.MulI(x, x, int64(step))
+			b.Sub(t, hi, x)
+			b.Op(isa.CMOVLT, x, t, hi)
+			b.Sub(t, x, lo)
+			b.Op(isa.CMOVLT, x, t, lo)
+			b.Stw(x, blkP, int64(2*i))
+		}
+		b.AddI(blkP, blkP, 128)
+	})
+}
+
+// ensureZigzag allocates the zig-zag byte-offset table (2*ZigZag[pos]).
+func ensureZigzag(b *asm.Builder) {
+	offs := make([]int16, 64)
+	for pos, zz := range media.ZigZag {
+		offs[pos] = int16(2 * zz)
+	}
+	b.AllocH("zigzag", offs, 8)
+}
+
+// emitRLEEncodeBlocks entropy-encodes nb blocks at coefAddr through the
+// bit writer (media.RLEEncodeBlock format).
+func emitRLEEncodeBlocks(b *asm.Builder, w bitWriter, coefAddr int64, nb int) {
+	blkP, bc := isa.R(8), isa.R(9)
+	run, pos, zzP := isa.R(10), isa.R(11), isa.R(12)
+	off, v, t := isa.R(13), isa.R(14), isa.R(15)
+	mag, size, sign := isa.R(16), isa.R(17), isa.R(18)
+	cond := isa.R(19)
+	b.MovI(blkP, coefAddr)
+	b.Loop(bc, int64(nb), func() {
+		b.MovI(run, 0)
+		b.MovI(zzP, int64(b.Sym("zigzag")))
+		b.LoopVar(isa.R(28), pos, 0, 1, 64, func() {
+			b.Ldwu(off, zzP, 0)
+			b.AddI(zzP, zzP, 2)
+			b.Add(t, blkP, off)
+			b.Ldwu(v, t, 0)
+			b.Op(isa.SEXTW, v, v, isa.Reg{})
+			b.If(v, func() {
+				// nonzero: emit run + signed value
+				w.writeImm(run, 6)
+				b.MovI(run, 0)
+				// writeSigned(v)
+				b.Op(isa.SUBQ, mag, isa.Zero, v)
+				b.Op(isa.CMOVGE, mag, v, v) // mag = |v|
+				b.OpI(isa.CMPLT, sign, v, 0)
+				b.MovI(size, 0)
+				b.Mov(t, mag)
+				b.While(cond, func() {
+					b.Mov(cond, t)
+				}, func() {
+					b.SraI(t, t, 1)
+					b.AddI(size, size, 1)
+				})
+				w.writeImm(size, 4)
+				w.writeImm(sign, 1)
+				w.writeReg(mag, size)
+			}, func() {
+				b.AddI(run, run, 1)
+			})
+		})
+		w.writeConst(63, 6)
+		b.AddI(blkP, blkP, 128)
+	})
+}
+
+// emitRLEDecodeBlocks decodes nb blocks into coefAddr (zeroed first).
+func emitRLEDecodeBlocks(b *asm.Builder, r bitReader, coefAddr int64, nb int) {
+	blkP, bc := isa.R(8), isa.R(9)
+	run, pos, t := isa.R(10), isa.R(11), isa.R(12)
+	v, mag, size, sign := isa.R(13), isa.R(14), isa.R(15), isa.R(16)
+	done, cond := isa.R(17), isa.R(18)
+	b.MovI(blkP, coefAddr)
+	b.Loop(bc, int64(nb), func() {
+		for i := int64(0); i < 128; i += 8 {
+			b.Stq(isa.Zero, blkP, i)
+		}
+		b.MovI(pos, 0)
+		b.MovI(done, 0)
+		b.While(cond, func() {
+			// while !done && pos < 64
+			b.OpI(isa.CMPLT, cond, pos, 64)
+			b.OpI(isa.CMPEQ, t, done, 0)
+			b.Op(isa.AND, cond, cond, t)
+		}, func() {
+			r.readImm(run, 6)
+			b.OpI(isa.CMPEQ, t, run, 63)
+			b.If(t, func() {
+				b.MovI(done, 1)
+			}, func() {
+				b.Add(pos, pos, run)
+				// readSigned -> v
+				r.readImm(size, 4)
+				b.If(size, func() {
+					r.readImm(sign, 1)
+					r.readReg(mag, size)
+					b.Op(isa.SUBQ, v, isa.Zero, mag)
+					b.Op(isa.CMOVEQ, v, sign, mag) // sign==0 -> +mag
+				}, func() {
+					b.MovI(v, 0)
+				})
+				// blk[zigzag[pos]] = v; pos++
+				b.OpI(isa.CMPLT, t, pos, 64)
+				b.If(t, func() {
+					b.SllI(t, pos, 1)
+					b.AddI(t, t, int64(b.Sym("zigzag")))
+					b.Ldwu(t, t, 0)
+					b.Add(t, blkP, t)
+					b.Stw(v, t, 0)
+					b.AddI(pos, pos, 1)
+				}, nil)
+			})
+		})
+		// A block that filled all 64 positions exits the loop before
+		// consuming its terminating sentinel; mirror the golden decoder.
+		b.OpI(isa.CMPEQ, t, done, 0)
+		b.If(t, func() { r.readImm(run, 6) }, nil)
+		b.AddI(blkP, blkP, 128)
+	})
+}
+
+// ---- canonical Huffman entropy coding (jpeg applications) ----
+
+// ensureHuffTables embeds the shared canonical code book as program data.
+func ensureHuffTables(b *asm.Builder) {
+	t := media.JPEGACTable
+	codes := make([]int32, len(t.Code))
+	for i, c := range t.Code {
+		codes[i] = int32(c)
+	}
+	b.AllocW("huff.code", codes, 8)
+	lens := make([]byte, len(t.Len))
+	copy(lens, t.Len)
+	b.AllocBytes("huff.len", lens, 8)
+	first := make([]uint64, media.MaxHuffLen+1)
+	count := make([]uint64, media.MaxHuffLen+1)
+	offset := make([]uint64, media.MaxHuffLen+1)
+	for l := 0; l <= media.MaxHuffLen; l++ {
+		first[l] = uint64(int64(t.First[l]))
+		count[l] = uint64(int64(t.Count[l]))
+		offset[l] = uint64(int64(t.Offset[l]))
+	}
+	b.AllocQ("huff.first", first, 8)
+	b.AllocQ("huff.count", count, 8)
+	b.AllocQ("huff.offset", offset, 8)
+	syms := make([]int16, len(t.Syms))
+	for i, s := range t.Syms {
+		syms[i] = int16(s)
+	}
+	b.AllocH("huff.syms", syms, 8)
+}
+
+// huffEmitSym writes the code for a build-time-constant symbol.
+func huffEmitSym(b *asm.Builder, w bitWriter, sym int) {
+	t := media.JPEGACTable
+	w.writeConst(int64(t.Code[sym]), int64(t.Len[sym]))
+}
+
+// emitHuffEncodeBlocks entropy-codes nb blocks at coefAddr with the
+// canonical table (media.HuffEncodeBlock format).
+func emitHuffEncodeBlocks(b *asm.Builder, w bitWriter, coefAddr int64, nb int) {
+	blkP, bc := isa.R(8), isa.R(9)
+	run, pos, zzP := isa.R(10), isa.R(11), isa.R(12)
+	v, mag, size := isa.R(13), isa.R(14), isa.R(15)
+	t, sym, cond := isa.R(16), isa.R(17), isa.R(18)
+	codeR, lenR := isa.R(19), isa.R(4)
+	b.MovI(blkP, coefAddr)
+	b.Loop(bc, int64(nb), func() {
+		b.MovI(run, 0)
+		b.MovI(zzP, int64(b.Sym("zigzag")))
+		b.LoopVar(isa.R(28), pos, 0, 1, 64, func() {
+			b.Ldwu(t, zzP, 0)
+			b.AddI(zzP, zzP, 2)
+			b.Add(t, blkP, t)
+			b.Ldwu(v, t, 0)
+			b.Op(isa.SEXTW, v, v, isa.Reg{})
+			b.If(v, func() {
+				// Flush 16-zero runs as ZRL.
+				b.While(cond, func() {
+					b.SrlI(cond, run, 4) // run >= 16
+				}, func() {
+					huffEmitSym(b, w, 0xF0)
+					b.AddI(run, run, -16)
+				})
+				// Magnitude category.
+				b.Op(isa.SUBQ, mag, isa.Zero, v)
+				b.Op(isa.CMOVGE, mag, v, v) // mag = |v|
+				b.MovI(size, 0)
+				b.Mov(t, mag)
+				b.While(cond, func() {
+					b.Mov(cond, t)
+				}, func() {
+					b.SrlI(t, t, 1)
+					b.AddI(size, size, 1)
+				})
+				// Symbol code lookup.
+				b.SllI(sym, run, 4)
+				b.Op(isa.OR, sym, sym, size)
+				b.SllI(t, sym, 2)
+				b.AddI(t, t, int64(b.Sym("huff.code")))
+				b.Ldl(codeR, t, 0)
+				b.AddI(t, sym, int64(b.Sym("huff.len")))
+				b.Ldbu(lenR, t, 0)
+				w.writeReg(codeR, lenR)
+				// Magnitude bits: v >= 0 -> mag; v < 0 -> v + 2^size - 1
+				// (= (2^size - 1) - mag).
+				b.MovI(t, 1)
+				b.Op(isa.SLL, t, t, size)
+				b.AddI(t, t, -1)
+				b.Sub(t, t, mag)
+				b.Op(isa.CMOVGE, t, v, mag) // positive: bits = mag
+				w.writeReg(t, size)
+				b.MovI(run, 0)
+			}, func() {
+				b.AddI(run, run, 1)
+			})
+		})
+		huffEmitSym(b, w, 0x00) // EOB
+		b.AddI(blkP, blkP, 128)
+	})
+}
+
+// emitHuffDecodeSym decodes one canonical symbol into symR.
+// Clobbers r4..r7, r14..r19 and the reader scratch registers.
+func emitHuffDecodeSym(b *asm.Builder, r bitReader, symR isa.Reg) {
+	code, l, found := isa.R(14), isa.R(15), isa.R(16)
+	cnt, fst, t := isa.R(17), isa.R(18), isa.R(19)
+	t2, c1, c2, bit := isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+	b.MovI(code, 0)
+	b.MovI(l, 0)
+	b.MovI(found, 0)
+	b.MovI(symR, 0) // malformed streams decode as EOB
+	b.While(c1, func() {
+		// while !found && l < MaxHuffLen
+		b.OpI(isa.CMPEQ, c1, found, 0)
+		b.OpI(isa.CMPLT, c2, l, media.MaxHuffLen)
+		b.Op(isa.AND, c1, c1, c2)
+	}, func() {
+		r.readImm(bit, 1)
+		b.SllI(code, code, 1)
+		b.Op(isa.OR, code, code, bit)
+		b.AddI(l, l, 1)
+		b.SllI(t, l, 3)
+		b.AddI(t2, t, int64(b.Sym("huff.count")))
+		b.Ldq(cnt, t2, 0)
+		b.AddI(t2, t, int64(b.Sym("huff.first")))
+		b.Ldq(fst, t2, 0)
+		b.Sub(t, code, fst) // candidate index within this length
+		b.Op(isa.CMPLE, c1, isa.Zero, t)
+		b.Sub(t2, t, cnt)
+		b.OpI(isa.CMPLT, c2, t2, 0)
+		b.Op(isa.AND, c1, c1, c2)
+		b.Op(isa.CMPLT, c2, isa.Zero, cnt)
+		b.Op(isa.AND, c1, c1, c2)
+		b.If(c1, func() {
+			b.SllI(t2, l, 3)
+			b.AddI(t2, t2, int64(b.Sym("huff.offset")))
+			b.Ldq(t2, t2, 0)
+			b.Add(t2, t2, t)
+			b.SllI(t2, t2, 1)
+			b.AddI(t2, t2, int64(b.Sym("huff.syms")))
+			b.Ldwu(symR, t2, 0)
+			b.MovI(found, 1)
+		}, nil)
+	})
+}
+
+// emitHuffDecodeBlocks decodes nb blocks into coefAddr.
+func emitHuffDecodeBlocks(b *asm.Builder, r bitReader, coefAddr int64, nb int) {
+	blkP, bc := isa.R(8), isa.R(9)
+	pos, sym := isa.R(10), isa.R(11)
+	run, size, bits, v := isa.R(12), isa.R(13), isa.R(18), isa.R(28)
+	t, done, cond := isa.R(19), isa.R(25), isa.R(5)
+	b.MovI(blkP, coefAddr)
+	b.Loop(bc, int64(nb), func() {
+		for i := int64(0); i < 128; i += 8 {
+			b.Stq(isa.Zero, blkP, i)
+		}
+		b.MovI(pos, 0)
+		b.MovI(done, 0)
+		b.While(cond, func() {
+			b.OpI(isa.CMPLT, cond, pos, 64)
+			b.OpI(isa.CMPEQ, t, done, 0)
+			b.Op(isa.AND, cond, cond, t)
+		}, func() {
+			emitHuffDecodeSym(b, r, sym)
+			b.If(sym, func() {
+				b.OpI(isa.CMPEQ, t, sym, 0xF0)
+				b.If(t, func() {
+					b.AddI(pos, pos, 16) // ZRL
+				}, func() {
+					b.SrlI(run, sym, 4)
+					b.AndI(size, sym, 0xF)
+					b.Add(pos, pos, run)
+					r.readReg(bits, size)
+					// magValue: bits < 2^(size-1) -> bits - 2^size + 1.
+					b.MovI(t, 1)
+					b.Op(isa.SLL, t, t, size)
+					b.Sub(v, bits, t)
+					b.AddI(v, v, 1)   // negative branch value
+					b.SraI(t, t, 1)   // 2^(size-1)
+					b.Sub(t, bits, t) // >= 0 -> positive branch
+					b.Op(isa.CMOVGE, v, t, bits)
+					b.OpI(isa.CMPLT, t, pos, 64)
+					b.If(t, func() {
+						b.SllI(t, pos, 1)
+						b.AddI(t, t, int64(b.Sym("zigzag")))
+						b.Ldwu(t, t, 0)
+						b.Add(t, blkP, t)
+						b.Stw(v, t, 0)
+						b.AddI(pos, pos, 1)
+					}, nil)
+				})
+			}, func() {
+				b.MovI(done, 1) // EOB
+			})
+		})
+		// A full block still carries its EOB.
+		b.OpI(isa.CMPEQ, t, done, 0)
+		b.If(t, func() { emitHuffDecodeSym(b, r, sym) }, nil)
+		b.AddI(blkP, blkP, 128)
+	})
+}

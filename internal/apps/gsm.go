@@ -1,0 +1,427 @@
+package apps
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/media"
+)
+
+// The gsm-encode application: preemphasis (a scalar recurrence in every
+// ISA — it cannot be vectorised), per-frame short-term prediction
+// (autocorrelation, order-2 Yule-Walker solve, analysis filter — scalar),
+// long-term-prediction lag search on the short-term residual (the
+// vectorised ltpparameters kernel), long-term residual computation, RPE
+// subsampling with adaptive 3-bit quantisation, and bit packing.
+
+type gsmCfg struct {
+	nFrames int
+	seed    uint64
+}
+
+func gsmCfgFor(sc Scale) gsmCfg {
+	c := gsmCfg{nFrames: 3, seed: 101}
+	if sc == ScaleBench {
+		c.nFrames = 10
+	}
+	return c
+}
+
+// gsmGains are the Q6 long-term gain levels per gain index.
+var gsmGains = [4]int64{7, 22, 42, 64}
+
+type gsmGolden struct {
+	pre    []int16
+	str    []int16 // short-term residual
+	stream []byte
+}
+
+func gsmGoldenRun(c gsmCfg) *gsmGolden {
+	n := 160 * (c.nFrames + 1)
+	sig := media.GenPCM(n, c.seed)
+	pre := media.Preemphasis(sig)
+
+	// Short-term prediction per frame (frame 0 is untransmitted history).
+	str := make([]int16, n)
+	type qc struct{ q1, q2 int }
+	stpq := make([]qc, c.nFrames+1)
+	for f := 0; f <= c.nFrames; f++ {
+		start := 160 * f
+		fr := pre[start : start+160]
+		a1, a2 := media.STP2(media.AutoCorr(fr, 0), media.AutoCorr(fr, 1), media.AutoCorr(fr, 2))
+		q1, q2 := media.QuantSTP(a1), media.QuantSTP(a2)
+		stpq[f] = qc{q1, q2}
+		media.STPFilterFrame(pre, str, start, 160, media.DequantSTP(q1), media.DequantSTP(q2))
+	}
+
+	var bw media.BitWriter
+	for f := 0; f < c.nFrames; f++ {
+		h := stpq[f+1]
+		bw.WriteBits(uint32(h.q1+64), 7)
+		bw.WriteBits(uint32(h.q2+64), 7)
+		for sf := 0; sf < 4; sf++ {
+			pos := 160 + 160*f + 40*sf
+			d := str[pos : pos+media.SubframeLen]
+			lag, corr := media.LTPParameters(d, str, pos)
+			energy := media.Energy40(str, pos, lag)
+			gi := media.LTPGainIndex(corr, energy)
+			bq := gsmGains[gi]
+			var sub [14]int64
+			maxmag := int64(0)
+			for k := 0; k < 14; k++ {
+				i := 3 * k
+				e := int64(d[i]) - (bq*int64(str[pos+i-lag]))>>6
+				sub[k] = e
+				if e < 0 {
+					e = -e
+				}
+				if e > maxmag {
+					maxmag = e
+				}
+			}
+			shift := uint(0)
+			for (maxmag >> shift) >= 4 {
+				shift++
+			}
+			bw.WriteBits(uint32(lag), 7)
+			bw.WriteBits(uint32(gi), 2)
+			bw.WriteBits(uint32(shift), 4)
+			for k := 0; k < 14; k++ {
+				q := sub[k] >> shift
+				if q < -4 {
+					q = -4
+				}
+				if q > 3 {
+					q = 3
+				}
+				bw.WriteBits(uint32(q+4), 3)
+			}
+		}
+	}
+	return &gsmGolden{pre: pre, str: str, stream: bw.Flush()}
+}
+
+// emitPreemphasis appends the scalar preemphasis recurrence over n samples.
+func emitPreemphasis(b *asm.Builder, srcAddr, dstAddr int64, n int) {
+	sp, dp := isa.R(8), isa.R(9)
+	x, prev, t, hi, lo := isa.R(11), isa.R(12), isa.R(13), isa.R(14), isa.R(15)
+	ctr := isa.R(16)
+	b.MovI(sp, srcAddr)
+	b.MovI(dp, dstAddr)
+	b.MovI(prev, 0)
+	b.MovI(hi, 32767)
+	b.MovI(lo, -32768)
+	b.Loop(ctr, int64(n), func() {
+		b.Ldwu(x, sp, 0)
+		b.Op(isa.SEXTW, x, x, isa.Reg{})
+		b.MulI(t, prev, 28180)
+		b.SraI(t, t, 15)
+		b.Sub(t, x, t)
+		b.Sub(prev, hi, t) // clamp hi (prev as scratch before reassigning)
+		b.Op(isa.CMOVLT, t, prev, hi)
+		b.Sub(prev, t, lo)
+		b.Op(isa.CMOVLT, t, prev, lo)
+		b.Stw(t, dp, 0)
+		b.Mov(prev, x)
+		b.AddI(sp, sp, 2)
+		b.AddI(dp, dp, 2)
+	})
+}
+
+// emitSat16 clamps v into int16 range using hi/lo constant registers.
+func emitSat16(b *asm.Builder, v, t, hi, lo isa.Reg) {
+	b.Sub(t, hi, v)
+	b.Op(isa.CMOVLT, v, t, hi)
+	b.Sub(t, v, lo)
+	b.Op(isa.CMOVLT, v, t, lo)
+}
+
+// emitSTPFrame appends the short-term analysis of one frame: three
+// autocorrelations, the Yule-Walker solve, coefficient quantisation (stored
+// as two words at stpqAddr) and the analysis filter into strAddr. start is
+// the frame's first sample index (static).
+func emitSTPFrame(b *asm.Builder, preAddr, strAddr, stpqAddr int64, start int) {
+	ac := [3]isa.Reg{isa.R(4), isa.R(5), isa.R(6)}
+	p1, p2, x, y, acc := isa.R(7), isa.R(8), isa.R(9), isa.R(10), isa.R(11)
+	ctr, t, t2 := isa.R(12), isa.R(13), isa.R(14)
+	a1, a2, hi, lo := isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+	sh, den := isa.R(19), isa.R(20)
+	b.MovI(hi, 32767)
+	b.MovI(lo, -32768)
+	// Autocorrelations at lags 0..2 over the 160-sample frame.
+	for lag := 0; lag < 3; lag++ {
+		b.MovI(p1, preAddr+int64(2*(start+lag)))
+		b.MovI(p2, preAddr+int64(2*start))
+		b.MovI(acc, 0)
+		b.Loop(ctr, int64(160-lag), func() {
+			b.Ldwu(x, p1, 0)
+			b.Op(isa.SEXTW, x, x, isa.Reg{})
+			b.SraI(x, x, 2)
+			b.Ldwu(y, p2, 0)
+			b.Op(isa.SEXTW, y, y, isa.Reg{})
+			b.SraI(y, y, 2)
+			b.Mul(x, x, y)
+			b.Add(acc, acc, x)
+			b.AddI(p1, p1, 2)
+			b.AddI(p2, p2, 2)
+		})
+		b.Mov(ac[lag], acc)
+	}
+	// Normalise below 2^20: while (ac0 >> sh) >= 2^20 { sh++ }.
+	b.MovI(sh, 0)
+	b.While(t, func() {
+		b.Op(isa.SRA, t2, ac[0], sh)
+		b.SrlI(t, t2, 20)
+	}, func() {
+		b.AddI(sh, sh, 1)
+	})
+	for i := 0; i < 3; i++ {
+		b.Op(isa.SRA, ac[i], ac[i], sh)
+	}
+	// den = ac0^2 - ac1^2; degenerate frames predict nothing.
+	b.Mul(den, ac[0], ac[0])
+	b.Mul(t, ac[1], ac[1])
+	b.Sub(den, den, t)
+	b.MovI(a1, 0)
+	b.MovI(a2, 0)
+	cond, cond2 := isa.R(21), isa.R(22)
+	b.Op(isa.CMPLT, cond, isa.Zero, ac[0]) // 0 < ac0
+	b.Op(isa.CMPLT, cond2, isa.Zero, den)  // 0 < den
+	b.Op(isa.AND, cond, cond, cond2)
+	b.If(cond, func() {
+		// a1 = sat16((ac1*(ac0-ac2)) << 15 / den)
+		b.Sub(t, ac[0], ac[2])
+		b.Mul(t, t, ac[1])
+		b.SllI(t, t, 15)
+		b.Op(isa.DIVQ, a1, t, den)
+		emitSat16(b, a1, t2, hi, lo)
+		// a2 = sat16((ac0*ac2 - ac1^2) << 15 / den)
+		b.Mul(t, ac[0], ac[2])
+		b.Mul(t2, ac[1], ac[1])
+		b.Sub(t, t, t2)
+		b.SllI(t, t, 15)
+		b.Op(isa.DIVQ, a2, t, den)
+		emitSat16(b, a2, t2, hi, lo)
+	}, nil)
+	// Quantise to 7 bits: q = clamp(a >> 9, -64, 63); store; dequantise.
+	qp := isa.R(23)
+	b.MovI(qp, stpqAddr)
+	for i, a := range []isa.Reg{a1, a2} {
+		b.SraI(a, a, 9)
+		b.AddI(t, a, 64)
+		b.OpI(isa.CMOVLT, a, t, -64)
+		b.OpI(isa.SUBQ, t, a, 63)
+		b.Op(isa.SUBQ, t, isa.Zero, t)
+		b.OpI(isa.CMOVLT, a, t, 63)
+		b.Stq(a, qp, int64(8*i))
+		b.SllI(a, a, 9) // dequantised coefficient for the filter
+	}
+	// Analysis filter: d[i] = sat16(s[i] - (a1*s[i-1] + a2*s[i-2]) >> 15).
+	sp, dp := isa.R(7), isa.R(8)
+	filterBody := func(off1, off2 int64, zero1, zero2 bool) {
+		b.Ldwu(x, sp, 0)
+		b.Op(isa.SEXTW, x, x, isa.Reg{})
+		if zero1 {
+			b.MovI(t, 0)
+		} else {
+			b.Ldwu(t, sp, off1)
+			b.Op(isa.SEXTW, t, t, isa.Reg{})
+			b.Mul(t, t, a1)
+		}
+		if zero2 {
+			b.MovI(t2, 0)
+		} else {
+			b.Ldwu(t2, sp, off2)
+			b.Op(isa.SEXTW, t2, t2, isa.Reg{})
+			b.Mul(t2, t2, a2)
+		}
+		b.Add(t, t, t2)
+		b.SraI(t, t, 15)
+		b.Sub(x, x, t)
+		emitSat16(b, x, t2, hi, lo)
+		b.Stw(x, dp, 0)
+		b.AddI(sp, sp, 2)
+		b.AddI(dp, dp, 2)
+	}
+	b.MovI(sp, preAddr+int64(2*start))
+	b.MovI(dp, strAddr+int64(2*start))
+	first := 0
+	if start == 0 {
+		// The very first samples have no predecessors: unroll them with
+		// explicit zeros (the golden filter reads zeros before index 0).
+		filterBody(-2, -4, true, true)
+		filterBody(-2, -4, false, true)
+		first = 2
+	}
+	b.Loop(ctr, int64(160-first), func() {
+		filterBody(-2, -4, false, false)
+	})
+}
+
+// NewGSMEncode builds the gsm-encode application.
+func NewGSMEncode(sc Scale) App { return newGSMEncode(gsmCfgFor(sc)) }
+
+func newGSMEncode(c gsmCfg) App {
+	n := 160 * (c.nFrames + 1)
+	nSub := 4 * c.nFrames
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("gsmencode-" + ext.String())
+		sig := media.GenPCM(n, c.seed)
+		sigA := b.AllocH("sig", sig, 8)
+		preA := b.Alloc("pre", 2*n, 8)
+		strA := b.Alloc("str", 2*n, 8)
+		stpqA := b.Alloc("stpq", 16*(c.nFrames+1), 8)
+		b.Alloc("ltpscratch", 16*8, 8)
+		b.Alloc("ltpout", 16*nSub, 8)
+		b.Alloc("erpe", 8*14, 8)
+		streamA := b.Alloc("stream", 32*nSub, 8)
+		b.Alloc("bitlen", 8, 8)
+		b.AllocQ("gains", []uint64{7, 22, 42, 64}, 8)
+		// Subframe task table: address of each subframe in the short-term
+		// residual.
+		var tasks []uint64
+		for f := 0; f < c.nFrames; f++ {
+			for sf := 0; sf < 4; sf++ {
+				pos := 160 + 160*f + 40*sf
+				tasks = append(tasks, strA+uint64(2*pos))
+			}
+		}
+		b.AllocQ("ltptasks", tasks, 8)
+
+		// Phase 1: preemphasis (scalar recurrence).
+		emitPreemphasis(b, int64(sigA), int64(preA), n)
+		// Phase 2: short-term prediction per frame (scalar).
+		for f := 0; f <= c.nFrames; f++ {
+			emitSTPFrame(b, int64(preA), int64(strA), int64(stpqA)+int64(16*f), 160*f)
+		}
+		// Phase 3: LTP lag search on the residual (vectorised kernel).
+		kernels.EmitLTPSearch(b, ext, nSub, "ltptasks", "ltpout", "ltpscratch")
+		// Phase 4: residual, RPE quantisation and bit packing (scalar).
+		emitGSMRPE(b, c.nFrames, int64(stpqA), int64(streamA), int64(b.Sym("bitlen")))
+		return b.Build()
+	}
+	verify := func(p *isa.Program, m *emu.Machine) error {
+		g := gsmGoldenRun(c)
+		for _, chk := range []struct {
+			sym  string
+			want []int16
+		}{{"pre", g.pre}, {"str", g.str}} {
+			got := readBytes(m, p.Sym(chk.sym), 2*n)
+			for i, v := range chk.want {
+				if gotV := int16(uint16(got[2*i]) | uint16(got[2*i+1])<<8); gotV != v {
+					return mismatchErr(p.Name+"/"+chk.sym, i, gotV, v)
+				}
+			}
+		}
+		return verifyStream(m, p, "bitlen", "stream", g.stream)
+	}
+	return App{Name: "gsmencode", Build: build, Verify: verify}
+}
+
+// emitGSMRPE appends the scalar residual + RPE + packing phase: per frame,
+// the short-term header (two 7-bit coefficients) followed by four
+// subframes of lag/gain/shift and 14 3-bit samples.
+func emitGSMRPE(b *asm.Builder, nFrames int, stpqAddr, streamAddr, bitlenAddr int64) {
+	taskP, outP := isa.R(4), isa.R(5)
+	dR, lag, corr, energy := isa.R(6), isa.R(7), isa.R(8), isa.R(9)
+	gi, bq, dpB, t, t2 := isa.R(10), isa.R(11), isa.R(12), isa.R(13), isa.R(14)
+	maxmag, shift, eP := isa.R(15), isa.R(16), isa.R(17)
+	c1, c2 := isa.R(18), isa.R(19)
+	ctr := isa.R(26)
+	bw := newBitWriter(b)
+	bw.init(streamAddr)
+	b.MovI(taskP, int64(b.Sym("ltptasks")))
+	b.MovI(outP, int64(b.Sym("ltpout")))
+	for f := 0; f < nFrames; f++ {
+		// Frame header: quantised short-term coefficients (+64, 7 bits).
+		hp := isa.R(27)
+		b.MovI(hp, stpqAddr+int64(16*(f+1)))
+		for i := int64(0); i < 2; i++ {
+			b.Ldq(t, hp, 8*i)
+			b.AddI(t, t, 64)
+			bw.writeImm(t, 7)
+		}
+		b.Loop(ctr, 4, func() {
+			b.Ldq(dR, taskP, 0)
+			b.AddI(taskP, taskP, 8)
+			b.Ldq(lag, outP, 0)
+			b.Ldq(corr, outP, 8)
+			b.AddI(outP, outP, 16)
+			// dpB = dR - 2*lag (history window base).
+			b.SllI(t, lag, 1)
+			b.Sub(dpB, dR, t)
+			// energy = sum dp[i]^2 over the window.
+			b.MovI(energy, 0)
+			for i := int64(0); i < media.SubframeLen; i++ {
+				b.Ldwu(t, dpB, 2*i)
+				b.Op(isa.SEXTW, t, t, isa.Reg{})
+				b.Mul(t, t, t)
+				b.Add(energy, energy, t)
+			}
+			// gain index (thresholds on corr*64/energy).
+			b.MovI(gi, 0)
+			b.Op(isa.CMPLT, c1, isa.Zero, energy) // 0 < energy
+			b.Op(isa.CMPLT, c2, isa.Zero, corr)   // 0 < corr
+			b.Op(isa.AND, c1, c1, c2)
+			b.If(c1, func() {
+				b.SllI(t, corr, 6)
+				b.Op(isa.DIVQ, t, t, energy)
+				b.OpI(isa.SUBQ, t2, t, 13)
+				b.OpI(isa.CMOVGE, gi, t2, 1)
+				b.OpI(isa.SUBQ, t2, t, 26)
+				b.OpI(isa.CMOVGE, gi, t2, 2)
+				b.OpI(isa.SUBQ, t2, t, 45)
+				b.OpI(isa.CMOVGE, gi, t2, 3)
+			}, nil)
+			// bq = gains[gi]
+			b.SllI(t, gi, 3)
+			b.AddI(t, t, int64(b.Sym("gains")))
+			b.Ldq(bq, t, 0)
+			// Residual at the 14 subsampled positions; track max |e|.
+			b.MovI(eP, int64(b.Sym("erpe")))
+			b.MovI(maxmag, 0)
+			for k := int64(0); k < 14; k++ {
+				i := 3 * k
+				b.Ldwu(t, dR, 2*i)
+				b.Op(isa.SEXTW, t, t, isa.Reg{})
+				b.Ldwu(t2, dpB, 2*i)
+				b.Op(isa.SEXTW, t2, t2, isa.Reg{})
+				b.Mul(t2, t2, bq)
+				b.SraI(t2, t2, 6)
+				b.Sub(t, t, t2) // e
+				b.Stq(t, eP, 8*k)
+				b.Op(isa.SUBQ, t2, isa.Zero, t)
+				b.Op(isa.CMOVGE, t2, t, t) // t2 = |e|
+				b.Sub(t, t2, maxmag)
+				b.Op(isa.CMOVGE, maxmag, t, t2)
+			}
+			// shift = smallest s with (maxmag >> s) < 4.
+			b.MovI(shift, 0)
+			b.While(c1, func() {
+				b.Op(isa.SRA, t, maxmag, shift)
+				b.SrlI(c1, t, 2) // t >= 4
+			}, func() {
+				b.AddI(shift, shift, 1)
+			})
+			// Pack: lag(7) gain(2) shift(4) then 14 x 3-bit samples.
+			bw.writeImm(lag, 7)
+			bw.writeImm(gi, 2)
+			bw.writeImm(shift, 4)
+			b.MovI(eP, int64(b.Sym("erpe")))
+			for k := int64(0); k < 14; k++ {
+				b.Ldq(t, eP, 8*k)
+				b.Op(isa.SRA, t, t, shift)
+				// clamp to [-4, 3]
+				b.AddI(t2, t, 4)
+				b.OpI(isa.CMOVLT, t, t2, -4)
+				b.OpI(isa.SUBQ, t2, t, 3)
+				b.Op(isa.SUBQ, t2, isa.Zero, t2)
+				b.OpI(isa.CMOVLT, t, t2, 3)
+				b.AddI(t, t, 4)
+				bw.writeImm(t, 3)
+			}
+		})
+	}
+	bw.finish(streamAddr, bitlenAddr)
+}

@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// The Huffman emitters must match the golden coder bit for bit in both
+// directions; these tests exercise them outside the full applications.
+
+func TestHuffEncodeEmitterMatchesGolden(t *testing.T) {
+	rng := media.NewRNG(66)
+	nb := 8
+	var blocks []int16
+	var bw media.BitWriter
+	for k := 0; k < nb; k++ {
+		var blk [64]int16
+		for j := 0; j < 4+rng.Intn(24); j++ {
+			blk[rng.Intn(64)] = int16(rng.Intn(4000) - 2000)
+		}
+		blocks = append(blocks, blk[:]...)
+		media.HuffEncodeBlock(&bw, &blk)
+	}
+	want := bw.Flush()
+
+	b := asm.New("huffenc")
+	b.AllocH("coef", blocks, 8)
+	streamA := b.Alloc("stream", 8192, 8)
+	b.Alloc("bitlen", 8, 8)
+	ensureZigzag(b)
+	ensureHuffTables(b)
+	w := newBitWriter(b)
+	w.init(int64(streamA))
+	emitHuffEncodeBlocks(b, w, int64(b.Sym("coef")), nb)
+	w.finish(int64(streamA), int64(b.Sym("bitlen")))
+	m := emu.New(b.Build())
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if gotLen := readU64(m, m.Prog.Sym("bitlen")); gotLen != uint64(len(want)) {
+		t.Fatalf("stream length %d want %d", gotLen, len(want))
+	}
+	if err := compareBytes("huffenc", readBytes(m, streamA, len(want)), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffDecodeEmitterMatchesGolden(t *testing.T) {
+	rng := media.NewRNG(55)
+	nb := 8
+	var want [][64]int16
+	var bw media.BitWriter
+	for k := 0; k < nb; k++ {
+		var blk [64]int16
+		for j := 0; j < 4+rng.Intn(24); j++ {
+			blk[rng.Intn(64)] = int16(rng.Intn(4000) - 2000)
+		}
+		want = append(want, blk)
+		media.HuffEncodeBlock(&bw, &blk)
+	}
+	b := asm.New("huffdec")
+	streamA := b.AllocBytes("stream", bw.Flush(), 8)
+	resA := b.Alloc("res", 128*nb, 8)
+	ensureZigzag(b)
+	ensureHuffTables(b)
+	br := newBitReader(b)
+	br.init(int64(streamA))
+	emitHuffDecodeBlocks(b, br, int64(resA), nb)
+	m := emu.New(b.Build())
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < nb; k++ {
+		for i := 0; i < 64; i++ {
+			raw := m.Mem.Bytes(resA+uint64(128*k+2*i), 2)
+			if got := int16(uint16(raw[0]) | uint16(raw[1])<<8); got != want[k][i] {
+				t.Fatalf("block %d coef %d: got %d want %d", k, i, got, want[k][i])
+			}
+		}
+	}
+}
+
+func TestHuffDecodeSymEmitter(t *testing.T) {
+	syms := []int{0x00, 0xF0, 0x13, 0x01, 0x2A, 0x85, 0x01, 0x00}
+	var bw media.BitWriter
+	tab := media.JPEGACTable
+	for _, s := range syms {
+		if tab.Len[s] == 0 {
+			t.Fatalf("symbol %#x unused", s)
+		}
+		bw.WriteBits(tab.Code[s], uint(tab.Len[s]))
+	}
+	b := asm.New("dsym")
+	streamA := b.AllocBytes("stream", bw.Flush(), 8)
+	outA := b.Alloc("out", 8*len(syms), 8)
+	ensureHuffTables(b)
+	br := newBitReader(b)
+	br.init(int64(streamA))
+	op := isa.R(9)
+	b.MovI(op, int64(outA))
+	for range syms {
+		emitHuffDecodeSym(b, br, isa.R(11))
+		b.Stq(isa.R(11), op, 0)
+		b.AddI(op, op, 8)
+	}
+	m := emu.New(b.Build())
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range syms {
+		if got := readU64(m, outA+uint64(8*i)); got != uint64(want) {
+			t.Fatalf("symbol %d: got %#x want %#x", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package apps
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/media"
+)
+
+// The jpeg applications code a planar RGB image: forward/inverse colour
+// conversion, 4:2:0 chroma subsampling (encode) and h2v2 fancy upsampling
+// (decode), level shift, FDCT/IDCT, quantisation and canonical-Huffman
+// run/size entropy coding (JPEG's AC model). Colour conversion, DCTs, reconstruction and upsampling are
+// vectorised per ISA; downsampling, quantisation and entropy stay scalar.
+
+type jpegCfg struct {
+	w, h  int
+	scale int32
+	seed  uint64
+}
+
+func jpegCfgFor(sc Scale) jpegCfg {
+	c := jpegCfg{w: 32, h: 32, scale: 100, seed: 91}
+	if sc == ScaleBench {
+		c.w, c.h = 64, 64
+	}
+	return c
+}
+
+type jpegGolden struct {
+	r, g, b    []byte // original planes
+	y          []byte // full-res luma
+	cbD, crD   []byte // downsampled chroma
+	stream     []byte
+	yRec       []byte // decoder outputs
+	cbRecD     []byte // reconstructed downsampled chroma
+	crRecD     []byte
+	cbRec      []byte // upsampled reconstructed chroma
+	crRec      []byte
+	rRec, gRec []byte
+	bRec       []byte
+}
+
+// jpegGoldenRun executes the full encode+decode pipeline natively.
+func jpegGoldenRun(c jpegCfg) *jpegGolden {
+	g := &jpegGolden{}
+	rp, gp, bp := media.GenRGB(c.w, c.h, c.seed)
+	g.r, g.g, g.b = rp.Pix, gp.Pix, bp.Pix
+	yp, cbp, crp := media.RGB2YCCPlanes(rp, gp, bp)
+	g.y = yp.Pix
+	cbD := media.Downsample2x2(cbp)
+	crD := media.Downsample2x2(crp)
+	g.cbD, g.crD = cbD.Pix, crD.Pix
+
+	cw, ch := c.w/2, c.h/2
+	gray := func(n int) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = 128
+		}
+		return p
+	}
+
+	// Encode: per plane, diff vs 128, FDCT, quant; single RLE pass over all
+	// blocks in (Y, Cb, Cr) order.
+	type planeJob struct {
+		pix  []byte
+		w, h int
+	}
+	jobs := []planeJob{{g.y, c.w, c.h}, {g.cbD, cw, ch}, {g.crD, cw, ch}}
+	var all [][64]int16
+	var jobBlocks [][]int
+	for _, j := range jobs {
+		blocks := blockOffsets(j.w, j.h, 8)
+		jobBlocks = append(jobBlocks, blocks)
+		gr := gray(j.w * j.h)
+		for _, off := range blocks {
+			var res [64]int16
+			diffBlock8(j.pix, gr, off, j.w, res[:])
+			media.FDCT8x8(&res)
+			media.QuantizeBlock(&res, c.scale)
+			all = append(all, res)
+		}
+	}
+	var bw media.BitWriter
+	for bi := range all {
+		media.HuffEncodeBlock(&bw, &all[bi])
+	}
+	g.stream = bw.Flush()
+
+	// Decode: dequant, IDCT, reconstruct planes, upsample, inverse colour.
+	br := media.NewBitReader(g.stream)
+	recPlanes := make([][]byte, 3)
+	for ji, j := range jobs {
+		rec := make([]byte, j.w*j.h)
+		gr := gray(j.w * j.h)
+		for _, off := range jobBlocks[ji] {
+			var res [64]int16
+			media.HuffDecodeBlock(br, &res)
+			media.DequantizeBlock(&res, c.scale)
+			media.IDCT8x8(&res)
+			addBlock8(gr, off, j.w, res[:], rec)
+		}
+		recPlanes[ji] = rec
+	}
+	g.yRec = recPlanes[0]
+	g.cbRecD, g.crRecD = recPlanes[1], recPlanes[2]
+	cbRecD := &media.Plane{W: cw, H: ch, Stride: cw, Pix: recPlanes[1]}
+	crRecD := &media.Plane{W: cw, H: ch, Stride: cw, Pix: recPlanes[2]}
+	g.cbRec = media.H2V2Upsample(cbRecD).Pix
+	g.crRec = media.H2V2Upsample(crRecD).Pix
+	n := c.w * c.h
+	g.rRec = make([]byte, n)
+	g.gRec = make([]byte, n)
+	g.bRec = make([]byte, n)
+	for i := 0; i < n; i++ {
+		g.rRec[i], g.gRec[i], g.bRec[i] = media.YCC2RGB(g.yRec[i], g.cbRec[i], g.crRec[i])
+	}
+	return g
+}
+
+// jpegBlockCount returns (yBlocks, chromaBlocks per plane).
+func jpegBlockCount(c jpegCfg) (int, int) {
+	return (c.w / 8) * (c.h / 8), (c.w / 16) * (c.h / 16)
+}
+
+// emitDownsample2x2 appends the scalar 2x2 averaging downsample.
+func emitDownsample2x2(b *asm.Builder, srcAddr, dstAddr int64, w, h int) {
+	sp, dp := isa.R(8), isa.R(9)
+	a0, a1, a2, a3 := isa.R(11), isa.R(12), isa.R(13), isa.R(14)
+	i, ic, j, jc := isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+	b.MovI(dp, dstAddr)
+	b.LoopVar(jc, j, 0, 1, int64(h/2), func() {
+		b.MulI(sp, j, int64(2*w))
+		b.AddI(sp, sp, srcAddr)
+		b.LoopVar(ic, i, 0, 1, int64(w/2), func() {
+			b.Ldbu(a0, sp, 0)
+			b.Ldbu(a1, sp, 1)
+			b.Ldbu(a2, sp, int64(w))
+			b.Ldbu(a3, sp, int64(w)+1)
+			b.Add(a0, a0, a1)
+			b.Add(a0, a0, a2)
+			b.Add(a0, a0, a3)
+			b.AddI(a0, a0, 2)
+			b.SrlI(a0, a0, 2)
+			b.Stb(a0, dp, 0)
+			b.AddI(sp, sp, 2)
+			b.AddI(dp, dp, 1)
+		})
+	})
+}
+
+// jpegAllocCommon allocates data shared by encoder and decoder programs.
+// Returns the residual block region base and total block count.
+func jpegAllocCommon(b *asm.Builder, c jpegCfg) (resAddr uint64, totalBlocks int) {
+	yb, cb := jpegBlockCount(c)
+	totalBlocks = yb + 2*cb
+	gray := make([]byte, c.w*c.h)
+	for i := range gray {
+		gray[i] = 128
+	}
+	b.AllocBytes("gray", gray, 8)
+	resAddr = b.Alloc("res", 128*totalBlocks, 8)
+	b.Alloc("bwstate", 24, 8)
+	ensureZigzag(b)
+	ensureHuffTables(b)
+	kernels.EnsureClipTab(b)
+	kernels.EnsureDCT(b)
+	return
+}
+
+// jpegDiffAddTables builds the 3-address task tables for the three planes.
+// kind is "dt" (cur-gray -> res) or "at" (gray+res -> out).
+func jpegDiffAddTables(b *asm.Builder, c jpegCfg, kind string, planeAddrs []uint64, outAddrs []uint64, resAddr uint64) {
+	cw, ch := c.w/2, c.h/2
+	dims := [][2]int{{c.w, c.h}, {cw, ch}, {cw, ch}}
+	gray := b.Sym("gray")
+	bi := 0
+	for pi, d := range dims {
+		blocks := blockOffsets(d[0], d[1], 8)
+		rows := make([][3]uint64, len(blocks))
+		for k, off := range blocks {
+			r := resAddr + uint64(128*(bi+k))
+			if kind == "dt" {
+				rows[k] = [3]uint64{planeAddrs[pi] + uint64(off), gray + uint64(off), r}
+			} else {
+				rows[k] = [3]uint64{gray + uint64(off), r, outAddrs[pi] + uint64(off)}
+			}
+		}
+		alloc3Tasks(b, kind+".jpeg."+[]string{"y", "cb", "cr"}[pi], rows)
+		bi += len(blocks)
+	}
+}
+
+// NewJPEGEncode builds the jpeg-encode application.
+func NewJPEGEncode(sc Scale) App { return newJPEGEncode(jpegCfgFor(sc)) }
+
+func newJPEGEncode(c jpegCfg) App {
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("jpegencode-" + ext.String())
+		rp, gp, blp := media.GenRGB(c.w, c.h, c.seed)
+		n := c.w * c.h
+		// Input planes in the layout EmitRGB2YCC expects (r,g,b,bias).
+		b.AllocBytes("r", rp.Pix, 8)
+		b.AllocBytes("g", gp.Pix, 8)
+		b.AllocBytes("b", blp.Pix, 8)
+		biasPlane := make([]byte, n)
+		for i := range biasPlane {
+			biasPlane[i] = media.BiasVal
+		}
+		b.AllocBytes("bias", biasPlane, 8)
+		yA := b.Alloc("y", n, 8)
+		cbA := b.Alloc("cb", n, 8)
+		crA := b.Alloc("cr", n, 8)
+		cw, ch := c.w/2, c.h/2
+		cbD := b.Alloc("cbd", cw*ch, 8)
+		crD := b.Alloc("crd", cw*ch, 8)
+		resAddr, total := jpegAllocCommon(b, c)
+		streamA := b.Alloc("stream", n*8, 8)
+		b.Alloc("bitlen", 8, 8)
+		jpegDiffAddTables(b, c, "dt", []uint64{yA, cbD, crD}, nil, resAddr)
+
+		// Phase 1: colour conversion (vectorised).
+		kernels.EmitRGB2YCC(b, ext, n)
+		// Phase 2: chroma downsample (scalar).
+		emitDownsample2x2(b, int64(cbA), int64(cbD), c.w, c.h)
+		emitDownsample2x2(b, int64(crA), int64(crD), c.w, c.h)
+		// Phase 3: level shift (diff vs gray) per plane.
+		yb, cbn := jpegBlockCount(c)
+		for pi, tbl := range []string{"dt.jpeg.y", "dt.jpeg.cb", "dt.jpeg.cr"} {
+			pw := c.w
+			if pi > 0 {
+				pw = cw
+			}
+			nb := yb
+			if pi > 0 {
+				nb = cbn
+			}
+			emitBlockPhase3(b, tbl, nb, func(a0, a1, a2 isa.Reg) {
+				kernels.EmitDiffBlock8(b, ext, pw, a0, a1, a2)
+			})
+		}
+		// Phase 4: forward DCT over all blocks.
+		kernels.EmitFDCTBatch(b, ext, int64(resAddr), int64(resAddr), total)
+		// Phase 5: quantise; Phase 6: entropy code.
+		emitQuantPhase(b, int64(resAddr), total, c.scale)
+		bw := newBitWriter(b)
+		bw.init(int64(streamA))
+		emitHuffEncodeBlocks(b, bw, int64(resAddr), total)
+		bw.finish(int64(streamA), int64(b.Sym("bitlen")))
+		return b.Build()
+	}
+	verify := func(p *isa.Program, m *emu.Machine) error {
+		g := jpegGoldenRun(c)
+		if err := verifyStream(m, p, "bitlen", "stream", g.stream); err != nil {
+			return err
+		}
+		for _, chk := range []struct {
+			sym  string
+			want []byte
+		}{{"y", g.y}, {"cbd", g.cbD}, {"crd", g.crD}} {
+			got := readBytes(m, p.Sym(chk.sym), len(chk.want))
+			if err := compareBytes(p.Name+"/"+chk.sym, got, chk.want); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return App{Name: "jpegencode", Build: build, Verify: verify}
+}
+
+// NewJPEGDecode builds the jpeg-decode application (input: the golden
+// encoder's bitstream).
+func NewJPEGDecode(sc Scale) App { return newJPEGDecode(jpegCfgFor(sc)) }
+
+func newJPEGDecode(c jpegCfg) App {
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("jpegdecode-" + ext.String())
+		g := jpegGoldenRun(c)
+		streamA := b.AllocBytes("stream", g.stream, 8)
+		n := c.w * c.h
+		cw, ch := c.w/2, c.h/2
+		yRec := b.Alloc("yrec", n, 8)
+		cbRecD := b.Alloc("cbrecd", cw*ch, 8)
+		crRecD := b.Alloc("crrecd", cw*ch, 8)
+		b.Alloc("cbrec", n, 8)
+		b.Alloc("crrec", n, 8)
+		b.Alloc("rout", n, 8)
+		b.Alloc("gout", n, 8)
+		b.Alloc("bout", n, 8)
+		b.Alloc("uptmp", 2*ch*cw*2, 8) // h2v2 scratch: 2*ch rows of cw int16
+		resAddr, total := jpegAllocCommon(b, c)
+		jpegDiffAddTables(b, c, "at", nil, []uint64{yRec, cbRecD, crRecD}, resAddr)
+
+		// Phase 1: entropy decode + dequant (scalar).
+		br := newBitReader(b)
+		br.init(int64(streamA))
+		emitHuffDecodeBlocks(b, br, int64(resAddr), total)
+		emitDequantPhase(b, int64(resAddr), total, c.scale)
+		// Phase 2: inverse DCT (vectorised).
+		kernels.EmitIDCTBatch(b, ext, int64(resAddr), int64(resAddr), total)
+		// Phase 3: reconstruction (addblock vs gray) per plane.
+		yb, cbn := jpegBlockCount(c)
+		for pi, tbl := range []string{"at.jpeg.y", "at.jpeg.cb", "at.jpeg.cr"} {
+			pw := c.w
+			nb := yb
+			if pi > 0 {
+				pw = cw
+				nb = cbn
+			}
+			emitBlockPhase3(b, tbl, nb, func(a0, a1, a2 isa.Reg) {
+				kernels.EmitAddBlock8(b, ext, pw, a0, a1, a2)
+			})
+		}
+		// Phase 4: chroma upsample (vectorised).
+		kernels.EmitH2V2(b, ext, cw, ch, "cbrecd", "uptmp", "cbrec")
+		kernels.EmitH2V2(b, ext, cw, ch, "crrecd", "uptmp", "crrec")
+		// Phase 5: inverse colour conversion (vectorised).
+		kernels.EmitYCC2RGB(b, ext, n, "yrec", "cbrec", "crrec", "rout", "gout", "bout")
+		return b.Build()
+	}
+	verify := func(p *isa.Program, m *emu.Machine) error {
+		g := jpegGoldenRun(c)
+		for _, chk := range []struct {
+			sym  string
+			want []byte
+		}{
+			{"yrec", g.yRec}, {"cbrecd", g.cbRecD}, {"crrecd", g.crRecD},
+			{"cbrec", g.cbRec}, {"crrec", g.crRec},
+			{"rout", g.rRec}, {"gout", g.gRec}, {"bout", g.bRec},
+		} {
+			got := readBytes(m, p.Sym(chk.sym), len(chk.want))
+			if err := compareBytes(p.Name+"/"+chk.sym, got, chk.want); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return App{Name: "jpegdecode", Build: build, Verify: verify}
+}

@@ -1,0 +1,598 @@
+package apps
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/media"
+)
+
+// The mpeg2 applications code a three-frame (I, P, B) luminance sequence:
+// spiral full-search motion estimation with half-pel refinement
+// (interpolated-reference SAD), averaging motion compensation, residual
+// FDCT + quantisation + run-length/VLC entropy coding, and the
+// reconstruction loop (dequantise, IDCT, saturating addblock). The kernels
+// (SAD, interpolation, diff, DCTs, addblock) are vectorised per ISA; motion
+// control, quantisation and entropy coding are scalar, as in the paper's
+// hand-rewritten benchmarks. Chroma is omitted (the jpeg applications cover
+// the colour pipeline); DESIGN.md documents the substitution.
+
+type mpegCfg struct {
+	w, h  int
+	win   int
+	scale int32
+	seed  uint64
+}
+
+func mpegCfgFor(sc Scale) mpegCfg {
+	c := mpegCfg{w: 48, h: 32, win: 2, scale: 100, seed: 81}
+	if sc == ScaleBench {
+		c.w, c.h = 96, 64
+	}
+	return c
+}
+
+// mpegGolden carries the golden pipeline products.
+type mpegGolden struct {
+	frames [3][]byte
+	recon  [3][]byte
+	stream []byte
+}
+
+// mpegEncodeGolden runs the exact pipeline the generated programs execute.
+func mpegEncodeGolden(c mpegCfg) *mpegGolden {
+	g := &mpegGolden{}
+	for t := 0; t < 3; t++ {
+		g.frames[t] = media.GenFrame(c.w, c.h, t, c.seed).Pix
+		g.recon[t] = make([]byte, c.w*c.h)
+	}
+	gray := make([]byte, c.w*c.h)
+	for i := range gray {
+		gray[i] = 128
+	}
+	var bw media.BitWriter
+	blocks := blockOffsets(c.w, c.h, 8)
+	mbs := blockOffsets(c.w, c.h, 16)
+
+	// codeFrame runs diff/fdct/quant/rle/dequant/idct over all blocks and
+	// returns the reconstructed residuals.
+	codeFrame := func(cur, pred []byte) [][64]int16 {
+		res := make([][64]int16, len(blocks))
+		for bi, off := range blocks {
+			diffBlock8(cur, pred, off, c.w, res[bi][:])
+		}
+		for bi := range res {
+			media.FDCT8x8(&res[bi])
+			media.QuantizeBlock(&res[bi], c.scale)
+		}
+		for bi := range res {
+			media.RLEEncodeBlock(&bw, &res[bi])
+		}
+		for bi := range res {
+			media.DequantizeBlock(&res[bi], c.scale)
+			media.IDCT8x8(&res[bi])
+		}
+		return res
+	}
+	reconFrame := func(pred []byte, res [][64]int16, out []byte) {
+		for bi, off := range blocks {
+			addBlock8(pred, off, c.w, res[bi][:], out)
+		}
+	}
+	// searchFrame: integer-pel spiral search followed by half-pel
+	// refinement over the statically-safe interpolation modes.
+	type mv struct {
+		cand
+		mode, moff int
+	}
+	searchFrame := func(cur, ref []byte) []mv {
+		mvs := make([]mv, len(mbs))
+		for mi, off := range mbs {
+			mbx, mby := off%c.w, off/c.w
+			ic := bestCandidate(cur, ref, off, c.w, candidates(c.w, c.h, c.win, mbx, mby))
+			best := int64(1) << 62
+			m := mv{cand: ic}
+			for _, mode := range hpModes(c.w, c.h, c.win, mbx, mby) {
+				moff := hpMoff(mode, c.w)
+				s := sadAvgAt(cur, ref, off, off+ic.delta, off+ic.delta+moff, c.w)
+				if s < best {
+					best = s
+					m.mode, m.moff = mode, moff
+				}
+			}
+			mvs[mi] = m
+		}
+		return mvs
+	}
+	// interpolate builds the (half-pel) prediction for one reference.
+	interpolate := func(ref []byte, mvs []mv, dst []byte) {
+		for mi, off := range mbs {
+			avgBlock16(ref, off+mvs[mi].delta, ref, off+mvs[mi].delta+mvs[mi].moff, dst, off, c.w)
+		}
+	}
+
+	// I frame.
+	reconFrame(gray, codeFrame(g.frames[0], gray), g.recon[0])
+
+	// P frame.
+	pred := make([]byte, c.w*c.h)
+	predB := make([]byte, c.w*c.h)
+	mv1 := searchFrame(g.frames[1], g.recon[0])
+	for _, m := range mv1 {
+		bw.WriteBits(uint32(m.dxw), 4)
+		bw.WriteBits(uint32(m.dyw), 4)
+		bw.WriteBits(uint32(m.mode), 3)
+	}
+	interpolate(g.recon[0], mv1, pred)
+	reconFrame(pred, codeFrame(g.frames[1], pred), g.recon[1])
+
+	// B frame.
+	mv2a := searchFrame(g.frames[2], g.recon[0])
+	mv2b := searchFrame(g.frames[2], g.recon[1])
+	for mi := range mbs {
+		for _, m := range []mv{mv2a[mi], mv2b[mi]} {
+			bw.WriteBits(uint32(m.dxw), 4)
+			bw.WriteBits(uint32(m.dyw), 4)
+			bw.WriteBits(uint32(m.mode), 3)
+		}
+	}
+	interpolate(g.recon[0], mv2a, pred)
+	interpolate(g.recon[1], mv2b, predB)
+	for _, off := range mbs {
+		avgBlock16(pred, off, predB, off, pred, off, c.w)
+	}
+	reconFrame(pred, codeFrame(g.frames[2], pred), g.recon[2])
+
+	g.stream = bw.Flush()
+	return g
+}
+
+// allocMpegCommon allocates the data shared by encoder and decoder
+// programs and returns the block/MB offset lists.
+func allocMpegCommon(b *asm.Builder, c mpegCfg) (blocks, mbs []int) {
+	blocks = blockOffsets(c.w, c.h, 8)
+	mbs = blockOffsets(c.w, c.h, 16)
+	gray := make([]byte, c.w*c.h)
+	for i := range gray {
+		gray[i] = 128
+	}
+	b.AllocBytes("gray", gray, 8)
+	for i := 0; i < 3; i++ {
+		b.Alloc(reconSym(i), c.w*c.h, 8)
+	}
+	b.Alloc("pred", c.w*c.h, 8)
+	b.Alloc("res", 128*len(blocks), 8)
+	b.Alloc("bwstate", 24, 8)
+	ensureZigzag(b)
+	kernels.EnsureClipTab(b)
+	kernels.EnsureDCT(b)
+	b.Alloc("predB", c.w*c.h, 8)
+	// Static MB offset table (for compensation loops).
+	offs := make([]uint64, len(mbs))
+	for i, o := range mbs {
+		offs[i] = uint64(o)
+	}
+	b.AllocQ("mboffs", offs, 8)
+	// Per-frame mv tables: 5 words per MB (dxw, dyw, delta, moff, mode).
+	b.Alloc("mv1", 40*len(mbs), 8)
+	b.Alloc("mv2a", 40*len(mbs), 8)
+	b.Alloc("mv2b", 40*len(mbs), 8)
+	// Half-pel interpolation offsets by mode id.
+	negOne, negW := int64(-1), int64(-c.w)
+	b.AllocQ("moffs", []uint64{0, 1, uint64(negOne), uint64(c.w), uint64(negW)}, 8)
+	// Per-MB allowed interpolation modes: [mbOff, count, mode ids...].
+	var hp []uint64
+	for _, off := range mbs {
+		mbx, mby := off%c.w, off/c.w
+		modes := hpModes(c.w, c.h, c.win, mbx, mby)
+		hp = append(hp, uint64(off), uint64(len(modes)))
+		for _, m := range modes {
+			hp = append(hp, uint64(m))
+		}
+	}
+	b.AllocQ("hpmodes", hp, 8)
+	return
+}
+
+func reconSym(i int) string { return []string{"recon0", "recon1", "recon2"}[i] }
+
+// alloc3Tasks allocates a 3-address task table.
+func alloc3Tasks(b *asm.Builder, name string, rows [][3]uint64) {
+	flat := make([]uint64, 0, 3*len(rows))
+	for _, r := range rows {
+		flat = append(flat, r[0], r[1], r[2])
+	}
+	b.AllocQ(name, flat, 8)
+}
+
+// emitBlockPhase3 runs a 3-address task loop with the given per-task body.
+func emitBlockPhase3(b *asm.Builder, tableSym string, n int, body func(a0, a1, a2 isa.Reg)) {
+	a0, a1, a2 := isa.R(8), isa.R(9), isa.R(10)
+	taskLoopSym3(b, tableSym, n, a0, a1, a2, body)
+}
+
+func taskLoopSym3(b *asm.Builder, sym string, n int, a0, a1, a2 isa.Reg, body func(a0, a1, a2 isa.Reg)) {
+	tab, ctr := isa.R(1), isa.R(3)
+	b.MovI(tab, int64(b.Sym(sym)))
+	b.Loop(ctr, int64(n), func() {
+		b.Ldq(a0, tab, 0)
+		b.Ldq(a1, tab, 8)
+		b.Ldq(a2, tab, 16)
+		body(a0, a1, a2)
+		b.AddI(tab, tab, 24)
+	})
+}
+
+// emitMEPhase emits the full-search phase: candsSym is the per-MB candidate
+// table ([mbOff, count, count x (dxw, dyw, delta)]); results go to mvSym
+// (5 words per MB: dxw, dyw, delta, moff, mode — the last two are filled
+// by the half-pel refinement).
+func emitMEPhase(b *asm.Builder, ext isa.Ext, w int, candsSym, mvSym string, curAddr, refAddr int64, nMB int) {
+	ptr, mvP, cnt, mbOff := isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+	cur, ref, sad := isa.R(8), isa.R(9), isa.R(10)
+	best, bdx, bdy, bdelta := isa.R(19), isa.R(20), isa.R(21), isa.R(22)
+	t, dxw, dyw, delta := isa.R(23), isa.R(24), isa.R(25), isa.R(2)
+	mbCtr, candCtr := isa.R(26), isa.R(27)
+	b.MovI(ptr, int64(b.Sym(candsSym)))
+	b.MovI(mvP, int64(b.Sym(mvSym)))
+	b.Loop(mbCtr, int64(nMB), func() {
+		b.Ldq(mbOff, ptr, 0)
+		b.Ldq(cnt, ptr, 8)
+		b.AddI(ptr, ptr, 16)
+		b.MovI(cur, curAddr)
+		b.Add(cur, cur, mbOff)
+		b.MovI(best, 1<<40)
+		b.Mov(candCtr, cnt)
+		b.LoopDyn(candCtr, func() {
+			b.Ldq(dxw, ptr, 0)
+			b.Ldq(dyw, ptr, 8)
+			b.Ldq(delta, ptr, 16)
+			b.AddI(ptr, ptr, 24)
+			b.MovI(ref, refAddr)
+			b.Add(ref, ref, mbOff)
+			b.Add(ref, ref, delta)
+			kernels.EmitBlockSAD(b, ext, w, cur, ref, sad)
+			b.Sub(t, sad, best)
+			b.Op(isa.CMOVLT, best, t, sad)
+			b.Op(isa.CMOVLT, bdx, t, dxw)
+			b.Op(isa.CMOVLT, bdy, t, dyw)
+			b.Op(isa.CMOVLT, bdelta, t, delta)
+		})
+		b.Stq(bdx, mvP, 0)
+		b.Stq(bdy, mvP, 8)
+		b.Stq(bdelta, mvP, 16)
+		b.Stq(isa.Zero, mvP, 24) // moff (filled by half-pel refinement)
+		b.Stq(isa.Zero, mvP, 32) // mode
+		b.AddI(mvP, mvP, 40)
+	})
+}
+
+// emitHalfPelRefine refines each integer motion vector over the statically
+// safe interpolation modes ("hpmodes" table: [mbOff, count, mode ids...]),
+// writing the best (moff, mode) into the 5-word mv rows.
+func emitHalfPelRefine(b *asm.Builder, ext isa.Ext, w int, mvSym string, curAddr, refAddr int64, nMB int) {
+	ptr, mvP, cnt, mbOff := isa.R(4), isa.R(5), isa.R(6), isa.R(7)
+	cur, refA, refB, sad := isa.R(8), isa.R(9), isa.R(10), isa.R(3)
+	best, bmoff, bmode := isa.R(19), isa.R(20), isa.R(21)
+	t, mode, moff, delta := isa.R(23), isa.R(24), isa.R(25), isa.R(2)
+	mbCtr, modeCtr := isa.R(26), isa.R(27)
+	b.MovI(ptr, int64(b.Sym("hpmodes")))
+	b.MovI(mvP, int64(b.Sym(mvSym)))
+	b.Loop(mbCtr, int64(nMB), func() {
+		b.Ldq(mbOff, ptr, 0)
+		b.Ldq(cnt, ptr, 8)
+		b.AddI(ptr, ptr, 16)
+		b.Ldq(delta, mvP, 16)
+		b.MovI(cur, curAddr)
+		b.Add(cur, cur, mbOff)
+		b.MovI(refA, refAddr)
+		b.Add(refA, refA, mbOff)
+		b.Add(refA, refA, delta)
+		b.MovI(best, 1<<40)
+		b.Mov(modeCtr, cnt)
+		b.LoopDyn(modeCtr, func() {
+			b.Ldq(mode, ptr, 0)
+			b.AddI(ptr, ptr, 8)
+			// moff = moffs[mode]
+			b.SllI(t, mode, 3)
+			b.AddI(t, t, int64(b.Sym("moffs")))
+			b.Ldq(moff, t, 0)
+			b.Add(refB, refA, moff)
+			kernels.EmitBlockSADAvg(b, ext, w, cur, refA, refB, sad)
+			b.Sub(t, sad, best)
+			b.Op(isa.CMOVLT, best, t, sad)
+			b.Op(isa.CMOVLT, bmoff, t, moff)
+			b.Op(isa.CMOVLT, bmode, t, mode)
+		})
+		b.Stq(bmoff, mvP, 24)
+		b.Stq(bmode, mvP, 32)
+		b.AddI(mvP, mvP, 40)
+	})
+}
+
+// allocCandTable builds the per-MB candidate table.
+func allocCandTable(b *asm.Builder, name string, c mpegCfg, mbs []int) {
+	var flat []uint64
+	for _, off := range mbs {
+		mbx, mby := off%c.w, off/c.w
+		cands := candidates(c.w, c.h, c.win, mbx, mby)
+		flat = append(flat, uint64(off), uint64(len(cands)))
+		for _, cd := range cands {
+			flat = append(flat, uint64(cd.dxw), uint64(cd.dyw), uint64(int64(cd.delta)))
+		}
+	}
+	b.AllocQ(name, flat, 8)
+}
+
+// emitInterpolatePhase builds the half-pel prediction for one reference:
+// for every MB, pred = avg(ref@delta, ref@delta+moff). With moff == 0 this
+// degenerates to a block copy through the same averaging datapath.
+func emitInterpolatePhase(b *asm.Builder, ext isa.Ext, w int, mvSym string, refAddr, predAddr int64, nMB int) {
+	offP, mvP := isa.R(4), isa.R(5)
+	mbOff, delta, moff := isa.R(7), isa.R(2), isa.R(6)
+	srcA, srcB, dst := isa.R(8), isa.R(9), isa.R(10)
+	ctr := isa.R(26)
+	b.MovI(offP, int64(b.Sym("mboffs")))
+	b.MovI(mvP, int64(b.Sym(mvSym)))
+	b.Loop(ctr, int64(nMB), func() {
+		b.Ldq(mbOff, offP, 0)
+		b.AddI(offP, offP, 8)
+		b.Ldq(delta, mvP, 16)
+		b.Ldq(moff, mvP, 24)
+		b.AddI(mvP, mvP, 40)
+		b.MovI(srcA, refAddr)
+		b.Add(srcA, srcA, mbOff)
+		b.Add(srcA, srcA, delta)
+		b.Add(srcB, srcA, moff)
+		b.MovI(dst, predAddr)
+		b.Add(dst, dst, mbOff)
+		kernels.EmitAvgBlock16(b, ext, w, srcA, srcB, dst)
+	})
+}
+
+// emitBlendPhase averages two full prediction planes MB-by-MB (the
+// bidirectional combine of B frames).
+func emitBlendPhase(b *asm.Builder, ext isa.Ext, w int, aAddr, bAddr, dstAddr int64, nMB int) {
+	offP := isa.R(4)
+	mbOff := isa.R(7)
+	srcA, srcB, dst := isa.R(8), isa.R(9), isa.R(10)
+	ctr := isa.R(26)
+	b.MovI(offP, int64(b.Sym("mboffs")))
+	b.Loop(ctr, int64(nMB), func() {
+		b.Ldq(mbOff, offP, 0)
+		b.AddI(offP, offP, 8)
+		b.MovI(srcA, aAddr)
+		b.Add(srcA, srcA, mbOff)
+		b.MovI(srcB, bAddr)
+		b.Add(srcB, srcB, mbOff)
+		b.MovI(dst, dstAddr)
+		b.Add(dst, dst, mbOff)
+		kernels.EmitAvgBlock16(b, ext, w, srcA, srcB, dst)
+	})
+}
+
+// emitCodeFrame emits the shared diff/fdct/quant/rle/dequant/idct/add
+// pipeline for one frame. bw must be loaded by the caller only around
+// entropy; this function handles save/load itself.
+func emitCodeFrame(b *asm.Builder, ext isa.Ext, c mpegCfg, bw bitWriter,
+	diffTasks, addTasks string, nb int) {
+	resAddr := int64(b.Sym("res"))
+	emitBlockPhase3(b, diffTasks, nb, func(a0, a1, a2 isa.Reg) {
+		kernels.EmitDiffBlock8(b, ext, c.w, a0, a1, a2)
+	})
+	kernels.EmitFDCTBatch(b, ext, resAddr, resAddr, nb)
+	emitQuantPhase(b, resAddr, nb, c.scale)
+	bw.load(int64(b.Sym("bwstate")))
+	emitRLEEncodeBlocks(b, bw, resAddr, nb)
+	bw.save(int64(b.Sym("bwstate")))
+	emitDequantPhase(b, resAddr, nb, c.scale)
+	kernels.EmitIDCTBatch(b, ext, resAddr, resAddr, nb)
+	emitBlockPhase3(b, addTasks, nb, func(a0, a1, a2 isa.Reg) {
+		kernels.EmitAddBlock8(b, ext, c.w, a0, a1, a2)
+	})
+}
+
+// emitMVWrite writes nMB motion vectors (fields x fieldsPerMB of 4 bits)
+// from the mv tables.
+func emitMVWrite(b *asm.Builder, bw bitWriter, mvSyms []string, nMB int) {
+	bw.load(int64(b.Sym("bwstate")))
+	ptrs := []isa.Reg{isa.R(4), isa.R(5)}
+	v, ctr := isa.R(10), isa.R(26)
+	for i, s := range mvSyms {
+		b.MovI(ptrs[i], int64(b.Sym(s)))
+	}
+	b.Loop(ctr, int64(nMB), func() {
+		for i := range mvSyms {
+			b.Ldq(v, ptrs[i], 0)
+			bw.writeImm(v, 4)
+			b.Ldq(v, ptrs[i], 8)
+			bw.writeImm(v, 4)
+			b.Ldq(v, ptrs[i], 32)
+			bw.writeImm(v, 3)
+			b.AddI(ptrs[i], ptrs[i], 40)
+		}
+	})
+	bw.save(int64(b.Sym("bwstate")))
+}
+
+// NewMPEG2Encode builds the mpeg2-encode application.
+func NewMPEG2Encode(sc Scale) App { return newMPEG2Encode(mpegCfgFor(sc)) }
+
+func newMPEG2Encode(c mpegCfg) App {
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("mpeg2encode-" + ext.String())
+		// Originals.
+		var frameAddr [3]uint64
+		for t := 0; t < 3; t++ {
+			frameAddr[t] = b.AllocBytes(frameSym(t), media.GenFrame(c.w, c.h, t, c.seed).Pix, 8)
+		}
+		blocks, mbs := allocMpegCommon(b, c)
+		streamA := b.Alloc("stream", c.w*c.h*6, 8)
+		b.Alloc("bitlen", 8, 8)
+		allocCandTable(b, "mecands", c, mbs)
+
+		res := b.Sym("res")
+		gray, pred := b.Sym("gray"), b.Sym("pred")
+		rec := [3]uint64{b.Sym("recon0"), b.Sym("recon1"), b.Sym("recon2")}
+		// Diff/add task tables per frame.
+		mkTasks := func(name string, cur, predBase, out uint64) {
+			rows := make([][3]uint64, len(blocks))
+			add := make([][3]uint64, len(blocks))
+			for bi, off := range blocks {
+				rows[bi] = [3]uint64{cur + uint64(off), predBase + uint64(off), res + uint64(128*bi)}
+				add[bi] = [3]uint64{predBase + uint64(off), res + uint64(128*bi), out + uint64(off)}
+			}
+			alloc3Tasks(b, "dt."+name, rows)
+			alloc3Tasks(b, "at."+name, add)
+		}
+		mkTasks("i", frameAddr[0], gray, rec[0])
+		mkTasks("p", frameAddr[1], pred, rec[1])
+		mkTasks("b", frameAddr[2], pred, rec[2])
+
+		bw := newBitWriter(b)
+		bw.init(int64(streamA))
+		bw.save(int64(b.Sym("bwstate")))
+
+		// I frame.
+		emitCodeFrame(b, ext, c, bw, "dt.i", "at.i", len(blocks))
+		predB := b.Sym("predB")
+		// P frame: integer search, half-pel refinement, interpolation.
+		emitMEPhase(b, ext, c.w, "mecands", "mv1", int64(frameAddr[1]), int64(rec[0]), len(mbs))
+		emitHalfPelRefine(b, ext, c.w, "mv1", int64(frameAddr[1]), int64(rec[0]), len(mbs))
+		emitMVWrite(b, bw, []string{"mv1"}, len(mbs))
+		emitInterpolatePhase(b, ext, c.w, "mv1", int64(rec[0]), int64(pred), len(mbs))
+		emitCodeFrame(b, ext, c, bw, "dt.p", "at.p", len(blocks))
+		// B frame: two searches/refinements, bidirectional blend.
+		emitMEPhase(b, ext, c.w, "mecands", "mv2a", int64(frameAddr[2]), int64(rec[0]), len(mbs))
+		emitHalfPelRefine(b, ext, c.w, "mv2a", int64(frameAddr[2]), int64(rec[0]), len(mbs))
+		emitMEPhase(b, ext, c.w, "mecands", "mv2b", int64(frameAddr[2]), int64(rec[1]), len(mbs))
+		emitHalfPelRefine(b, ext, c.w, "mv2b", int64(frameAddr[2]), int64(rec[1]), len(mbs))
+		emitMVWrite(b, bw, []string{"mv2a", "mv2b"}, len(mbs))
+		emitInterpolatePhase(b, ext, c.w, "mv2a", int64(rec[0]), int64(pred), len(mbs))
+		emitInterpolatePhase(b, ext, c.w, "mv2b", int64(rec[1]), int64(predB), len(mbs))
+		emitBlendPhase(b, ext, c.w, int64(pred), int64(predB), int64(pred), len(mbs))
+		emitCodeFrame(b, ext, c, bw, "dt.b", "at.b", len(blocks))
+
+		bw.load(int64(b.Sym("bwstate")))
+		bw.finish(int64(streamA), int64(b.Sym("bitlen")))
+		return b.Build()
+	}
+	verify := func(p *isa.Program, m *emu.Machine) error {
+		g := mpegEncodeGolden(c)
+		if err := verifyStream(m, p, "bitlen", "stream", g.stream); err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			got := readBytes(m, p.Sym(reconSym(i)), c.w*c.h)
+			if err := compareBytes(p.Name+"/"+reconSym(i), got, g.recon[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return App{Name: "mpeg2encode", Build: build, Verify: verify}
+}
+
+func frameSym(i int) string { return []string{"f0", "f1", "f2"}[i] }
+
+// emitDecodeFrame: rle-decode/dequant/idct/add for one frame.
+func emitDecodeFrame(b *asm.Builder, ext isa.Ext, c mpegCfg, br bitReader, addTasks string, nb int) {
+	resAddr := int64(b.Sym("res"))
+	br.load(int64(b.Sym("bwstate")))
+	emitRLEDecodeBlocks(b, br, resAddr, nb)
+	br.save(int64(b.Sym("bwstate")))
+	emitDequantPhase(b, resAddr, nb, c.scale)
+	kernels.EmitIDCTBatch(b, ext, resAddr, resAddr, nb)
+	emitBlockPhase3(b, addTasks, nb, func(a0, a1, a2 isa.Reg) {
+		kernels.EmitAddBlock8(b, ext, c.w, a0, a1, a2)
+	})
+}
+
+// emitMVRead parses nMB motion vectors into the mv tables, computing the
+// reference offset delta = (dyw-win)*w + (dxw-win).
+func emitMVRead(b *asm.Builder, br bitReader, c mpegCfg, mvSyms []string, nMB int) {
+	br.load(int64(b.Sym("bwstate")))
+	ptrs := []isa.Reg{isa.R(4), isa.R(5)}
+	dxw, dyw, delta, t := isa.R(10), isa.R(11), isa.R(12), isa.R(13)
+	ctr := isa.R(26)
+	for i, s := range mvSyms {
+		b.MovI(ptrs[i], int64(b.Sym(s)))
+	}
+	mode, moff := isa.R(14), isa.R(15)
+	b.Loop(ctr, int64(nMB), func() {
+		for i := range mvSyms {
+			br.readImm(dxw, 4)
+			br.readImm(dyw, 4)
+			br.readImm(mode, 3)
+			b.AddI(t, dyw, int64(-c.win))
+			b.MulI(delta, t, int64(c.w))
+			b.AddI(t, dxw, int64(-c.win))
+			b.Add(delta, delta, t)
+			b.SllI(t, mode, 3)
+			b.AddI(t, t, int64(b.Sym("moffs")))
+			b.Ldq(moff, t, 0)
+			b.Stq(dxw, ptrs[i], 0)
+			b.Stq(dyw, ptrs[i], 8)
+			b.Stq(delta, ptrs[i], 16)
+			b.Stq(moff, ptrs[i], 24)
+			b.Stq(mode, ptrs[i], 32)
+			b.AddI(ptrs[i], ptrs[i], 40)
+		}
+	})
+	br.save(int64(b.Sym("bwstate")))
+}
+
+// NewMPEG2Decode builds the mpeg2-decode application: its input is the
+// bitstream produced by the golden encoder.
+func NewMPEG2Decode(sc Scale) App { return newMPEG2Decode(mpegCfgFor(sc)) }
+
+func newMPEG2Decode(c mpegCfg) App {
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("mpeg2decode-" + ext.String())
+		g := mpegEncodeGolden(c)
+		streamA := b.AllocBytes("stream", g.stream, 8)
+		blocks, mbs := allocMpegCommon(b, c)
+
+		res := b.Sym("res")
+		gray, pred := b.Sym("gray"), b.Sym("pred")
+		rec := [3]uint64{b.Sym("recon0"), b.Sym("recon1"), b.Sym("recon2")}
+		mkAdd := func(name string, predBase, out uint64) {
+			add := make([][3]uint64, len(blocks))
+			for bi, off := range blocks {
+				add[bi] = [3]uint64{predBase + uint64(off), res + uint64(128*bi), out + uint64(off)}
+			}
+			alloc3Tasks(b, "at."+name, add)
+		}
+		mkAdd("i", gray, rec[0])
+		mkAdd("p", pred, rec[1])
+		mkAdd("b", pred, rec[2])
+
+		br := newBitReader(b)
+		br.init(int64(streamA))
+		br.save(int64(b.Sym("bwstate")))
+
+		predB := b.Sym("predB")
+		emitDecodeFrame(b, ext, c, br, "at.i", len(blocks))
+		emitMVRead(b, br, c, []string{"mv1"}, len(mbs))
+		emitInterpolatePhase(b, ext, c.w, "mv1", int64(rec[0]), int64(pred), len(mbs))
+		emitDecodeFrame(b, ext, c, br, "at.p", len(blocks))
+		emitMVRead(b, br, c, []string{"mv2a", "mv2b"}, len(mbs))
+		emitInterpolatePhase(b, ext, c.w, "mv2a", int64(rec[0]), int64(pred), len(mbs))
+		emitInterpolatePhase(b, ext, c.w, "mv2b", int64(rec[1]), int64(predB), len(mbs))
+		emitBlendPhase(b, ext, c.w, int64(pred), int64(predB), int64(pred), len(mbs))
+		emitDecodeFrame(b, ext, c, br, "at.b", len(blocks))
+		return b.Build()
+	}
+	verify := func(p *isa.Program, m *emu.Machine) error {
+		g := mpegEncodeGolden(c)
+		for i := 0; i < 3; i++ {
+			got := readBytes(m, p.Sym(reconSym(i)), c.w*c.h)
+			if err := compareBytes(p.Name+"/"+reconSym(i), got, g.recon[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return App{Name: "mpeg2decode", Build: build, Verify: verify}
+}

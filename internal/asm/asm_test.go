@@ -1,0 +1,188 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := New("t")
+	b.Br("end")
+	b.MovI(isa.R(1), 1)
+	b.Label("end")
+	b.MovI(isa.R(2), 2)
+	p := b.Build()
+	if p.Insts[0].Target != 2 {
+		t.Errorf("forward branch resolved to %d, want 2", p.Insts[0].Target)
+	}
+}
+
+func TestUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undefined label")
+		}
+	}()
+	b := New("t")
+	b.Br("nowhere")
+	b.Build()
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate label")
+		}
+	}()
+	b := New("t")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestDuplicateSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate symbol")
+		}
+	}()
+	b := New("t")
+	b.Alloc("s", 8, 8)
+	b.Alloc("s", 8, 8)
+}
+
+func TestAllocAlignmentAndContents(t *testing.T) {
+	b := New("t")
+	b.AllocBytes("a", []byte{1, 2, 3}, 8)
+	addr2 := b.Alloc("b", 16, 8)
+	if addr2%8 != 0 {
+		t.Errorf("allocation not aligned: %#x", addr2)
+	}
+	h := b.AllocH("h", []int16{-1, 256}, 8)
+	q := b.AllocQ("q", []uint64{0xdeadbeefcafef00d}, 8)
+	p := b.Build()
+	d := p.Data
+	if d[h-DataBase] != 0xff || d[h-DataBase+1] != 0xff {
+		t.Error("AllocH little-endian encoding wrong")
+	}
+	if d[q-DataBase] != 0x0d {
+		t.Error("AllocQ little-endian encoding wrong")
+	}
+	if p.Sym("a") == 0 || p.MemSize < q+8 {
+		t.Error("symbols or memory size wrong")
+	}
+}
+
+func TestLoopEmitsBoundedCode(t *testing.T) {
+	b := New("t")
+	body := 0
+	b.Loop(isa.R(1), 10, func() { body = b.Len() })
+	p := b.Build()
+	if body == 0 {
+		t.Fatal("loop body not emitted")
+	}
+	// The final instruction is the backward conditional branch.
+	last := p.Insts[len(p.Insts)-1]
+	if last.Op != isa.BGT || last.Target <= 0 || last.Target >= len(p.Insts) {
+		t.Errorf("loop back-branch malformed: %v", last)
+	}
+}
+
+func TestLoopZeroCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Loop count 0")
+		}
+	}()
+	b := New("t")
+	b.Loop(isa.R(1), 0, func() {})
+}
+
+func TestIfElseShape(t *testing.T) {
+	b := New("t")
+	b.If(isa.R(1), func() {
+		b.MovI(isa.R(2), 1)
+	}, func() {
+		b.MovI(isa.R(2), 2)
+	})
+	p := b.Build()
+	// Expect: BEQ else; then; BR end; else: ...; end.
+	if p.Insts[0].Op != isa.BEQ {
+		t.Errorf("If should start with BEQ, got %v", p.Insts[0].Op)
+	}
+	foundBr := false
+	for _, in := range p.Insts {
+		if in.Op == isa.BR {
+			foundBr = true
+		}
+	}
+	if !foundBr {
+		t.Error("If/else should contain an unconditional branch over the else arm")
+	}
+}
+
+func TestProgramStats(t *testing.T) {
+	b := New("t")
+	b.MovI(isa.R(1), 5)
+	b.Ldq(isa.R(2), isa.R(1), 0)
+	b.Stq(isa.R(2), isa.R(1), 8)
+	b.Beq(isa.R(2), "end")
+	b.Label("end")
+	p := b.Build()
+	st := p.Stats()
+	if st.Total != 4 || st.Branches != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.ByClass[isa.ClassLoad] != 1 || st.ByClass[isa.ClassStore] != 1 {
+		t.Errorf("class counts wrong: %+v", st.ByClass)
+	}
+}
+
+func TestLoopDynAndWhileSemantics(t *testing.T) {
+	// LoopDyn runs exactly ctr times; While runs while cond != 0.
+	b := New("dyn")
+	b.Alloc("out", 16, 8)
+	ctr, acc, outp, cond := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	b.MovI(ctr, 7)
+	b.MovI(acc, 0)
+	b.LoopDyn(ctr, func() {
+		b.AddI(acc, acc, 1)
+	})
+	b.MovI(outp, int64(b.Sym("out")))
+	b.Stq(acc, outp, 0)
+	// While: count down from 5.
+	b.MovI(ctr, 5)
+	b.MovI(acc, 0)
+	b.While(cond, func() {
+		b.Mov(cond, ctr)
+	}, func() {
+		b.AddI(acc, acc, 2)
+		b.AddI(ctr, ctr, -1)
+	})
+	b.Stq(acc, outp, 8)
+	p := b.Build()
+	m := newTestMachine(t, p)
+	if got := m.Mem.Load64(p.Sym("out")); got != 7 {
+		t.Errorf("LoopDyn body ran %d times, want 7", got)
+	}
+	if got := m.Mem.Load64(p.Sym("out") + 8); got != 10 {
+		t.Errorf("While accumulated %d, want 10", got)
+	}
+}
+
+func TestLoopVarInduction(t *testing.T) {
+	b := New("lv")
+	b.Alloc("out", 8, 8)
+	ctr, idx, acc, outp := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+	b.MovI(acc, 0)
+	b.LoopVar(ctr, idx, 10, 3, 5, func() { // 10,13,16,19,22
+		b.Add(acc, acc, idx)
+	})
+	b.MovI(outp, int64(b.Sym("out")))
+	b.Stq(acc, outp, 0)
+	p := b.Build()
+	m := newTestMachine(t, p)
+	if got := m.Mem.Load64(p.Sym("out")); got != 80 {
+		t.Errorf("LoopVar sum %d, want 80", got)
+	}
+}

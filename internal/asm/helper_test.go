@@ -1,0 +1,18 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// newTestMachine runs a program to completion for the builder tests.
+func newTestMachine(t *testing.T, p *isa.Program) *emu.Machine {
+	t.Helper()
+	m := emu.New(p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

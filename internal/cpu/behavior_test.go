@@ -1,0 +1,294 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// runCfg runs a program under an explicit configuration.
+func runCfg(t *testing.T, p *isa.Program, cfg cpu.Config, m mem.Model) cpu.Result {
+	t.Helper()
+	sim := cpu.New(cfg, m)
+	res, err := sim.Run(emu.New(p), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMispredictPenaltyVisible: a data-dependent unpredictable branch
+// pattern must cost far more cycles than an always-taken one.
+func TestMispredictPenaltyVisible(t *testing.T) {
+	build := func(pattern []byte) *isa.Program {
+		b := asm.New("br")
+		b.AllocBytes("pat", pattern, 8)
+		ptr, v, acc, ctr := isa.R(1), isa.R(2), isa.R(3), isa.R(4)
+		b.MovI(ptr, int64(b.Sym("pat")))
+		b.MovI(acc, 0)
+		b.Loop(ctr, int64(len(pattern)), func() {
+			b.Ldbu(v, ptr, 0)
+			b.If(v, func() {
+				b.AddI(acc, acc, 3)
+			}, func() {
+				b.AddI(acc, acc, 5)
+			})
+			b.AddI(ptr, ptr, 1)
+		})
+		return b.Build()
+	}
+	n := 4000
+	allTaken := make([]byte, n)
+	alternating := make([]byte, n)
+	rngState := uint64(12345)
+	for i := range allTaken {
+		allTaken[i] = 1
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		alternating[i] = byte(rngState >> 62 & 1)
+	}
+	cfg := cpu.NewConfig(4, isa.ExtAlpha)
+	easy := runCfg(t, build(allTaken), cfg, mem.NewPerfect(1))
+	hard := runCfg(t, build(alternating), cfg, mem.NewPerfect(1))
+	if hard.Mispredicts < easy.Mispredicts*5 {
+		t.Errorf("random pattern should mispredict more: %d vs %d",
+			hard.Mispredicts, easy.Mispredicts)
+	}
+	if hard.Cycles < easy.Cycles+int64(hard.Mispredicts) {
+		t.Errorf("mispredicts should cost cycles: hard=%d easy=%d mispredicts=%d",
+			hard.Cycles, easy.Cycles, hard.Mispredicts)
+	}
+}
+
+// TestStoreLoadForwardingOrdering: a load must observe an older store to
+// the same address (functional) and pay a dependence (timing).
+func TestStoreLoadForwardingOrdering(t *testing.T) {
+	b := asm.New("stld")
+	b.Alloc("buf", 64, 8)
+	base, v, w := isa.R(1), isa.R(2), isa.R(3)
+	ctr := isa.R(4)
+	b.MovI(base, int64(b.Sym("buf")))
+	b.MovI(v, 7)
+	b.Loop(ctr, 500, func() {
+		b.Stq(v, base, 0)
+		b.Ldq(w, base, 0) // must wait for the store
+		b.Add(v, w, w)
+	})
+	p := b.Build()
+	m := emu.New(p)
+	if _, err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	res := runCfg(t, p, cpu.NewConfig(4, isa.ExtAlpha), mem.NewPerfect(1))
+	// The chain store->load->add->store can't beat ~3 cycles per iteration.
+	if res.Cycles < 3*500 {
+		t.Errorf("store-load chain too fast: %d cycles for 500 iterations", res.Cycles)
+	}
+}
+
+// TestRenameStallsWithTinyRegisterFile: shrinking the matrix physical file
+// must cost cycles on register-hungry vector code.
+func TestRenameStallsWithTinyRegisterFile(t *testing.T) {
+	b := asm.New("regs")
+	b.Alloc("buf", 16*8, 8)
+	base, stride := isa.R(1), isa.R(2)
+	b.MovI(base, int64(b.Sym("buf")))
+	b.MovI(stride, 8)
+	b.SetVLI(16)
+	ctr := isa.R(3)
+	b.Loop(ctr, 200, func() {
+		for i := 0; i < 8; i++ {
+			b.MomLd(isa.V(i), base, stride, 0)
+		}
+		for i := 0; i < 8; i++ {
+			b.Op(isa.PADDB.Vector(), isa.V(8+i%8), isa.V(i), isa.V(i))
+		}
+	})
+	p := b.Build()
+
+	big := cpu.NewConfig(4, isa.ExtMOM)
+	big.MomPhys = 32
+	small := cpu.NewConfig(4, isa.ExtMOM)
+	small.MomPhys = 17 // one in-flight matrix write
+	cBig := runCfg(t, p, big, mem.NewPerfect(1))
+	cSmall := runCfg(t, p, small, mem.NewPerfect(1))
+	if cSmall.Cycles <= cBig.Cycles {
+		t.Errorf("tiny register file should stall rename: %d vs %d",
+			cSmall.Cycles, cBig.Cycles)
+	}
+}
+
+// TestVectorPortReservation: with a memory model that reserves all ports
+// for vector accesses (multi-address), interleaved scalar loads should
+// suffer compared to the vector-cache organisation that leaves the L1
+// ports alone.
+func TestVectorPortReservation(t *testing.T) {
+	b := asm.New("ports")
+	b.Alloc("buf", 4096, 8)
+	base, stride, s := isa.R(1), isa.R(2), isa.R(4)
+	ctr := isa.R(3)
+	b.MovI(base, int64(b.Sym("buf")))
+	b.MovI(stride, 8)
+	b.SetVLI(16)
+	b.Loop(ctr, 300, func() {
+		b.MomLd(isa.V(0), base, stride, 0)
+		for i := int64(0); i < 4; i++ {
+			b.Ldq(s, base, 512+8*i) // independent scalar loads
+		}
+	})
+	p := b.Build()
+	cfg := cpu.NewConfig(4, isa.ExtMOM)
+	ma := runCfg(t, p, cfg, mem.NewHierarchy(mem.HierConfig{Width: 4, Mode: mem.ModeMultiAddress}))
+	vc := runCfg(t, p, cfg, mem.NewHierarchy(mem.HierConfig{Width: 4, Mode: mem.ModeVectorCache}))
+	// Both must complete; the vector cache keeps scalar bandwidth free, so
+	// it should not be drastically slower despite its longer latency.
+	if vc.Cycles > 3*ma.Cycles {
+		t.Errorf("vector cache unexpectedly slow: %d vs %d", vc.Cycles, ma.Cycles)
+	}
+}
+
+// TestUnalignedLoadsCostMore: byte-misaligned 64-bit loads occupy the port
+// twice.
+func TestUnalignedLoadsCostMore(t *testing.T) {
+	build := func(off int64) *isa.Program {
+		b := asm.New("unaligned")
+		b.Alloc("buf", 4096, 8)
+		base, v, ctr := isa.R(1), isa.R(2), isa.R(3)
+		b.MovI(base, int64(b.Sym("buf")))
+		b.Loop(ctr, 2000, func() {
+			b.Ldq(v, base, off)
+			b.Ldq(v, base, off+64)
+		})
+		return b.Build()
+	}
+	cfg := cpu.NewConfig(1, isa.ExtAlpha) // one port: occupancy visible
+	aligned := runCfg(t, build(0), cfg, mem.NewPerfect(1))
+	misaligned := runCfg(t, build(3), cfg, mem.NewPerfect(1))
+	if misaligned.Cycles <= aligned.Cycles {
+		t.Errorf("unaligned loads should cost extra port cycles: %d vs %d",
+			misaligned.Cycles, aligned.Cycles)
+	}
+}
+
+// TestEightWayMOMLanesHelp: the 2-lane multimedia units of the 8-way MOM
+// machine must beat a hypothetical single-lane variant on vector code.
+func TestEightWayMOMLanesHelp(t *testing.T) {
+	b := asm.New("lanes")
+	b.Alloc("buf", 16*8, 8)
+	base, stride, ctr := isa.R(1), isa.R(2), isa.R(3)
+	b.MovI(base, int64(b.Sym("buf")))
+	b.MovI(stride, 8)
+	b.SetVLI(16)
+	b.MomLd(isa.V(0), base, stride, 0)
+	b.Loop(ctr, 500, func() {
+		b.Op(isa.PADDB.Vector(), isa.V(1), isa.V(0), isa.V(0))
+		b.Op(isa.PADDH.Vector(), isa.V(2), isa.V(0), isa.V(0))
+	})
+	p := b.Build()
+	two := cpu.NewConfig(8, isa.ExtMOM)
+	one := two
+	one.MedLanes = 1
+	rTwo := runCfg(t, p, two, mem.NewPerfect(1))
+	rOne := runCfg(t, p, one, mem.NewPerfect(1))
+	if rTwo.Cycles >= rOne.Cycles {
+		t.Errorf("2-lane units should be faster: %d vs %d", rTwo.Cycles, rOne.Cycles)
+	}
+}
+
+// TestWordOpsAccounting: vector ops contribute VL word-operations.
+func TestWordOpsAccounting(t *testing.T) {
+	b := asm.New("ops")
+	b.Alloc("buf", 16*8, 8)
+	base, stride := isa.R(1), isa.R(2)
+	b.MovI(base, int64(b.Sym("buf")))
+	b.MovI(stride, 8)
+	b.SetVLI(10)
+	b.MomLd(isa.V(0), base, stride, 0)
+	b.Op(isa.PADDB.Vector(), isa.V(1), isa.V(0), isa.V(0))
+	p := b.Build()
+	res := runCfg(t, p, cpu.NewConfig(4, isa.ExtMOM), mem.NewPerfect(1))
+	if res.WordOps != 20 { // 10 loaded elements + 10 vector adds
+		t.Errorf("WordOps = %d, want 20", res.WordOps)
+	}
+}
+
+// TestConfigValidation rejects broken configurations.
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid width")
+		}
+	}()
+	cpu.NewConfig(3, isa.ExtAlpha)
+}
+
+// TestROBSizeLimitsOverlap: with long-latency operations, a larger ROB
+// must expose more parallelism.
+func TestROBSizeLimitsOverlap(t *testing.T) {
+	b := asm.New("rob")
+	b.Alloc("buf", 8, 8)
+	base := isa.R(1)
+	b.MovI(base, int64(b.Sym("buf")))
+	ctr := isa.R(2)
+	// Independent long-latency multiplies.
+	b.Loop(ctr, 400, func() {
+		for i := 3; i < 11; i++ {
+			b.OpI(isa.MULQ, isa.R(i), isa.R(i), 7)
+		}
+	})
+	p := b.Build()
+	small := cpu.NewConfig(4, isa.ExtAlpha)
+	small.ROBSize = 8
+	big := cpu.NewConfig(4, isa.ExtAlpha)
+	big.ROBSize = 64
+	cs := runCfg(t, p, small, mem.NewPerfect(1)).Cycles
+	cb := runCfg(t, p, big, mem.NewPerfect(1)).Cycles
+	if cb >= cs {
+		t.Errorf("bigger ROB should help: %d (64-entry) vs %d (8-entry)", cb, cs)
+	}
+}
+
+// TestLSQLimitsMemoryParallelism: a tiny LSQ throttles independent loads
+// under a long memory latency.
+func TestLSQLimitsMemoryParallelism(t *testing.T) {
+	b := asm.New("lsq")
+	b.Alloc("buf", 4096, 8)
+	base := isa.R(1)
+	b.MovI(base, int64(b.Sym("buf")))
+	ctr := isa.R(2)
+	b.Loop(ctr, 300, func() {
+		for i := 0; i < 8; i++ {
+			b.Ldq(isa.R(3+i), base, int64(8*i))
+		}
+	})
+	p := b.Build()
+	small := cpu.NewConfig(4, isa.ExtAlpha)
+	small.LSQSize = 2
+	big := cpu.NewConfig(4, isa.ExtAlpha)
+	big.LSQSize = 32
+	cs := runCfg(t, p, small, mem.NewPerfect(20)).Cycles
+	cb := runCfg(t, p, big, mem.NewPerfect(20)).Cycles
+	if cb >= cs {
+		t.Errorf("bigger LSQ should help under latency: %d vs %d", cb, cs)
+	}
+}
+
+// TestByClassAccounting: the per-class counters must sum to the
+// instruction count.
+func TestByClassAccounting(t *testing.T) {
+	p := sumProgram(500)
+	res := run(t, p, 4, isa.ExtAlpha, 1)
+	var sum uint64
+	for _, n := range res.ByClass {
+		sum += n
+	}
+	if sum != res.Insts {
+		t.Errorf("class counts sum to %d, want %d", sum, res.Insts)
+	}
+	if res.ByClass[isa.ClassLoad] == 0 || res.ByClass[isa.ClassBranch] == 0 {
+		t.Error("expected loads and branches in the mix")
+	}
+}

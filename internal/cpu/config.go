@@ -1,0 +1,142 @@
+// Package cpu implements the cycle-level out-of-order superscalar timing
+// model: an R10000-like core with a dedicated multimedia unit and register
+// file, configurable from 1-way to 8-way issue exactly as Table 1 of the
+// paper, driven by the dynamic instruction stream of the functional
+// emulator (trace-driven timing, as ATOM+Jinks in the paper).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config describes one processor configuration (a column of Table 1 plus the
+// multimedia register file row of Table 2 appropriate to the ISA).
+type Config struct {
+	Name  string
+	Width int // fetch = dispatch = issue = commit width
+
+	ROBSize int
+	LSQSize int
+
+	BimodalSize int // entries of 2-bit counters
+	BTBEntries  int
+
+	IntSimple, IntComplex int
+	FPSimple, FPComplex   int
+	MedSimple, MedComplex int
+	MedLanes              int // vector lanes per multimedia unit (MOM)
+
+	MemPorts     int
+	MemPortLanes int // vector elements per cycle per memory port
+
+	// Physical register counts (logical counts come from package isa).
+	IntPhys, FPPhys, MedPhys, AccPhys, MomPhys, MomAccPhys int
+
+	// FrontDepth is the number of front-end stages between fetch and
+	// dispatch; MispredictPenalty is the extra redirect delay beyond branch
+	// resolution.
+	FrontDepth        int
+	MispredictPenalty int
+}
+
+// Validate panics on nonsensical configurations (these are build-time
+// tables, so failing loudly is correct).
+func (c *Config) Validate() {
+	if c.Width < 1 || c.ROBSize < c.Width || c.LSQSize < 1 {
+		panic(fmt.Sprintf("cpu: bad config %+v", c))
+	}
+	if c.IntSimple+c.IntComplex == 0 || c.MemPorts == 0 {
+		panic("cpu: config needs at least one int unit and one memory port")
+	}
+}
+
+// table1 gives the width-dependent core parameters from Table 1.
+var table1 = map[int]Config{
+	1: {Width: 1, ROBSize: 8, LSQSize: 4, BimodalSize: 512, BTBEntries: 64,
+		IntSimple: 0, IntComplex: 1, FPSimple: 0, FPComplex: 1,
+		MedSimple: 0, MedComplex: 1, MedLanes: 1,
+		MemPorts: 1, MemPortLanes: 1, IntPhys: 40, FPPhys: 40},
+	2: {Width: 2, ROBSize: 16, LSQSize: 8, BimodalSize: 2048, BTBEntries: 256,
+		IntSimple: 1, IntComplex: 1, FPSimple: 1, FPComplex: 1,
+		MedSimple: 1, MedComplex: 1, MedLanes: 1,
+		MemPorts: 1, MemPortLanes: 1, IntPhys: 48, FPPhys: 48},
+	4: {Width: 4, ROBSize: 32, LSQSize: 16, BimodalSize: 4096, BTBEntries: 512,
+		IntSimple: 2, IntComplex: 1, FPSimple: 2, FPComplex: 1,
+		MedSimple: 1, MedComplex: 1, MedLanes: 1,
+		MemPorts: 2, MemPortLanes: 1, IntPhys: 64, FPPhys: 64},
+	8: {Width: 8, ROBSize: 64, LSQSize: 32, BimodalSize: 16384, BTBEntries: 1024,
+		IntSimple: 2, IntComplex: 2, FPSimple: 2, FPComplex: 2,
+		MedSimple: 2, MedComplex: 2, MedLanes: 1,
+		MemPorts: 4, MemPortLanes: 1, IntPhys: 96, FPPhys: 96},
+}
+
+// mediaRF gives the multimedia register file configuration per ISA extension
+// (Table 2 for the 4-way machine, scaled with width like the int/fp files).
+type mediaRF struct {
+	med, acc, mom, momAcc int
+}
+
+var table2 = map[isa.Ext]map[int]mediaRF{
+	isa.ExtAlpha: {1: {}, 2: {}, 4: {}, 8: {}},
+	isa.ExtMMX: {
+		1: {med: 40}, 2: {med: 48}, 4: {med: 64}, 8: {med: 96},
+	},
+	isa.ExtMDMX: {
+		1: {med: 36, acc: 8}, 2: {med: 42, acc: 12},
+		4: {med: 52, acc: 16}, 8: {med: 78, acc: 24},
+	},
+	isa.ExtMOM: {
+		1: {mom: 18, momAcc: 3}, 2: {mom: 19, momAcc: 3},
+		4: {mom: 20, momAcc: 4}, 8: {mom: 24, momAcc: 6},
+	},
+}
+
+// NewConfig builds the processor configuration for a given issue width
+// (1, 2, 4 or 8) and ISA extension. It reproduces Table 1, including the
+// 8-way MOM peculiarity: instead of 4 single-lane multimedia units and 4
+// single-lane memory ports, MOM gets 2 units of width 2 and 2 double-lane
+// memory ports.
+func NewConfig(width int, ext isa.Ext) Config {
+	base, ok := table1[width]
+	if !ok {
+		panic(fmt.Sprintf("cpu: unsupported width %d", width))
+	}
+	c := base
+	c.Name = fmt.Sprintf("%d-way %s", width, ext)
+	c.FrontDepth = 3
+	c.MispredictPenalty = 2
+	rf := table2[ext][width]
+	c.MedPhys, c.AccPhys, c.MomPhys, c.MomAccPhys = rf.med, rf.acc, rf.mom, rf.momAcc
+	if ext == isa.ExtMOM && width == 8 {
+		// 2 multimedia units of width 2 (Table 1: "4 - (2x2)"), and memory
+		// ports able to leverage two vector elements per cycle.
+		c.MedSimple, c.MedComplex, c.MedLanes = 1, 1, 2
+		c.MemPorts, c.MemPortLanes = 2, 2
+	}
+	// MOM registers also exist on narrower machines with a single lane.
+	c.Validate()
+	return c
+}
+
+// inFlight returns how many in-flight destination writes of the given kind
+// the rename stage allows (physical minus logical registers). A zero result
+// for a kind a program never writes is harmless.
+func (c *Config) inFlight(kind isa.RegKind) int {
+	switch kind {
+	case isa.KindInt, isa.KindVL:
+		return c.IntPhys - isa.NumInt
+	case isa.KindFP:
+		return c.FPPhys - isa.NumFP
+	case isa.KindMedia:
+		return c.MedPhys - isa.NumMedia
+	case isa.KindAcc:
+		return c.AccPhys - isa.NumAcc
+	case isa.KindMom:
+		return c.MomPhys - isa.NumMom
+	case isa.KindMomAcc:
+		return c.MomAccPhys - isa.NumMomAcc
+	}
+	return 0
+}

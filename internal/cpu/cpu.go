@@ -1,0 +1,565 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Result summarises one timed run.
+type Result struct {
+	Cycles      int64
+	Insts       uint64
+	WordOps     uint64 // packed-word operations (vector ops count VL words)
+	Branches    uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+	Loads       uint64
+	Stores      uint64
+	ByClass     [16]uint64 // graduated instructions per isa.Class
+	Mem         mem.Stats
+}
+
+// IPC returns graduated instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// OPC returns packed-word operations per cycle (a fetch-pressure metric:
+// MOM packs an order of magnitude more operations per instruction).
+func (r Result) OPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.WordOps) / float64(r.Cycles)
+}
+
+// ---- resource helpers ----
+
+// slots hands out up to width slots per cycle to requests whose earliest
+// cycle is non-decreasing (fetch, dispatch, commit are in program order).
+type slots struct {
+	width int
+	cycle int64
+	used  int
+}
+
+func (s *slots) take(earliest int64) int64 {
+	if earliest > s.cycle {
+		s.cycle, s.used = earliest, 0
+	}
+	if s.used < s.width {
+		s.used++
+		return s.cycle
+	}
+	s.cycle++
+	s.used = 1
+	return s.cycle
+}
+
+// wideSlots hands out up to width slots per cycle for non-monotonic requests
+// (issue is out of order). Old entries are pruned against the dispatch
+// frontier, which lower-bounds every future request.
+type wideSlots struct {
+	width int
+	used  map[int64]int
+	takes int
+}
+
+func newWideSlots(width int) *wideSlots {
+	return &wideSlots{width: width, used: make(map[int64]int)}
+}
+
+func (s *wideSlots) take(earliest int64) int64 {
+	c := earliest
+	for s.used[c] >= s.width {
+		c++
+	}
+	s.used[c]++
+	s.takes++
+	return c
+}
+
+func (s *wideSlots) prune(frontier int64) {
+	if s.takes < 1<<16 {
+		return
+	}
+	for k := range s.used {
+		if k < frontier {
+			delete(s.used, k)
+		}
+	}
+	s.takes = 0
+}
+
+// pool is a set of identical functional units.
+type pool struct {
+	busy []int64 // first cycle each unit is free
+}
+
+func newPool(n int) *pool { return &pool{busy: make([]int64, n)} }
+
+func (p *pool) empty() bool { return len(p.busy) == 0 }
+
+// minFree returns the earliest cycle any unit is free (0 if the pool is
+// empty; callers must check empty()).
+func (p *pool) minFree() int64 {
+	var m int64 = 1 << 62
+	for _, b := range p.busy {
+		if b < m {
+			m = b
+		}
+	}
+	if m == 1<<62 {
+		m = 0
+	}
+	return m
+}
+
+// takeAt reserves the least-busy unit for occ cycles starting no earlier
+// than t; it returns the actual start cycle.
+func (p *pool) takeAt(t, occ int64) int64 {
+	best, bb := -1, int64(1)<<62
+	for i, b := range p.busy {
+		if b < bb {
+			bb, best = b, i
+		}
+	}
+	start := t
+	if bb > start {
+		start = bb
+	}
+	p.busy[best] = start + occ
+	return start
+}
+
+// takeAll reserves every unit in the pool for occ cycles (multi-address
+// vector accesses reserve all memory ports).
+func (p *pool) takeAll(t, occ int64) int64 {
+	start := t
+	for _, b := range p.busy {
+		if b > start {
+			start = b
+		}
+	}
+	for i := range p.busy {
+		p.busy[i] = start + occ
+	}
+	return start
+}
+
+// takeEither picks the least-busy unit across two pools (simple operations
+// may execute on complex units).
+func takeEither(a, b *pool, t, occ int64) int64 {
+	switch {
+	case a.empty():
+		return b.takeAt(t, occ)
+	case b.empty():
+		return a.takeAt(t, occ)
+	}
+	if a.minFree() <= b.minFree() {
+		return a.takeAt(t, occ)
+	}
+	return b.takeAt(t, occ)
+}
+
+func minFreeEither(a, b *pool) int64 {
+	switch {
+	case a.empty():
+		return b.minFree()
+	case b.empty():
+		return a.minFree()
+	}
+	am, bm := a.minFree(), b.minFree()
+	if am < bm {
+		return am
+	}
+	return bm
+}
+
+// storeWindow tracks in-flight stores for load-store ordering.
+type storeWindow struct {
+	lo, hi []uint64 // address ranges [lo,hi)
+	ready  []int64  // cycle store data is ready (forwarding source)
+	head   int
+}
+
+func newStoreWindow(n int) *storeWindow {
+	return &storeWindow{lo: make([]uint64, n), hi: make([]uint64, n), ready: make([]int64, n)}
+}
+
+func (w *storeWindow) add(lo, hi uint64, ready int64) {
+	w.lo[w.head], w.hi[w.head], w.ready[w.head] = lo, hi, ready
+	w.head = (w.head + 1) % len(w.lo)
+}
+
+// conflictReady returns the latest data-ready time among stores overlapping
+// [lo,hi), or 0 if none conflict.
+func (w *storeWindow) conflictReady(lo, hi uint64) int64 {
+	var r int64
+	for i := range w.lo {
+		if w.lo[i] < hi && lo < w.hi[i] && w.ready[i] > r {
+			r = w.ready[i]
+		}
+	}
+	return r
+}
+
+// vecRange computes the byte range touched by a strided vector access.
+func vecRange(base uint64, stride int64, n, size int) (lo, hi uint64) {
+	if n <= 0 {
+		return base, base
+	}
+	last := base + uint64(int64(n-1)*stride)
+	lo, hi = base, last
+	if last < base {
+		lo, hi = last, base
+	}
+	return lo, hi + uint64(size)
+}
+
+const regKeySpace = 8 * 64
+
+func regKey(r isa.Reg) int { return int(r.Kind)<<6 | int(r.Idx) }
+
+// Sim runs programs on one processor configuration and memory model.
+type Sim struct {
+	Cfg Config
+	Mem mem.Model
+}
+
+// New creates a simulator from a configuration and a memory model.
+func New(cfg Config, m mem.Model) *Sim {
+	cfg.Validate()
+	return &Sim{Cfg: cfg, Mem: m}
+}
+
+// Run executes the machine's program to completion (or maxInsts dynamic
+// instructions, whichever comes first) under the timing model and returns
+// the result. The machine carries the architectural state; Run drives it
+// via Step, so a fresh machine must be supplied for a fresh run.
+func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
+	cfg := &s.Cfg
+	memModel := s.Mem
+
+	pred := newBimodal(cfg.BimodalSize)
+	targets := newBTB(cfg.BTBEntries)
+
+	intS, intC := newPool(cfg.IntSimple), newPool(cfg.IntComplex)
+	fpS, fpC := newPool(cfg.FPSimple), newPool(cfg.FPComplex)
+	medS, medC := newPool(cfg.MedSimple), newPool(cfg.MedComplex)
+	ports := newPool(cfg.MemPorts)
+
+	dispatchSlots := slots{width: cfg.Width}
+	commitSlots := slots{width: cfg.Width}
+	issueSlots := newWideSlots(cfg.Width)
+
+	robRing := make([]int64, cfg.ROBSize)
+	lsqRing := make([]int64, cfg.LSQSize)
+	lsqHead := 0
+
+	// Rename: ring of commit times per register kind, sized by the number of
+	// in-flight destination writes the physical file allows.
+	var renameRing [8][]int64
+	var renameHead [8]int
+	for k := isa.RegKind(0); k < 8; k++ {
+		if n := cfg.inFlight(k); n > 0 {
+			renameRing[k] = make([]int64, n)
+		}
+	}
+
+	var lastWriter [regKeySpace]int64
+	stores := newStoreWindow(cfg.LSQSize)
+
+	var res Result
+	var fetchCycle, lastDispatch, lastCommit int64
+	fetchUsed := 0
+	var idx uint64
+
+	vecRate := cfg.MemPorts * cfg.MemPortLanes
+
+	for idx < maxInsts {
+		d, ok := m.Step()
+		if !ok {
+			break
+		}
+		in := &m.Prog.Insts[d.SI]
+		info := in.Op.Info()
+		res.ByClass[info.Class]++
+
+		// ---- fetch ----
+		if fetchUsed >= cfg.Width {
+			fetchCycle++
+			fetchUsed = 0
+		}
+		f := fetchCycle
+		fetchUsed++
+
+		// ---- dispatch (rename + ROB/LSQ allocation) ----
+		earliest := f + int64(cfg.FrontDepth)
+		if earliest < lastDispatch {
+			earliest = lastDispatch
+		}
+		if c := robRing[idx%uint64(cfg.ROBSize)]; c+1 > earliest {
+			earliest = c + 1
+		}
+		isMem := info.Class.IsMem()
+		if isMem {
+			if c := lsqRing[lsqHead]; c+1 > earliest {
+				earliest = c + 1
+			}
+		}
+		dst, srcs := isa.DepsOf(in)
+		if dst.Valid() {
+			ring := renameRing[dst.Kind]
+			if ring != nil {
+				if c := ring[renameHead[dst.Kind]]; c+1 > earliest {
+					earliest = c + 1
+				}
+			}
+		}
+		dispatch := dispatchSlots.take(earliest)
+		lastDispatch = dispatch
+		issueSlots.prune(dispatch)
+
+		// ---- operand readiness ----
+		ready := dispatch + 1
+		for _, src := range srcs {
+			if !src.Valid() {
+				break
+			}
+			if t := lastWriter[regKey(src)]; t > ready {
+				ready = t
+			}
+		}
+
+		// ---- issue + execute ----
+		var complete int64
+		lat := int64(info.Lat)
+		switch info.Class {
+		case isa.ClassNop:
+			complete = ready
+
+		case isa.ClassIntSimple, isa.ClassBranch, isa.ClassCtl:
+			t0 := maxI64(ready, minFreeEither(intS, intC))
+			c := issueSlots.take(t0)
+			start := takeEither(intS, intC, c, 1)
+			complete = start + lat
+
+		case isa.ClassIntComplex:
+			t0 := maxI64(ready, intC.minFree())
+			c := issueSlots.take(t0)
+			start := intC.takeAt(c, 1)
+			complete = start + lat
+
+		case isa.ClassFPSimple:
+			t0 := maxI64(ready, minFreeEither(fpS, fpC))
+			c := issueSlots.take(t0)
+			start := takeEither(fpS, fpC, c, 1)
+			complete = start + lat
+
+		case isa.ClassFPComplex:
+			t0 := maxI64(ready, fpC.minFree())
+			c := issueSlots.take(t0)
+			start := fpC.takeAt(c, 1)
+			complete = start + lat
+
+		case isa.ClassMedSimple:
+			t0 := maxI64(ready, minFreeEither(medS, medC))
+			c := issueSlots.take(t0)
+			start := takeEither(medS, medC, c, 1)
+			complete = start + lat
+			res.WordOps++
+
+		case isa.ClassMedComplex:
+			t0 := maxI64(ready, medC.minFree())
+			c := issueSlots.take(t0)
+			start := medC.takeAt(c, 1)
+			complete = start + lat
+			res.WordOps++
+
+		case isa.ClassMomSimple, isa.ClassMomComplex:
+			// A matrix operation executes VL word-operations on one
+			// multimedia unit at MedLanes words per cycle; the result is
+			// architecturally complete when the last word drains.
+			occ := occupancy(d.VL, cfg.MedLanes)
+			var t0, start int64
+			if info.Class == isa.ClassMomSimple {
+				t0 = maxI64(ready, minFreeEither(medS, medC))
+				c := issueSlots.take(t0)
+				start = takeEither(medS, medC, c, occ)
+			} else {
+				t0 = maxI64(ready, medC.minFree())
+				c := issueSlots.take(t0)
+				start = medC.takeAt(c, occ)
+			}
+			complete = start + occ - 1 + lat
+			res.WordOps += uint64(d.VL)
+
+		case isa.ClassLoad:
+			res.Loads++
+			occ := int64(1)
+			if unaligned(d.EA, d.Size) {
+				occ = 2 // the port splits it into two aligned accesses
+			}
+			t0 := maxI64(ready, ports.minFree())
+			c := issueSlots.take(t0)
+			start := ports.takeAt(c, occ)
+			agDone := start + occ
+			lo, hi := d.EA, d.EA+uint64(d.Size)
+			memDone := memModel.Load(agDone, d.EA, d.Size)
+			if fwd := stores.conflictReady(lo, hi); fwd > 0 {
+				if fwd+1 > memDone {
+					memDone = fwd + 1
+				}
+			}
+			complete = memDone
+			res.WordOps++
+
+		case isa.ClassStore:
+			res.Stores++
+			t0 := maxI64(ready, ports.minFree())
+			c := issueSlots.take(t0)
+			start := ports.takeAt(c, 1)
+			complete = maxI64(start+1, ready)
+			stores.add(d.EA, d.EA+uint64(d.Size), complete)
+			res.WordOps++
+
+		case isa.ClassMomLoad:
+			res.Loads++
+			occ := occupancy(d.NElem, vecRate)
+			var start int64
+			if memModel.VectorReservesAllPorts() {
+				t0 := maxI64(ready, ports.minFree())
+				c := issueSlots.take(t0)
+				start = ports.takeAll(c, occ)
+			} else {
+				t0 := maxI64(ready, ports.minFree())
+				c := issueSlots.take(t0)
+				start = ports.takeAt(c, 1)
+			}
+			lo, hi := vecRange(d.EA, d.Stride, d.NElem, d.Size)
+			memDone := memModel.LoadVector(start+1, d.EA, d.Stride, d.NElem, vecRate)
+			if fwd := stores.conflictReady(lo, hi); fwd > 0 && fwd+1 > memDone {
+				memDone = fwd + 1
+			}
+			complete = memDone
+			res.WordOps += uint64(d.NElem)
+
+		case isa.ClassMomStore:
+			res.Stores++
+			occ := occupancy(d.NElem, vecRate)
+			var start int64
+			if memModel.VectorReservesAllPorts() {
+				t0 := maxI64(ready, ports.minFree())
+				c := issueSlots.take(t0)
+				start = ports.takeAll(c, occ)
+			} else {
+				t0 := maxI64(ready, ports.minFree())
+				c := issueSlots.take(t0)
+				start = ports.takeAt(c, 1)
+			}
+			complete = maxI64(start+occ, ready)
+			lo, hi := vecRange(d.EA, d.Stride, d.NElem, d.Size)
+			stores.add(lo, hi, complete)
+			res.WordOps += uint64(d.NElem)
+
+		default:
+			return res, fmt.Errorf("cpu: unhandled class %v", info.Class)
+		}
+
+		// ---- commit (in order, width per cycle) ----
+		commit := commitSlots.take(maxI64(complete+1, lastCommit))
+		switch info.Class {
+		case isa.ClassStore:
+			if acc := memModel.Store(commit, d.EA, d.Size); acc > commit {
+				commit = commitSlots.take(acc)
+			}
+		case isa.ClassMomStore:
+			if acc := memModel.StoreVector(commit, d.EA, d.Stride, d.NElem, vecRate); acc > commit {
+				commit = commitSlots.take(acc)
+			}
+		}
+		lastCommit = commit
+		robRing[idx%uint64(cfg.ROBSize)] = commit
+		if isMem {
+			lsqRing[lsqHead] = commit
+			lsqHead = (lsqHead + 1) % cfg.LSQSize
+		}
+		if dst.Valid() {
+			lastWriter[regKey(dst)] = complete
+			if ring := renameRing[dst.Kind]; ring != nil {
+				ring[renameHead[dst.Kind]] = commit
+				renameHead[dst.Kind] = (renameHead[dst.Kind] + 1) % len(ring)
+			}
+		}
+
+		// ---- branch resolution and fetch redirect ----
+		if info.Class == isa.ClassBranch {
+			res.Branches++
+			predTaken := in.Op == isa.BR || pred.predict(d.SI)
+			btbHit := targets.hit(d.SI)
+			if in.Op != isa.BR {
+				pred.update(d.SI, d.Taken)
+			}
+			if d.Taken {
+				targets.insert(d.SI)
+			}
+			switch {
+			case d.Taken != predTaken:
+				res.Mispredicts++
+				r := complete + 1 + int64(cfg.MispredictPenalty)
+				if r > fetchCycle {
+					fetchCycle = r
+				}
+				fetchUsed = 0
+			case d.Taken && btbHit:
+				// Correctly predicted taken: redirect next cycle, the taken
+				// branch ends this fetch group.
+				fetchCycle = f + 1
+				fetchUsed = 0
+			case d.Taken: // predicted taken but BTB miss: decode-time bubble
+				res.BTBMisses++
+				fetchCycle = f + 2
+				fetchUsed = 0
+			}
+		}
+		idx++
+	}
+
+	res.Cycles = lastCommit + 1
+	res.Insts = idx
+	res.Mem = memModel.Stats()
+	return res, m.Err
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// occupancy returns how many cycles n elements occupy at rate per cycle.
+func occupancy(n, rate int) int64 {
+	if n < 1 {
+		return 1
+	}
+	if rate < 1 {
+		rate = 1
+	}
+	return int64((n + rate - 1) / rate)
+}
+
+// unaligned reports whether a scalar access is misaligned for its size.
+func unaligned(addr uint64, size int) bool {
+	if size <= 1 {
+		return false
+	}
+	return addr%uint64(size) != 0
+}

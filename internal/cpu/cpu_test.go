@@ -1,0 +1,186 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func sumProgram(n int) *isa.Program {
+	b := asm.New("sum")
+	vals := make([]byte, n)
+	for i := range vals {
+		vals[i] = byte(i)
+	}
+	b.AllocBytes("in", vals, 8)
+	b.Alloc("out", 8, 8)
+	ptr, acc, tmp, ctr, outp := isa.R(1), isa.R(2), isa.R(3), isa.R(4), isa.R(5)
+	b.MovI(ptr, int64(b.Sym("in")))
+	b.MovI(outp, int64(b.Sym("out")))
+	b.MovI(acc, 0)
+	b.Loop(ctr, int64(n), func() {
+		b.Ldbu(tmp, ptr, 0)
+		b.Add(acc, acc, tmp)
+		b.AddI(ptr, ptr, 1)
+	})
+	b.Stq(acc, outp, 0)
+	return b.Build()
+}
+
+func run(t *testing.T, p *isa.Program, width int, ext isa.Ext, lat int) cpu.Result {
+	t.Helper()
+	sim := cpu.New(cpu.NewConfig(width, ext), mem.NewPerfect(lat))
+	res, err := sim.Run(emu.New(p), 10_000_000)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res
+}
+
+func TestBasicInvariants(t *testing.T) {
+	p := sumProgram(500)
+	for _, w := range []int{1, 2, 4, 8} {
+		res := run(t, p, w, isa.ExtAlpha, 1)
+		if res.Insts == 0 {
+			t.Fatal("no instructions graduated")
+		}
+		// Cycles must at least cover insts/width.
+		if minCycles := int64(res.Insts) / int64(w); res.Cycles < minCycles {
+			t.Errorf("width %d: cycles %d < lower bound %d", w, res.Cycles, minCycles)
+		}
+		if ipc := res.IPC(); ipc > float64(w)+1e-9 {
+			t.Errorf("width %d: IPC %f exceeds width", w, ipc)
+		}
+	}
+}
+
+func TestWiderIsNotSlower(t *testing.T) {
+	p := sumProgram(2000)
+	prev := run(t, p, 1, isa.ExtAlpha, 1).Cycles
+	for _, w := range []int{2, 4, 8} {
+		c := run(t, p, w, isa.ExtAlpha, 1).Cycles
+		if c > prev+prev/10 {
+			t.Errorf("width %d slower than narrower machine: %d > %d", w, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestHigherLatencyIsSlower(t *testing.T) {
+	p := sumProgram(2000)
+	c1 := run(t, p, 4, isa.ExtAlpha, 1).Cycles
+	c50 := run(t, p, 4, isa.ExtAlpha, 50).Cycles
+	if c50 <= c1 {
+		t.Errorf("latency 50 not slower: %d <= %d", c50, c1)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := sumProgram(777)
+	a := run(t, p, 4, isa.ExtAlpha, 1)
+	b := run(t, p, 4, isa.ExtAlpha, 1)
+	if a != b {
+		t.Errorf("non-deterministic results: %+v vs %+v", a, b)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	p := sumProgram(5000)
+	res := run(t, p, 4, isa.ExtAlpha, 1)
+	if res.Branches == 0 {
+		t.Fatal("no branches recorded")
+	}
+	// A do-while loop branch is nearly always taken; the bimodal predictor
+	// should mispredict a tiny fraction after warm-up.
+	rate := float64(res.Mispredicts) / float64(res.Branches)
+	if rate > 0.05 {
+		t.Errorf("mispredict rate %.3f too high for a simple loop", rate)
+	}
+}
+
+func TestMDMXAccumulatorRecurrence(t *testing.T) {
+	// A chain of dependent accumulator multiplies must serialise at the
+	// multiply latency, while independent packed multiplies can pipeline.
+	build := func(acc bool) *isa.Program {
+		b := asm.New("chain")
+		b.Alloc("buf", 8, 8)
+		base := isa.R(1)
+		b.MovI(base, int64(b.Sym("buf")))
+		b.Ldm(isa.M(0), base, 0)
+		b.Ldm(isa.M(1), base, 0)
+		b.Op(isa.ACLR, isa.A(0), isa.Reg{}, isa.Reg{})
+		for i := 0; i < 200; i++ {
+			if acc {
+				b.Op(isa.ACCMULH, isa.A(0), isa.M(0), isa.M(1))
+			} else {
+				b.Op(isa.PMULLH, isa.M(2+i%16), isa.M(0), isa.M(1))
+			}
+		}
+		return b.Build()
+	}
+	chained := run(t, build(true), 4, isa.ExtMDMX, 1).Cycles
+	indep := run(t, build(false), 4, isa.ExtMDMX, 1).Cycles
+	if chained < indep*2 {
+		t.Errorf("accumulator recurrence not serialising: chained=%d indep=%d", chained, indep)
+	}
+}
+
+func TestMOMPipelinedAccumulation(t *testing.T) {
+	// One MOM accumulator instruction performs 16 word-accumulations but
+	// pays the dependence latency only once per instruction, so per word-op
+	// it must be far cheaper than MDMX's per-instruction recurrence.
+	bMom := asm.New("momacc")
+	bMom.Alloc("buf", 16*8, 8)
+	base, stride := isa.R(1), isa.R(2)
+	bMom.MovI(base, int64(bMom.Sym("buf")))
+	bMom.MovI(stride, 8)
+	bMom.SetVLI(16)
+	bMom.MomLd(isa.V(0), base, stride, 0)
+	bMom.MomLd(isa.V(1), base, stride, 0)
+	bMom.Op(isa.ACLR, isa.VA(0), isa.Reg{}, isa.Reg{})
+	for i := 0; i < 50; i++ {
+		bMom.Op(isa.ACCMULH.Vector(), isa.VA(0), isa.V(0), isa.V(1))
+	}
+	mom := run(t, bMom.Build(), 4, isa.ExtMOM, 1)
+
+	bMdmx := asm.New("mdmxacc")
+	bMdmx.Alloc("buf", 8, 8)
+	bMdmx.MovI(base, int64(bMdmx.Sym("buf")))
+	bMdmx.Ldm(isa.M(0), base, 0)
+	bMdmx.Ldm(isa.M(1), base, 0)
+	bMdmx.Op(isa.ACLR, isa.A(0), isa.Reg{}, isa.Reg{})
+	for i := 0; i < 50*16; i++ { // same number of word accumulations
+		bMdmx.Op(isa.ACCMULH, isa.A(0), isa.M(0), isa.M(1))
+	}
+	mdmx := run(t, bMdmx.Build(), 4, isa.ExtMDMX, 1)
+
+	if mom.Cycles*2 >= mdmx.Cycles {
+		t.Errorf("MOM accumulation not pipelining vs MDMX: mom=%d mdmx=%d",
+			mom.Cycles, mdmx.Cycles)
+	}
+}
+
+func TestVectorOccupancyScalesWithVL(t *testing.T) {
+	build := func(vl int) *isa.Program {
+		b := asm.New("occ")
+		b.Alloc("buf", 16*8, 8)
+		base, stride := isa.R(1), isa.R(2)
+		b.MovI(base, int64(b.Sym("buf")))
+		b.MovI(stride, 8)
+		b.SetVLI(vl)
+		b.MomLd(isa.V(0), base, stride, 0)
+		for i := 0; i < 400; i++ {
+			b.Op(isa.PADDB.Vector(), isa.V(1+i%8), isa.V(0), isa.V(0))
+		}
+		return b.Build()
+	}
+	short := run(t, build(2), 4, isa.ExtMOM, 1).Cycles
+	long := run(t, build(16), 4, isa.ExtMOM, 1).Cycles
+	if long < short*4 {
+		t.Errorf("VL=16 should occupy ~8x the unit of VL=2: short=%d long=%d", short, long)
+	}
+}

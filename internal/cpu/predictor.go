@@ -1,0 +1,61 @@
+package cpu
+
+// bimodal is a classic 2-bit saturating-counter branch direction predictor
+// indexed by static instruction index.
+type bimodal struct {
+	ctr  []uint8
+	mask uint32
+}
+
+func newBimodal(size int) *bimodal {
+	if size&(size-1) != 0 || size == 0 {
+		panic("cpu: bimodal size must be a power of two")
+	}
+	b := &bimodal{ctr: make([]uint8, size), mask: uint32(size - 1)}
+	for i := range b.ctr {
+		b.ctr[i] = 1 // weakly not-taken
+	}
+	return b
+}
+
+func (b *bimodal) predict(si int) bool {
+	return b.ctr[uint32(si)&b.mask] >= 2
+}
+
+func (b *bimodal) update(si int, taken bool) {
+	c := &b.ctr[uint32(si)&b.mask]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// btb is a direct-mapped branch target buffer keyed by static instruction
+// index. In a trace-driven model the target value itself is known; the BTB
+// models whether the front end could redirect without a bubble.
+type btb struct {
+	tag  []int32
+	mask uint32
+}
+
+func newBTB(entries int) *btb {
+	if entries&(entries-1) != 0 || entries == 0 {
+		panic("cpu: BTB entries must be a power of two")
+	}
+	t := &btb{tag: make([]int32, entries), mask: uint32(entries - 1)}
+	for i := range t.tag {
+		t.tag[i] = -1
+	}
+	return t
+}
+
+func (t *btb) hit(si int) bool {
+	return t.tag[uint32(si)&t.mask] == int32(si)
+}
+
+func (t *btb) insert(si int) {
+	t.tag[uint32(si)&t.mask] = int32(si)
+}

@@ -1,0 +1,435 @@
+// Package emu implements the functional (architectural) emulator for the
+// modelled ISAs. It executes an isa.Program against architectural state and
+// a flat memory image, producing the dynamic instruction stream (resolved
+// addresses, branch outcomes, vector lengths) that drives the cycle-level
+// timing simulator — the same trace-driven methodology the paper used with
+// ATOM feeding the Jinks simulator.
+package emu
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/isa"
+	"repro/internal/simd"
+)
+
+// Dyn is one dynamic (executed) instruction, as consumed by the timing model.
+type Dyn struct {
+	SI     int // static instruction index
+	Op     isa.Opcode
+	Class  isa.Class
+	Taken  bool // branch outcome
+	Target int  // branch destination (valid if Taken)
+	EA     uint64
+	Stride int64 // vector element stride in bytes
+	NElem  int   // elements accessed (vector memory); 1 for scalar memory
+	Size   int   // element size in bytes
+	VL     int   // vector length governing this op (vector classes)
+}
+
+// Machine is the architectural state of one running program.
+type Machine struct {
+	Prog *isa.Program
+	Mem  *Memory
+
+	R  [isa.NumInt]uint64
+	F  [isa.NumFP]float64
+	M  [isa.NumMedia]uint64
+	A  [isa.NumAcc]simd.Acc
+	V  [isa.NumMom][isa.MaxVL]uint64
+	VA [isa.NumMomAcc]simd.Acc
+	VL int
+
+	PC    int
+	Steps uint64
+	Err   error
+}
+
+// New creates a machine with the program loaded and memory initialised.
+func New(p *isa.Program) *Machine {
+	m := &Machine{Prog: p, VL: isa.MaxVL}
+	size := p.MemSize
+	if min := p.DataBase + uint64(len(p.Data)); size < min {
+		size = min
+	}
+	m.Mem = NewMemory(size)
+	copy(m.Mem.buf[p.DataBase:], p.Data)
+	return m
+}
+
+// Done reports whether the program has run to completion.
+func (m *Machine) Done() bool { return m.PC >= len(m.Prog.Insts) || m.Err != nil }
+
+// op2 resolves the second ALU operand: register if valid, else immediate.
+func (m *Machine) op2(in *isa.Inst) int64 {
+	if in.Src[1].Valid() {
+		return int64(m.reg(in.Src[1]))
+	}
+	return in.Imm
+}
+
+func (m *Machine) reg(r isa.Reg) uint64 {
+	switch r.Kind {
+	case isa.KindInt:
+		if r.Idx == 31 {
+			return 0
+		}
+		return m.R[r.Idx]
+	case isa.KindMedia:
+		return m.M[r.Idx]
+	default:
+		panic(fmt.Sprintf("emu: scalar read of %v", r))
+	}
+}
+
+func (m *Machine) setInt(r isa.Reg, v uint64) {
+	if r.Kind != isa.KindInt {
+		panic(fmt.Sprintf("emu: int write to %v", r))
+	}
+	if r.Idx != 31 {
+		m.R[r.Idx] = v
+	}
+}
+
+func (m *Machine) setMedia(r isa.Reg, v uint64) {
+	if r.Kind != isa.KindMedia {
+		panic(fmt.Sprintf("emu: media write to %v", r))
+	}
+	m.M[r.Idx] = v
+}
+
+// acc returns the accumulator register operand (MDMX A or MOM VA).
+func (m *Machine) acc(r isa.Reg) *simd.Acc {
+	switch r.Kind {
+	case isa.KindAcc:
+		return &m.A[r.Idx]
+	case isa.KindMomAcc:
+		return &m.VA[r.Idx]
+	default:
+		panic(fmt.Sprintf("emu: accumulator operand is %v", r))
+	}
+}
+
+// Step executes one instruction and returns its dynamic record.
+// ok is false when the program has finished (or faulted; check m.Err).
+func (m *Machine) Step() (d Dyn, ok bool) {
+	if m.Done() {
+		return Dyn{}, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if f, isFault := r.(memFault); isFault {
+				m.Err = fmt.Errorf("%s: pc=%d %s: %w",
+					m.Prog.Name, m.PC, m.Prog.Insts[m.PC].String(), error(f))
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	in := &m.Prog.Insts[m.PC]
+	info := in.Op.Info()
+	d = Dyn{SI: m.PC, Op: in.Op, Class: info.Class, VL: m.VL}
+	next := m.PC + 1
+
+	switch in.Op {
+	case isa.NOP:
+
+	// ---- scalar integer ----
+	case isa.LDA:
+		m.setInt(in.Dst, m.reg(in.Src[0])+uint64(in.Imm))
+	case isa.ADDQ:
+		m.setInt(in.Dst, m.reg(in.Src[0])+uint64(m.op2(in)))
+	case isa.SUBQ:
+		m.setInt(in.Dst, m.reg(in.Src[0])-uint64(m.op2(in)))
+	case isa.MULQ:
+		m.setInt(in.Dst, uint64(int64(m.reg(in.Src[0]))*m.op2(in)))
+	case isa.DIVQ:
+		den := m.op2(in)
+		if den == 0 {
+			m.Err = fmt.Errorf("%s: pc=%d divide by zero", m.Prog.Name, m.PC)
+			return Dyn{}, false
+		}
+		m.setInt(in.Dst, uint64(int64(m.reg(in.Src[0]))/den))
+	case isa.UMULH:
+		hi, _ := mul64(m.reg(in.Src[0]), uint64(m.op2(in)))
+		m.setInt(in.Dst, hi)
+	case isa.AND:
+		m.setInt(in.Dst, m.reg(in.Src[0])&uint64(m.op2(in)))
+	case isa.OR:
+		m.setInt(in.Dst, m.reg(in.Src[0])|uint64(m.op2(in)))
+	case isa.XOR:
+		m.setInt(in.Dst, m.reg(in.Src[0])^uint64(m.op2(in)))
+	case isa.BIC:
+		m.setInt(in.Dst, m.reg(in.Src[0])&^uint64(m.op2(in)))
+	case isa.SLL:
+		m.setInt(in.Dst, m.reg(in.Src[0])<<(uint64(m.op2(in))&63))
+	case isa.SRL:
+		m.setInt(in.Dst, m.reg(in.Src[0])>>(uint64(m.op2(in))&63))
+	case isa.SRA:
+		m.setInt(in.Dst, uint64(int64(m.reg(in.Src[0]))>>(uint64(m.op2(in))&63)))
+	case isa.CMPEQ:
+		m.setInt(in.Dst, b2u(int64(m.reg(in.Src[0])) == m.op2(in)))
+	case isa.CMPLT:
+		m.setInt(in.Dst, b2u(int64(m.reg(in.Src[0])) < m.op2(in)))
+	case isa.CMPLE:
+		m.setInt(in.Dst, b2u(int64(m.reg(in.Src[0])) <= m.op2(in)))
+	case isa.CMPULT:
+		m.setInt(in.Dst, b2u(m.reg(in.Src[0]) < uint64(m.op2(in))))
+	case isa.CMPULE:
+		m.setInt(in.Dst, b2u(m.reg(in.Src[0]) <= uint64(m.op2(in))))
+	case isa.CMOVEQ:
+		if int64(m.reg(in.Src[0])) == 0 {
+			m.setInt(in.Dst, uint64(m.op2(in)))
+		}
+	case isa.CMOVNE:
+		if int64(m.reg(in.Src[0])) != 0 {
+			m.setInt(in.Dst, uint64(m.op2(in)))
+		}
+	case isa.CMOVLT:
+		if int64(m.reg(in.Src[0])) < 0 {
+			m.setInt(in.Dst, uint64(m.op2(in)))
+		}
+	case isa.CMOVGE:
+		if int64(m.reg(in.Src[0])) >= 0 {
+			m.setInt(in.Dst, uint64(m.op2(in)))
+		}
+	case isa.SEXTB:
+		m.setInt(in.Dst, uint64(int64(int8(m.reg(in.Src[0])))))
+	case isa.SEXTW:
+		m.setInt(in.Dst, uint64(int64(int16(m.reg(in.Src[0])))))
+	case isa.SEXTL:
+		m.setInt(in.Dst, uint64(int64(int32(m.reg(in.Src[0])))))
+
+	// ---- scalar memory ----
+	case isa.LDBU:
+		ea := m.reg(in.Src[0]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 1
+		m.setInt(in.Dst, uint64(m.Mem.Load8(ea)))
+	case isa.LDWU:
+		ea := m.reg(in.Src[0]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 2
+		m.setInt(in.Dst, uint64(m.Mem.Load16(ea)))
+	case isa.LDL:
+		ea := m.reg(in.Src[0]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 4
+		m.setInt(in.Dst, uint64(int64(int32(m.Mem.Load32(ea)))))
+	case isa.LDQ:
+		ea := m.reg(in.Src[0]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 8
+		m.setInt(in.Dst, m.Mem.Load64(ea))
+	case isa.STB:
+		ea := m.reg(in.Src[1]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 1
+		m.Mem.Store8(ea, uint8(m.reg(in.Src[0])))
+	case isa.STW:
+		ea := m.reg(in.Src[1]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 2
+		m.Mem.Store16(ea, uint16(m.reg(in.Src[0])))
+	case isa.STL:
+		ea := m.reg(in.Src[1]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 4
+		m.Mem.Store32(ea, uint32(m.reg(in.Src[0])))
+	case isa.STQ:
+		ea := m.reg(in.Src[1]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 8
+		m.Mem.Store64(ea, m.reg(in.Src[0]))
+	case isa.LDT:
+		ea := m.reg(in.Src[0]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 8
+		m.F[in.Dst.Idx] = f64frombits(m.Mem.Load64(ea))
+	case isa.STT:
+		ea := m.reg(in.Src[1]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 8
+		m.Mem.Store64(ea, f64bits(m.F[in.Src[0].Idx]))
+
+	// ---- branches ----
+	case isa.BR:
+		d.Taken, d.Target = true, in.Target
+		next = in.Target
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		v := int64(m.reg(in.Src[0]))
+		var t bool
+		switch in.Op {
+		case isa.BEQ:
+			t = v == 0
+		case isa.BNE:
+			t = v != 0
+		case isa.BLT:
+			t = v < 0
+		case isa.BLE:
+			t = v <= 0
+		case isa.BGT:
+			t = v > 0
+		case isa.BGE:
+			t = v >= 0
+		}
+		d.Taken, d.Target = t, in.Target
+		if t {
+			next = in.Target
+		}
+
+	// ---- scalar FP ----
+	case isa.ADDT:
+		m.F[in.Dst.Idx] = m.F[in.Src[0].Idx] + m.F[in.Src[1].Idx]
+	case isa.SUBT:
+		m.F[in.Dst.Idx] = m.F[in.Src[0].Idx] - m.F[in.Src[1].Idx]
+	case isa.MULT:
+		m.F[in.Dst.Idx] = m.F[in.Src[0].Idx] * m.F[in.Src[1].Idx]
+	case isa.DIVT:
+		m.F[in.Dst.Idx] = m.F[in.Src[0].Idx] / m.F[in.Src[1].Idx]
+	case isa.CVTQT:
+		m.F[in.Dst.Idx] = float64(int64(m.reg(in.Src[0])))
+	case isa.CVTTQ:
+		m.setInt(in.Dst, uint64(int64(m.F[in.Src[0].Idx])))
+
+	// ---- media moves / loads ----
+	case isa.LDQM:
+		ea := m.reg(in.Src[0]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 8
+		m.setMedia(in.Dst, m.Mem.Load64(ea))
+	case isa.STQM:
+		ea := m.reg(in.Src[1]) + uint64(in.Imm)
+		d.EA, d.NElem, d.Size = ea, 1, 8
+		m.Mem.Store64(ea, m.M[in.Src[0].Idx])
+	case isa.MTM:
+		m.setMedia(in.Dst, m.reg(in.Src[0]))
+	case isa.MFM:
+		m.setInt(in.Dst, m.M[in.Src[0].Idx])
+	case isa.PZERO:
+		m.setMedia(in.Dst, 0)
+
+	// ---- accumulator readback (shared by MDMX A and MOM VA) ----
+	case isa.RACH:
+		m.setMedia(in.Dst, m.acc(in.Src[0]).ReadH(uint(in.Imm)))
+	case isa.RACB:
+		m.setMedia(in.Dst, m.acc(in.Src[0]).ReadB(uint(in.Imm)))
+	case isa.RACSUM:
+		a := m.acc(in.Src[0])
+		if in.Imm == 0 { // byte mode
+			m.setInt(in.Dst, uint64(a.SumB()))
+		} else { // halfword mode
+			m.setInt(in.Dst, uint64(a.SumH()))
+		}
+	case isa.WACH:
+		m.acc(in.Dst).WriteH(m.M[in.Src[0].Idx])
+	case isa.WACB:
+		m.acc(in.Dst).WriteB(m.M[in.Src[0].Idx])
+
+	// ---- MOM control and memory ----
+	case isa.SETVL:
+		v := int64(m.reg(in.Src[0]))
+		if v < 0 {
+			v = 0
+		}
+		if v > isa.MaxVL {
+			v = isa.MaxVL
+		}
+		m.VL = int(v)
+	case isa.SETVLI:
+		v := in.Imm
+		if v < 0 || v > isa.MaxVL {
+			m.Err = fmt.Errorf("%s: pc=%d setvli %d out of range", m.Prog.Name, m.PC, v)
+			return Dyn{}, false
+		}
+		m.VL = int(v)
+	case isa.MOMLDQ:
+		base := m.reg(in.Src[0]) + uint64(in.Imm)
+		stride := int64(m.reg(in.Src[1]))
+		d.EA, d.Stride, d.NElem, d.Size = base, stride, m.VL, 8
+		for k := 0; k < m.VL; k++ {
+			m.V[in.Dst.Idx][k] = m.Mem.Load64(base + uint64(int64(k)*stride))
+		}
+	case isa.MOMSTQ:
+		base := m.reg(in.Src[1]) + uint64(in.Imm)
+		stride := int64(m.reg(in.Src[2]))
+		d.EA, d.Stride, d.NElem, d.Size = base, stride, m.VL, 8
+		for k := 0; k < m.VL; k++ {
+			m.Mem.Store64(base+uint64(int64(k)*stride), m.V[in.Src[0].Idx][k])
+		}
+	case isa.MOMSPLAT:
+		for k := 0; k < isa.MaxVL; k++ {
+			m.V[in.Dst.Idx][k] = m.M[in.Src[0].Idx]
+		}
+	case isa.MOMEXT:
+		m.setMedia(in.Dst, m.V[in.Src[0].Idx][in.Imm&15])
+	case isa.MOMINS:
+		m.V[in.Dst.Idx][in.Imm&15] = m.M[in.Src[0].Idx]
+	case isa.MOMMPVH:
+		a := m.acc(in.Dst)
+		coefs := m.M[in.Src[1].Idx]
+		for k := 0; k < m.VL; k++ {
+			c := int64(int16(simd.GetH(coefs, k%4)))
+			a.MPVH(m.V[in.Src[0].Idx][k], c)
+		}
+	case isa.MOMTRANSH:
+		src := &m.V[in.Src[0].Idx]
+		var dst [isa.MaxVL]uint64
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				// element (r,c) of the result = element (c,r) of the source
+				v := simd.GetH(src[2*c+r/4], r%4)
+				w := &dst[2*r+c/4]
+				*w = simd.SetH(*w, c%4, v)
+			}
+		}
+		m.V[in.Dst.Idx] = dst
+	case isa.MOMRSUMW:
+		var s0, s1 uint32
+		for k := 0; k < m.VL; k++ {
+			w := m.V[in.Src[0].Idx][k]
+			s0 += simd.GetW(w, 0)
+			s1 += simd.GetW(w, 1)
+		}
+		m.setMedia(in.Dst, uint64(s0)|uint64(s1)<<32)
+	case isa.MOMRMAXH:
+		res := m.V[in.Src[0].Idx][0]
+		for k := 1; k < m.VL; k++ {
+			res = simd.MaxSH(res, m.V[in.Src[0].Idx][k])
+		}
+		if m.VL == 0 {
+			res = 0
+		}
+		m.setMedia(in.Dst, res)
+
+	default:
+		if !m.execPacked(in) {
+			m.Err = fmt.Errorf("%s: pc=%d unknown opcode %d", m.Prog.Name, m.PC, in.Op)
+			return Dyn{}, false
+		}
+	}
+
+	m.PC = next
+	m.Steps++
+	return d, true
+}
+
+// Run executes until completion or maxSteps, returning the dynamic
+// instruction count.
+func (m *Machine) Run(maxSteps uint64) (uint64, error) {
+	start := m.Steps
+	for !m.Done() {
+		if m.Steps-start >= maxSteps {
+			return m.Steps - start, fmt.Errorf("%s: exceeded %d steps", m.Prog.Name, maxSteps)
+		}
+		if _, ok := m.Step(); !ok {
+			break
+		}
+	}
+	return m.Steps - start, m.Err
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

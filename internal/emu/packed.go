@@ -1,0 +1,257 @@
+package emu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/simd"
+)
+
+// execPacked executes packed media opcodes and their MOM vector twins,
+// including accumulator operations. It returns false for unknown opcodes.
+func (m *Machine) execPacked(in *isa.Inst) bool {
+	op := in.Op
+	sc := op.Scalar()
+	vec := op.IsVectorPacked()
+
+	// Accumulator clear works identically for A and VA.
+	if sc == isa.ACLR {
+		m.acc(in.Dst).Clear()
+		return true
+	}
+
+	// Accumulating operations.
+	if sc >= isa.ACCADDB && sc <= isa.ACCSQDH {
+		a := m.acc(in.Dst)
+		if vec {
+			// A MOM matrix accumulator op serialises one packed
+			// accumulation per active word of the source matrix registers.
+			for k := 0; k < m.VL; k++ {
+				x := m.V[in.Src[0].Idx][k]
+				var y uint64
+				if in.Src[1].Valid() {
+					y = m.V[in.Src[1].Idx][k]
+				}
+				if !accStep(sc, a, x, y) {
+					return false
+				}
+			}
+			return true
+		}
+		x := m.M[in.Src[0].Idx]
+		var y uint64
+		if in.Src[1].Valid() {
+			y = m.M[in.Src[1].Idx]
+		}
+		return accStep(sc, a, x, y)
+	}
+
+	// Three-operand select.
+	if sc == isa.PCMOV {
+		if vec {
+			for k := 0; k < m.VL; k++ {
+				m.V[in.Dst.Idx][k] = simd.Select(
+					m.V[in.Src[0].Idx][k], m.V[in.Src[1].Idx][k], m.V[in.Src[2].Idx][k])
+			}
+			return true
+		}
+		m.setMedia(in.Dst, simd.Select(
+			m.M[in.Src[0].Idx], m.M[in.Src[1].Idx], m.M[in.Src[2].Idx]))
+		return true
+	}
+
+	if !vec {
+		a := m.packedSrc(in.Src[0])
+		var b uint64
+		if in.Src[1].Valid() {
+			b = m.packedSrc(in.Src[1])
+		}
+		r, ok := evalPacked2(sc, a, b, in.Imm)
+		if !ok {
+			return false
+		}
+		m.setMedia(in.Dst, r)
+		return true
+	}
+
+	// Vector path. The second operand may be a media register, in which case
+	// it is broadcast across all active words (handy for per-lane constants).
+	for k := 0; k < m.VL; k++ {
+		a := m.V[in.Src[0].Idx][k]
+		var b uint64
+		if in.Src[1].Valid() {
+			if in.Src[1].Kind == isa.KindMedia {
+				b = m.M[in.Src[1].Idx]
+			} else {
+				b = m.V[in.Src[1].Idx][k]
+			}
+		}
+		r, ok := evalPacked2(sc, a, b, in.Imm)
+		if !ok {
+			return false
+		}
+		m.V[in.Dst.Idx][k] = r
+	}
+	return true
+}
+
+// packedSrc reads a packed operand: a media register, or an integer register
+// for the splat instructions.
+func (m *Machine) packedSrc(r isa.Reg) uint64 {
+	if r.Kind == isa.KindInt {
+		return m.reg(r)
+	}
+	return m.M[r.Idx]
+}
+
+// accStep applies one packed accumulation step.
+func accStep(op isa.Opcode, a *simd.Acc, x, y uint64) bool {
+	switch op {
+	case isa.ACCADDB:
+		a.AddB(x)
+	case isa.ACCADDH:
+		a.AddH(x)
+	case isa.ACCSUBB:
+		a.SubB(x)
+	case isa.ACCSUBH:
+		a.SubH(x)
+	case isa.ACCMULB:
+		a.MulB(x, y)
+	case isa.ACCMULH, isa.ACCMACH:
+		a.MulH(x, y)
+	case isa.ACCABDB:
+		a.AbsDB(x, y)
+	case isa.ACCABDH:
+		a.AbsDH(x, y)
+	case isa.ACCSQDB:
+		a.SqDB(x, y)
+	case isa.ACCSQDH:
+		a.SqDH(x, y)
+	default:
+		return false
+	}
+	return true
+}
+
+// evalPacked2 computes a two-operand packed operation on 64-bit words.
+func evalPacked2(op isa.Opcode, a, b uint64, imm int64) (uint64, bool) {
+	switch op {
+	case isa.PADDB:
+		return simd.AddB(a, b), true
+	case isa.PADDH:
+		return simd.AddH(a, b), true
+	case isa.PADDW:
+		return simd.AddW(a, b), true
+	case isa.PADDSB:
+		return simd.AddSB(a, b), true
+	case isa.PADDSH:
+		return simd.AddSH(a, b), true
+	case isa.PADDUSB:
+		return simd.AddUSB(a, b), true
+	case isa.PADDUSH:
+		return simd.AddUSH(a, b), true
+	case isa.PSUBB:
+		return simd.SubB(a, b), true
+	case isa.PSUBH:
+		return simd.SubH(a, b), true
+	case isa.PSUBW:
+		return simd.SubW(a, b), true
+	case isa.PSUBSB:
+		return simd.SubSB(a, b), true
+	case isa.PSUBSH:
+		return simd.SubSH(a, b), true
+	case isa.PSUBUSB:
+		return simd.SubUSB(a, b), true
+	case isa.PSUBUSH:
+		return simd.SubUSH(a, b), true
+	case isa.PMULLH:
+		return simd.MulLH(a, b), true
+	case isa.PMULHH:
+		return simd.MulHH(a, b), true
+	case isa.PMULHUH:
+		return simd.MulHUH(a, b), true
+	case isa.PMADDH:
+		return simd.MAddH(a, b), true
+	case isa.PAVGB:
+		return simd.AvgB(a, b), true
+	case isa.PAVGH:
+		return simd.AvgH(a, b), true
+	case isa.PABSDB:
+		return simd.AbsDB(a, b), true
+	case isa.PABSDH:
+		return simd.AbsDH(a, b), true
+	case isa.PSADBW:
+		return simd.SADBW(a, b), true
+	case isa.PMINUB:
+		return simd.MinUB(a, b), true
+	case isa.PMAXUB:
+		return simd.MaxUB(a, b), true
+	case isa.PMINSH:
+		return simd.MinSH(a, b), true
+	case isa.PMAXSH:
+		return simd.MaxSH(a, b), true
+	case isa.PCMPEQB:
+		return simd.CmpEqB(a, b), true
+	case isa.PCMPEQH:
+		return simd.CmpEqH(a, b), true
+	case isa.PCMPGTB:
+		return simd.CmpGtB(a, b), true
+	case isa.PCMPGTH:
+		return simd.CmpGtH(a, b), true
+	case isa.PCMPGTUB:
+		return simd.CmpGtUB(a, b), true
+	case isa.PAND:
+		return a & b, true
+	case isa.POR:
+		return a | b, true
+	case isa.PXOR:
+		return a ^ b, true
+	case isa.PANDN:
+		return a &^ b, true
+	case isa.PSLLH:
+		return simd.SllH(a, uint(imm)), true
+	case isa.PSLLW:
+		return simd.SllW(a, uint(imm)), true
+	case isa.PSLLQ:
+		if imm >= 64 {
+			return 0, true
+		}
+		return a << uint(imm), true
+	case isa.PSRLH:
+		return simd.SrlH(a, uint(imm)), true
+	case isa.PSRLW:
+		return simd.SrlW(a, uint(imm)), true
+	case isa.PSRLQ:
+		if imm >= 64 {
+			return 0, true
+		}
+		return a >> uint(imm), true
+	case isa.PSRAH:
+		return simd.SraH(a, uint(imm)), true
+	case isa.PSRAW:
+		return simd.SraW(a, uint(imm)), true
+	case isa.PACKSSHB:
+		return simd.PackSSHB(a, b), true
+	case isa.PACKUSHB:
+		return simd.PackUSHB(a, b), true
+	case isa.PACKSSWH:
+		return simd.PackSSWH(a, b), true
+	case isa.PUNPKLB:
+		return simd.UnpackLB(a, b), true
+	case isa.PUNPKHB:
+		return simd.UnpackHB(a, b), true
+	case isa.PUNPKLH:
+		return simd.UnpackLH(a, b), true
+	case isa.PUNPKHH:
+		return simd.UnpackHH(a, b), true
+	case isa.PUNPKLW:
+		return simd.UnpackLW(a, b), true
+	case isa.PUNPKHW:
+		return simd.UnpackHW(a, b), true
+	case isa.PSPLATB:
+		return simd.SplatB(a), true
+	case isa.PSPLATH:
+		return simd.SplatH(a), true
+	case isa.PMOV:
+		return a, true
+	}
+	return 0, false
+}

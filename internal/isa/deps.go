@@ -1,0 +1,47 @@
+package isa
+
+// DepsOf returns the architectural destination register and source registers
+// of an instruction, normalising the implicit operands:
+//
+//   - CMOV* and MOMINS read their destination.
+//   - Accumulator read-modify-write ops (ACC*, MOMMPVH) read their
+//     destination accumulator.
+//   - Every MOM vector op implicitly reads VL.
+//   - SETVL/SETVLI write VL.
+//
+// Invalid (zero) Reg values in the returned srcs array mean "no operand".
+// Reads of the hardwired zero register are reported as no operand.
+func DepsOf(in *Inst) (dst Reg, srcs [4]Reg) {
+	dst = in.Dst
+	n := 0
+	addSrc := func(r Reg) {
+		if !r.Valid() || (r.Kind == KindInt && r.Idx == 31) {
+			return
+		}
+		srcs[n] = r
+		n++
+	}
+	for _, r := range in.Src {
+		addSrc(r)
+	}
+	switch in.Op {
+	case CMOVEQ, CMOVNE, CMOVLT, CMOVGE, MOMINS:
+		addSrc(in.Dst)
+	case SETVL, SETVLI:
+		dst = VLReg
+	}
+	// Accumulator RMW: every ACC op except ACLR/WACH/WACB reads the acc.
+	sc := in.Op.Scalar()
+	if sc >= ACCADDB && sc <= ACCSQDH || in.Op == MOMMPVH {
+		addSrc(in.Dst)
+	}
+	// MOM vector ops depend on VL.
+	cls := in.Op.Info().Class
+	if cls.IsVector() {
+		addSrc(VLReg)
+	}
+	if dst.Kind == KindInt && dst.Idx == 31 {
+		dst = Reg{} // writes to the zero register are discarded
+	}
+	return dst, srcs
+}

@@ -1,0 +1,30 @@
+package isa
+
+// Ext identifies which ISA level a program (or machine configuration) uses.
+// The baseline is always the Alpha-like scalar ISA; the three extensions add
+// the multimedia register files and opcodes they introduce.
+type Ext uint8
+
+const (
+	ExtAlpha Ext = iota // scalar baseline only
+	ExtMMX              // + packed ops on media registers
+	ExtMDMX             // + packed accumulators
+	ExtMOM              // + matrix registers, VL, strided vector memory
+)
+
+func (e Ext) String() string {
+	switch e {
+	case ExtAlpha:
+		return "Alpha"
+	case ExtMMX:
+		return "MMX"
+	case ExtMDMX:
+		return "MDMX"
+	case ExtMOM:
+		return "MOM"
+	}
+	return "?"
+}
+
+// AllExts lists the four ISA levels in the paper's order.
+var AllExts = []Ext{ExtAlpha, ExtMMX, ExtMDMX, ExtMOM}

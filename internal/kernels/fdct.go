@@ -1,0 +1,148 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// Forward-DCT emitters, mirroring the IDCT structure. The encoders
+// vectorise their DCT exactly like the decoders' IDCT: column pass ->
+// transpose -> column pass -> transpose, with the symmetric/antisymmetric
+// input split (s[n] = x[n]+x[7-n], d[n] = x[n]-x[7-n]) replacing the
+// even/odd output split.
+
+// emitFDCTColPassPromote: one forward column pass over both 4-column
+// groups with 32-bit promotion (MMX/MOM path).
+func emitFDCTColPassPromote(p pix, src, dst, stride isa.Reg, coefP, biasW isa.Reg, prescale bool) {
+	b := p.b
+	coefM := isa.M(15)
+	for _, off := range []int64{0, 8} {
+		for u := 0; u < 8; u++ {
+			p.ld(p.r(idctX[u]), src, stride, int64(u*16)+off)
+			if prescale {
+				p.opi(isa.PSLLH, p.r(idctX[u]), p.r(idctX[u]), media.FDCTPre)
+			}
+		}
+		// In-place symmetric split: x[n] <- s[n], x[7-n] <- d[n].
+		t := p.r(idctTmp[0])
+		for n := 0; n < 4; n++ {
+			p.op(isa.PADDH, t, p.r(idctX[n]), p.r(idctX[7-n]))
+			p.op(isa.PSUBH, p.r(idctX[7-n]), p.r(idctX[n]), p.r(idctX[7-n]))
+			p.op(isa.PMOV, p.r(idctX[n]), t, isa.Reg{})
+		}
+		// X[2k] from s (x[0..3]); X[2k+1] from d (x[7-n] holds d[n]).
+		for k := 0; k < 4; k++ {
+			accL, accH := p.r(idctAccs[0]), p.r(idctAccs[1])
+			lo, hi, pt := p.r(idctTmp[0]), p.r(idctTmp[1]), p.r(idctTmp[2])
+			emitMACGroup := func(coefRow int, operand func(n int) isa.Reg, outRow int) {
+				p.broadcast(accL, biasW)
+				p.broadcast(accH, biasW)
+				for n := 0; n < 4; n++ {
+					b.Ldm(coefM, coefP, int64(8*(coefRow*8+n)))
+					p.op(isa.PMULLH, lo, operand(n), coefM)
+					p.op(isa.PMULHH, hi, operand(n), coefM)
+					p.op(isa.PUNPKLH, pt, lo, hi)
+					p.op(isa.PADDW, accL, accL, pt)
+					p.op(isa.PUNPKHH, pt, lo, hi)
+					p.op(isa.PADDW, accH, accH, pt)
+				}
+				p.opi(isa.PSRAW, accL, accL, 16)
+				p.opi(isa.PSRAW, accH, accH, 16)
+				p.op(isa.PACKSSWH, accL, accL, accH)
+				p.st(accL, dst, stride, int64(outRow*16)+off)
+			}
+			emitMACGroup(2*k, func(n int) isa.Reg { return p.r(idctX[n]) }, 2*k)
+			emitMACGroup(2*k+1, func(n int) isa.Reg { return p.r(idctX[7-n]) }, 2*k+1)
+		}
+	}
+}
+
+// emitFDCTColPassAcc: the MDMX accumulator version of the forward pass.
+func emitFDCTColPassAcc(b *asm.Builder, src, dst isa.Reg, coefP isa.Reg, m256, m128 isa.Reg, prescale bool) {
+	coefM := isa.M(15)
+	res := isa.M(14)
+	t := isa.M(13)
+	for _, off := range []int64{0, 8} {
+		for u := 0; u < 8; u++ {
+			b.Ldm(isa.M(idctX[u]), src, off+int64(u*16))
+			if prescale {
+				b.OpI(isa.PSLLH, isa.M(idctX[u]), isa.M(idctX[u]), media.FDCTPre)
+			}
+		}
+		for n := 0; n < 4; n++ {
+			b.Op(isa.PADDH, t, isa.M(idctX[n]), isa.M(idctX[7-n]))
+			b.Op(isa.PSUBH, isa.M(idctX[7-n]), isa.M(idctX[n]), isa.M(idctX[7-n]))
+			b.Op(isa.PMOV, isa.M(idctX[n]), t, isa.Reg{})
+		}
+		for k := 0; k < 4; k++ {
+			for sub := 0; sub < 2; sub++ { // even then odd output
+				u := 2*k + sub
+				a := isa.A(u % 2)
+				b.Op(isa.ACLR, a, isa.Reg{}, isa.Reg{})
+				for n := 0; n < 4; n++ {
+					b.Ldm(coefM, coefP, int64(8*(u*8+n)))
+					operand := isa.M(idctX[n])
+					if sub == 1 {
+						operand = isa.M(idctX[7-n])
+					}
+					b.Op(isa.ACCMULH, a, operand, coefM)
+				}
+				b.Op(isa.ACCMULH, a, m256, m128)
+				b.OpI(isa.RACH, res, a, 16)
+				b.Stm(res, dst, off+int64(u*16))
+			}
+		}
+	}
+}
+
+// emitFDCTAlphaBlock: scalar forward transform of one block (blkP -> outP),
+// using t1P as the inter-pass scratch block.
+func emitFDCTAlphaBlock(b *asm.Builder, blkP, outP, t1P isa.Reg) {
+	x := [8]isa.Reg{isa.R(11), isa.R(12), isa.R(13), isa.R(14), isa.R(15), isa.R(16), isa.R(17), isa.R(18)}
+	acc, t, hi16, lo16 := isa.R(19), isa.R(20), isa.R(21), isa.R(22)
+	b.MovI(hi16, 32767)
+	b.MovI(lo16, -32768)
+	clamp := func() {
+		b.Sub(t, hi16, acc)
+		b.Op(isa.CMOVLT, acc, t, hi16)
+		b.Sub(t, acc, lo16)
+		b.Op(isa.CMOVLT, acc, t, lo16)
+	}
+	mac := func(coef func(n int) int64) {
+		b.MovI(acc, int64(media.DCTBias))
+		for n := 0; n < 8; n++ {
+			b.MulI(t, x[n], coef(n))
+			b.Add(acc, acc, t)
+		}
+		b.SraI(acc, acc, 16)
+		clamp()
+	}
+	// Column pass with prescale into t1.
+	for j := 0; j < 8; j++ {
+		for n := 0; n < 8; n++ {
+			b.Ldwu(x[n], blkP, int64(n*16+2*j))
+			b.Op(isa.SEXTW, x[n], x[n], isa.Reg{})
+			b.SllI(x[n], x[n], media.FDCTPre)
+		}
+		for u := 0; u < 8; u++ {
+			uu := u
+			mac(func(n int) int64 { return int64(media.DCTMat[uu][n]) })
+			b.Stw(acc, t1P, int64(u*16+2*j))
+		}
+	}
+	// Row pass with descale into out.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			b.Ldwu(x[v], t1P, int64(u*16+2*v))
+			b.Op(isa.SEXTW, x[v], x[v], isa.Reg{})
+		}
+		for vv := 0; vv < 8; vv++ {
+			v := vv
+			mac(func(n int) int64 { return int64(media.DCTMat[v][n]) })
+			b.AddI(acc, acc, 1<<(media.FDCTPost-1))
+			b.SraI(acc, acc, media.FDCTPost)
+			b.Stw(acc, outP, int64(u*16+2*vv))
+		}
+	}
+}

@@ -1,0 +1,771 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// taskLoop iterates a table of nAddr 64-bit addresses per task, loading them
+// into addrRegs and invoking body.
+func taskLoop(b *asm.Builder, nTasks, nAddr int, addrRegs []isa.Reg, body func()) {
+	taskLoopSym(b, "tasks", nTasks, nAddr, addrRegs, body)
+}
+
+// taskLoopSym is taskLoop over an arbitrarily named task table symbol.
+func taskLoopSym(b *asm.Builder, sym string, nTasks, nAddr int, addrRegs []isa.Reg, body func()) {
+	tab, ctr := isa.R(1), isa.R(3)
+	b.MovI(tab, int64(b.Sym(sym)))
+	b.Loop(ctr, int64(nTasks), func() {
+		for i := 0; i < nAddr; i++ {
+			b.Ldq(addrRegs[i], tab, int64(8*i))
+		}
+		body()
+		b.AddI(tab, tab, int64(8*nAddr))
+	})
+}
+
+// blockGrid returns top-left corners of bxb blocks covering the plane.
+func blockGrid(w, h, blk, step int) [][2]int {
+	var out [][2]int
+	for y := 0; y+blk <= h; y += step {
+		for x := 0; x+blk <= w; x += step {
+			out = append(out, [2]int{x, y})
+		}
+	}
+	return out
+}
+
+// ---- compensation: bidirectional motion compensation (pred = avg) ----
+
+// NewCompensation builds the mpeg2 motion-compensation kernel: for each
+// 16x16 block, pred = (fwd + bwd + 1) >> 1.
+func NewCompensation(sc Scale) Kernel {
+	w, h := 64, 48
+	if sc == ScaleBench {
+		w, h = 128, 96
+	}
+	seed := uint64(21)
+	blocks := blockGrid(w, h, 16, 16)
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("compensation-" + ext.String())
+		fwd := media.GenFrame(w, h, 0, seed)
+		bwd := media.GenFrame(w, h, 2, seed)
+		fA := b.AllocBytes("fwd", fwd.Pix, 8)
+		bA := b.AllocBytes("bwd", bwd.Pix, 8)
+		oA := b.Alloc("out", w*h, 8)
+		var flat []uint64
+		for _, bl := range blocks {
+			off := uint64(bl[1]*w + bl[0])
+			flat = append(flat, fA+off, bA+off, oA+off)
+		}
+		b.AllocQ("tasks", flat, 8)
+
+		fR, bR, oR := isa.R(8), isa.R(9), isa.R(10)
+		switch ext {
+		case isa.ExtAlpha:
+			taskLoop(b, len(blocks), 3, []isa.Reg{fR, bR, oR}, func() {
+				x, y, row := isa.R(11), isa.R(12), isa.R(13)
+				fp, bp, op := isa.R(14), isa.R(15), isa.R(16)
+				b.Mov(fp, fR)
+				b.Mov(bp, bR)
+				b.Mov(op, oR)
+				b.Loop(row, 16, func() {
+					for i := int64(0); i < 16; i++ {
+						b.Ldbu(x, fp, i)
+						b.Ldbu(y, bp, i)
+						b.Add(x, x, y)
+						b.AddI(x, x, 1)
+						b.SrlI(x, x, 1)
+						b.Stb(x, op, i)
+					}
+					b.AddI(fp, fp, int64(w))
+					b.AddI(bp, bp, int64(w))
+					b.AddI(op, op, int64(w))
+				})
+			})
+		case isa.ExtMMX, isa.ExtMDMX:
+			p := pix{b: b, vec: false}
+			taskLoop(b, len(blocks), 3, []isa.Reg{fR, bR, oR}, func() {
+				row := isa.R(13)
+				fp, bp, op := isa.R(14), isa.R(15), isa.R(16)
+				b.Mov(fp, fR)
+				b.Mov(bp, bR)
+				b.Mov(op, oR)
+				b.Loop(row, 16, func() {
+					for _, off := range []int64{0, 8} {
+						p.ld(p.r(0), fp, isa.Reg{}, off)
+						p.ld(p.r(1), bp, isa.Reg{}, off)
+						p.op(isa.PAVGB, p.r(2), p.r(0), p.r(1))
+						p.st(p.r(2), op, isa.Reg{}, off)
+					}
+					b.AddI(fp, fp, int64(w))
+					b.AddI(bp, bp, int64(w))
+					b.AddI(op, op, int64(w))
+				})
+			})
+		case isa.ExtMOM:
+			p := pix{b: b, vec: true}
+			stride := isa.R(20)
+			b.MovI(stride, int64(w))
+			b.SetVLI(16)
+			taskLoop(b, len(blocks), 3, []isa.Reg{fR, bR, oR}, func() {
+				for _, off := range []int64{0, 8} {
+					p.ld(p.r(0), fR, stride, off)
+					p.ld(p.r(1), bR, stride, off)
+					p.op(isa.PAVGB, p.r(2), p.r(0), p.r(1))
+					p.st(p.r(2), oR, stride, off)
+				}
+			})
+		}
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		fwd := media.GenFrame(w, h, 0, seed)
+		bwd := media.GenFrame(w, h, 2, seed)
+		want := make([]byte, w*h)
+		for _, bl := range blocks {
+			for j := 0; j < 16; j++ {
+				for i := 0; i < 16; i++ {
+					x, y := bl[0]+i, bl[1]+j
+					want[y*w+x] = byte((uint16(fwd.At(x, y)) + uint16(bwd.At(x, y)) + 1) >> 1)
+				}
+			}
+		}
+		got := readBytes(m, prog.Sym("out"), w*h)
+		for i := range want {
+			if got[i] != want[i] {
+				return mismatch(prog.Name, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: "compensation", Build: build, Verify: verify}
+}
+
+// ---- addblock: residual reconstruction with saturation ----
+
+// NewAddBlock builds the mpeg2 addblock kernel: out = sat8(pred + residual)
+// over 8x8 blocks. The Alpha version saturates through a memory lookup
+// table, exactly like the original mpeg2 code (which is why it is
+// memory-bound); the multimedia versions use saturating packed arithmetic.
+func NewAddBlock(sc Scale) Kernel {
+	w, h := 64, 48
+	if sc == ScaleBench {
+		w, h = 128, 96
+	}
+	seed := uint64(31)
+	blocks := blockGrid(w, h, 8, 8)
+	genResiduals := func() []int16 {
+		rng := media.NewRNG(seed + 1)
+		res := make([]int16, 64*len(blocks))
+		for i := range res {
+			res[i] = rng.I16(300)
+		}
+		return res
+	}
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("addblock-" + ext.String())
+		pred := media.GenFrame(w, h, 0, seed)
+		res := genResiduals()
+		pA := b.AllocBytes("pred", pred.Pix, 8)
+		rA := b.AllocH("res", res, 8)
+		oA := b.Alloc("out", w*h, 8)
+		// Saturation lookup table covering sums in [-512, 1023].
+		tab := make([]byte, 1536)
+		for i := range tab {
+			v := i - 512
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			tab[i] = byte(v)
+		}
+		b.AllocBytes("cliptab", tab, 8)
+		var flat []uint64
+		for bi, bl := range blocks {
+			flat = append(flat, pA+uint64(bl[1]*w+bl[0]), rA+uint64(128*bi), oA+uint64(bl[1]*w+bl[0]))
+		}
+		b.AllocQ("tasks", flat, 8)
+
+		pR, rR, oR := isa.R(8), isa.R(9), isa.R(10)
+		switch ext {
+		case isa.ExtAlpha:
+			tabR := isa.R(20)
+			b.MovI(tabR, int64(b.Sym("cliptab")))
+			taskLoop(b, len(blocks), 3, []isa.Reg{pR, rR, oR}, func() {
+				x, y, a, row := isa.R(11), isa.R(12), isa.R(13), isa.R(14)
+				pp, rp, op := isa.R(15), isa.R(16), isa.R(17)
+				b.Mov(pp, pR)
+				b.Mov(rp, rR)
+				b.Mov(op, oR)
+				b.Loop(row, 8, func() {
+					for i := int64(0); i < 8; i++ {
+						b.Ldbu(x, pp, i)
+						b.Ldwu(y, rp, 2*i)
+						b.Op(isa.SEXTW, y, y, isa.Reg{})
+						b.Add(x, x, y)
+						b.Add(a, tabR, x)
+						b.Ldbu(x, a, 512)
+						b.Stb(x, op, i)
+					}
+					b.AddI(pp, pp, int64(w))
+					b.AddI(rp, rp, 16)
+					b.AddI(op, op, int64(w))
+				})
+			})
+		case isa.ExtMMX, isa.ExtMDMX:
+			p := pix{b: b, vec: false}
+			b.Op(isa.PZERO, isa.M(31), isa.Reg{}, isa.Reg{})
+			taskLoop(b, len(blocks), 3, []isa.Reg{pR, rR, oR}, func() {
+				row := isa.R(14)
+				pp, rp, op := isa.R(15), isa.R(16), isa.R(17)
+				b.Mov(pp, pR)
+				b.Mov(rp, rR)
+				b.Mov(op, oR)
+				b.Loop(row, 8, func() {
+					p.ld(p.r(0), pp, isa.Reg{}, 0)
+					p.op(isa.PUNPKLB, p.r(1), p.r(0), isa.M(31))
+					p.op(isa.PUNPKHB, p.r(2), p.r(0), isa.M(31))
+					p.ld(p.r(3), rp, isa.Reg{}, 0)
+					p.ld(p.r(4), rp, isa.Reg{}, 8)
+					p.op(isa.PADDH, p.r(1), p.r(1), p.r(3))
+					p.op(isa.PADDH, p.r(2), p.r(2), p.r(4))
+					p.op(isa.PACKUSHB, p.r(5), p.r(1), p.r(2))
+					p.st(p.r(5), op, isa.Reg{}, 0)
+					b.AddI(pp, pp, int64(w))
+					b.AddI(rp, rp, 16)
+					b.AddI(op, op, int64(w))
+				})
+			})
+		case isa.ExtMOM:
+			p := pix{b: b, vec: true}
+			strideW, stride16 := isa.R(20), isa.R(21)
+			b.MovI(strideW, int64(w))
+			b.MovI(stride16, 16)
+			b.Op(isa.PZERO, isa.M(31), isa.Reg{}, isa.Reg{})
+			b.SetVLI(8)
+			taskLoop(b, len(blocks), 3, []isa.Reg{pR, rR, oR}, func() {
+				p.ld(p.r(0), pR, strideW, 0)
+				p.op(isa.PUNPKLB, p.r(1), p.r(0), isa.M(31))
+				p.op(isa.PUNPKHB, p.r(2), p.r(0), isa.M(31))
+				p.ld(p.r(3), rR, stride16, 0)
+				p.ld(p.r(4), rR, stride16, 8)
+				p.op(isa.PADDH, p.r(1), p.r(1), p.r(3))
+				p.op(isa.PADDH, p.r(2), p.r(2), p.r(4))
+				p.op(isa.PACKUSHB, p.r(5), p.r(1), p.r(2))
+				p.st(p.r(5), oR, strideW, 0)
+			})
+		}
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		pred := media.GenFrame(w, h, 0, seed)
+		res := genResiduals()
+		want := make([]byte, w*h)
+		for bi, bl := range blocks {
+			for j := 0; j < 8; j++ {
+				for i := 0; i < 8; i++ {
+					x, y := bl[0]+i, bl[1]+j
+					v := int32(pred.At(x, y)) + int32(res[64*bi+8*j+i])
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					want[y*w+x] = byte(v)
+				}
+			}
+		}
+		got := readBytes(m, prog.Sym("out"), w*h)
+		for i := range want {
+			if got[i] != want[i] {
+				return mismatch(prog.Name, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: "addblock", Build: build, Verify: verify}
+}
+
+// ---- h2v2upsample: 2x image zoom with the triangular filter ----
+
+// NewH2V2 builds the jpeg h2v2 upsampling kernel (image zoom).
+func NewH2V2(sc Scale) Kernel {
+	w, h := 48, 32
+	if sc == ScaleBench {
+		w, h = 96, 64
+	}
+	seed := uint64(41)
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("h2v2-" + ext.String())
+		in := media.GenFrame(w, h, 0, seed)
+		b.AllocBytes("in", in.Pix, 8)
+		b.Alloc("tmp", 2*h*w*2, 8) // 2h rows of w int16
+		b.Alloc("out", 2*w*2*h, 8)
+		emitH2V2(b, ext, w, h)
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		in := media.GenFrame(w, h, 0, seed)
+		want := media.H2V2Upsample(in)
+		got := readBytes(m, prog.Sym("out"), 2*w*2*h)
+		for i := range want.Pix {
+			if got[i] != want.Pix[i] {
+				return fmt.Errorf("%s: pixel (%d,%d): got %d, want %d",
+					prog.Name, i%(2*w), i/(2*w), got[i], want.Pix[i])
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: "h2v2upsample", Build: build, Verify: verify}
+}
+
+// emitH2V2 emits the two-phase upsampler. tmpRowB is the tmp row pitch in
+// bytes (w int16 samples).
+func emitH2V2(b *asm.Builder, ext isa.Ext, w, h int) {
+	EmitH2V2(b, ext, w, h, "in", "tmp", "out")
+}
+
+// EmitH2V2 appends the full 2x upsampler over named plane symbols (input
+// w x h bytes; tmp 2h rows of w int16; out 2w x 2h bytes).
+func EmitH2V2(b *asm.Builder, ext isa.Ext, w, h int, inSym, tmpSym, outSym string) {
+	inA, tmpA, outA := int64(b.Sym(inSym)), int64(b.Sym(tmpSym)), int64(b.Sym(outSym))
+	switch ext {
+	case isa.ExtAlpha:
+		emitH2V2VertScalar(b, w, h, 0, h, inA, tmpA)
+		emitH2V2HorizScalar(b, w, h, 0, 2*h, tmpA, outA)
+	case isa.ExtMMX, isa.ExtMDMX:
+		emitH2V2VertPacked(b, w, h, inA, tmpA)
+		emitH2V2HorizPacked(b, w, h, tmpA, outA)
+	case isa.ExtMOM:
+		emitH2V2VertMOM(b, w, h, inA, tmpA)
+		emitH2V2HorizMOM(b, w, h, tmpA, outA)
+	}
+}
+
+// emitH2V2VertScalar: vertical pass for rows [j0,j1).
+func emitH2V2VertScalar(b *asm.Builder, w, h, j0, j1 int, inA, tmpA int64) {
+	if j1 <= j0 {
+		return
+	}
+	tmpRowB := int64(2 * w)
+	j, jc := isa.R(8), isa.R(9)
+	cp, up, dp, t0 := isa.R(10), isa.R(11), isa.R(12), isa.R(13)
+	c, u, d, s3 := isa.R(14), isa.R(15), isa.R(16), isa.R(17)
+	r0p, r1p, i, ic := isa.R(18), isa.R(19), isa.R(20), isa.R(21)
+	b.LoopVar(jc, j, int64(j0), 1, int64(j1-j0), func() {
+		// Row pointers with border clamping via CMOV.
+		b.MulI(cp, j, int64(w))
+		b.AddI(cp, cp, inA)
+		b.AddI(up, cp, int64(-w))
+		b.Mov(t0, j) // j==0 -> up = cp
+		b.Op(isa.CMOVEQ, up, t0, cp)
+		b.AddI(dp, cp, int64(w))
+		b.AddI(t0, j, int64(-(h - 1))) // j==h-1 -> down = cp
+		b.Op(isa.CMOVEQ, dp, t0, cp)
+		b.MulI(r0p, j, 2*tmpRowB)
+		b.AddI(r0p, r0p, tmpA)
+		b.AddI(r1p, r0p, tmpRowB)
+		b.LoopVar(ic, i, 0, 1, int64(w), func() {
+			b.Ldbu(c, cp, 0)
+			b.Ldbu(u, up, 0)
+			b.Ldbu(d, dp, 0)
+			b.Add(s3, c, c)
+			b.Add(s3, s3, c)
+			b.Add(t0, s3, u)
+			b.AddI(t0, t0, 2)
+			b.SrlI(t0, t0, 2)
+			b.Stw(t0, r0p, 0)
+			b.Add(t0, s3, d)
+			b.AddI(t0, t0, 1)
+			b.SrlI(t0, t0, 2)
+			b.Stw(t0, r1p, 0)
+			b.AddI(cp, cp, 1)
+			b.AddI(up, up, 1)
+			b.AddI(dp, dp, 1)
+			b.AddI(r0p, r0p, 2)
+			b.AddI(r1p, r1p, 2)
+		})
+	})
+}
+
+// emitH2V2HorizScalar: horizontal pass over tmp rows [r0,r1).
+func emitH2V2HorizScalar(b *asm.Builder, w, h, r0, r1 int, tmpA, outA int64) {
+	if r1 <= r0 {
+		return
+	}
+	tmpRowB := int64(2 * w)
+	outRowB := int64(2 * w) // 2w bytes per output row
+	j, jc := isa.R(8), isa.R(9)
+	tp, op, t0 := isa.R(10), isa.R(11), isa.R(12)
+	c, l, rr, s3 := isa.R(13), isa.R(14), isa.R(15), isa.R(16)
+	i, ic := isa.R(17), isa.R(18)
+	b.LoopVar(jc, j, int64(r0), 1, int64(r1-r0), func() {
+		b.MulI(tp, j, tmpRowB)
+		b.AddI(tp, tp, tmpA)
+		b.MulI(op, j, outRowB)
+		b.AddI(op, op, outA)
+		// Border: out[0] = tmp[0]; out[1] = (3*t0 + t1 + 1) >> 2.
+		b.Ldwu(c, tp, 0)
+		b.Stb(c, op, 0)
+		b.Ldwu(rr, tp, 2)
+		b.Add(s3, c, c)
+		b.Add(s3, s3, c)
+		b.Add(t0, s3, rr)
+		b.AddI(t0, t0, 1)
+		b.SrlI(t0, t0, 2)
+		b.Stb(t0, op, 1)
+		// Interior i in [1, w-2].
+		b.AddI(tp, tp, 2)
+		b.AddI(op, op, 2)
+		b.LoopVar(ic, i, 1, 1, int64(w-2), func() {
+			b.Ldwu(c, tp, 0)
+			b.Ldwu(l, tp, -2)
+			b.Ldwu(rr, tp, 2)
+			b.Add(s3, c, c)
+			b.Add(s3, s3, c)
+			b.Add(t0, s3, l)
+			b.AddI(t0, t0, 2)
+			b.SrlI(t0, t0, 2)
+			b.Stb(t0, op, 0)
+			b.Add(t0, s3, rr)
+			b.AddI(t0, t0, 1)
+			b.SrlI(t0, t0, 2)
+			b.Stb(t0, op, 1)
+			b.AddI(tp, tp, 2)
+			b.AddI(op, op, 2)
+		})
+		// Border: out[2w-2] = (3*t[w-1] + t[w-2] + 2) >> 2; out[2w-1] = t[w-1].
+		b.Ldwu(c, tp, 0)
+		b.Ldwu(l, tp, -2)
+		b.Add(s3, c, c)
+		b.Add(s3, s3, c)
+		b.Add(t0, s3, l)
+		b.AddI(t0, t0, 2)
+		b.SrlI(t0, t0, 2)
+		b.Stb(t0, op, 0)
+		b.Stb(c, op, 1)
+	})
+}
+
+// emitH2V2VertPacked: vertical pass, 8 pixels per iteration. Used by
+// MMX/MDMX for all rows.
+func emitH2V2VertPacked(b *asm.Builder, w, h int, inA, tmpA int64) {
+	p := pix{b: b, vec: false}
+	tmpRowB := int64(2 * w)
+	j, jc := isa.R(8), isa.R(9)
+	cp, up, dp, t0 := isa.R(10), isa.R(11), isa.R(12), isa.R(13)
+	r0p, ic := isa.R(18), isa.R(21)
+	mz, m2, m1 := isa.M(29), isa.M(30), isa.M(28)
+	b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+	b.MovI(t0, 2)
+	b.Op(isa.PSPLATH, m2, t0, isa.Reg{})
+	b.MovI(t0, 1)
+	b.Op(isa.PSPLATH, m1, t0, isa.Reg{})
+	b.LoopVar(jc, j, 0, 1, int64(h), func() {
+		b.MulI(cp, j, int64(w))
+		b.AddI(cp, cp, inA)
+		b.AddI(up, cp, int64(-w))
+		b.Mov(t0, j)
+		b.Op(isa.CMOVEQ, up, t0, cp)
+		b.AddI(dp, cp, int64(w))
+		b.AddI(t0, j, int64(-(h - 1)))
+		b.Op(isa.CMOVEQ, dp, t0, cp)
+		b.MulI(r0p, j, 2*tmpRowB)
+		b.AddI(r0p, r0p, tmpA)
+		b.Loop(ic, int64(w/8), func() {
+			emitVertBlend(p, cp, up, dp, r0p, isa.Reg{}, isa.Reg{}, tmpRowB, mz, m2, m1)
+			b.AddI(cp, cp, 8)
+			b.AddI(up, up, 8)
+			b.AddI(dp, dp, 8)
+			b.AddI(r0p, r0p, 16)
+		})
+	})
+}
+
+// emitVertBlend emits the 8-pixel vertical blend shared by the packed and
+// matrix paths. In vector mode, strideIn/strideOut carry the row strides.
+func emitVertBlend(p pix, cp, up, dp, r0p isa.Reg, strideIn, strideOut isa.Reg, tmpRowB int64, mz, m2, m1 isa.Reg) {
+	c, u, d := p.r(0), p.r(1), p.r(2)
+	clo, chi, ulo, uhi, dlo, dhi := p.r(3), p.r(4), p.r(5), p.r(6), p.r(7), p.r(8)
+	s3lo, s3hi, t := p.r(9), p.r(10), p.r(11)
+	p.ld(c, cp, strideIn, 0)
+	p.ld(u, up, strideIn, 0)
+	p.ld(d, dp, strideIn, 0)
+	p.op(isa.PUNPKLB, clo, c, mz)
+	p.op(isa.PUNPKHB, chi, c, mz)
+	p.op(isa.PUNPKLB, ulo, u, mz)
+	p.op(isa.PUNPKHB, uhi, u, mz)
+	p.op(isa.PUNPKLB, dlo, d, mz)
+	p.op(isa.PUNPKHB, dhi, d, mz)
+	p.op(isa.PADDH, s3lo, clo, clo)
+	p.op(isa.PADDH, s3lo, s3lo, clo)
+	p.op(isa.PADDH, s3hi, chi, chi)
+	p.op(isa.PADDH, s3hi, s3hi, chi)
+	// r0 = (3c + up + 2) >> 2
+	p.op(isa.PADDH, t, s3lo, ulo)
+	p.op(isa.PADDH, t, t, m2)
+	p.opi(isa.PSRAH, t, t, 2)
+	p.st(t, r0p, strideOut, 0)
+	p.op(isa.PADDH, t, s3hi, uhi)
+	p.op(isa.PADDH, t, t, m2)
+	p.opi(isa.PSRAH, t, t, 2)
+	p.st(t, r0p, strideOut, 8)
+	// r1 = (3c + down + 1) >> 2
+	p.op(isa.PADDH, t, s3lo, dlo)
+	p.op(isa.PADDH, t, t, m1)
+	p.opi(isa.PSRAH, t, t, 2)
+	p.st(t, r0p, strideOut, tmpRowB)
+	p.op(isa.PADDH, t, s3hi, dhi)
+	p.op(isa.PADDH, t, t, m1)
+	p.opi(isa.PSRAH, t, t, 2)
+	p.st(t, r0p, strideOut, tmpRowB+8)
+}
+
+// emitH2V2HorizPacked: horizontal pass, 4 samples -> 8 output bytes per
+// iteration; the four border outputs per row stay scalar.
+func emitH2V2HorizPacked(b *asm.Builder, w, h int, tmpA, outA int64) {
+	p := pix{b: b, vec: false}
+	tmpRowB := int64(2 * w)
+	outRowB := int64(2 * w)
+	j, jc := isa.R(8), isa.R(9)
+	tp, op := isa.R(10), isa.R(11)
+	ic := isa.R(17)
+	m2, m1 := isa.M(30), isa.M(28)
+	t0 := isa.R(13)
+	b.MovI(t0, 2)
+	b.Op(isa.PSPLATH, m2, t0, isa.Reg{})
+	b.MovI(t0, 1)
+	b.Op(isa.PSPLATH, m1, t0, isa.Reg{})
+	b.LoopVar(jc, j, 0, 1, int64(2*h), func() {
+		b.MulI(tp, j, tmpRowB)
+		b.AddI(tp, tp, tmpA)
+		b.MulI(op, j, outRowB)
+		b.AddI(op, op, outA)
+		emitHorizBorderLeft(b, tp, op)
+		b.AddI(tp, tp, 2)
+		b.AddI(op, op, 2)
+		// Interior: i in [1, w-2], 4 at a time; (w-2) might not divide by 4,
+		// so run floor((w-2)/4) groups and finish the remainder scalar.
+		groups := (w - 2) / 4
+		rem := (w - 2) % 4
+		b.Loop(ic, int64(groups), func() {
+			emitHorizBlend(p, tp, op, isa.Reg{}, isa.Reg{}, m2, m1)
+			b.AddI(tp, tp, 8)
+			b.AddI(op, op, 8)
+		})
+		emitHorizScalarN(b, tp, op, rem)
+		emitHorizBorderRight(b, tp, op, rem)
+	})
+}
+
+// emitHorizBlend: 4 int16 samples -> 8 interleaved output bytes.
+func emitHorizBlend(p pix, tp, op isa.Reg, strideIn, strideOut isa.Reg, m2, m1 isa.Reg) {
+	c, l, r := p.r(0), p.r(1), p.r(2)
+	s3, e, o, lo, hi := p.r(3), p.r(4), p.r(5), p.r(6), p.r(7)
+	p.ld(c, tp, strideIn, 0)
+	p.ld(l, tp, strideIn, -2)
+	p.ld(r, tp, strideIn, 2)
+	p.op(isa.PADDH, s3, c, c)
+	p.op(isa.PADDH, s3, s3, c)
+	p.op(isa.PADDH, e, s3, l)
+	p.op(isa.PADDH, e, e, m2)
+	p.opi(isa.PSRAH, e, e, 2)
+	p.op(isa.PADDH, o, s3, r)
+	p.op(isa.PADDH, o, o, m1)
+	p.opi(isa.PSRAH, o, o, 2)
+	p.op(isa.PUNPKLH, lo, e, o)
+	p.op(isa.PUNPKHH, hi, e, o)
+	p.op(isa.PACKUSHB, lo, lo, hi)
+	p.st(lo, op, strideOut, 0)
+}
+
+func emitHorizBorderLeft(b *asm.Builder, tp, op isa.Reg) {
+	c, rr, s3, t0 := isa.R(13), isa.R(14), isa.R(15), isa.R(16)
+	b.Ldwu(c, tp, 0)
+	b.Stb(c, op, 0)
+	b.Ldwu(rr, tp, 2)
+	b.Add(s3, c, c)
+	b.Add(s3, s3, c)
+	b.Add(t0, s3, rr)
+	b.AddI(t0, t0, 1)
+	b.SrlI(t0, t0, 2)
+	b.Stb(t0, op, 1)
+}
+
+// emitHorizScalarN finishes n interior samples scalar (pointer-relative).
+func emitHorizScalarN(b *asm.Builder, tp, op isa.Reg, n int) {
+	c, l, rr, s3, t0 := isa.R(13), isa.R(14), isa.R(15), isa.R(16), isa.R(12)
+	for k := 0; k < n; k++ {
+		b.Ldwu(c, tp, 0)
+		b.Ldwu(l, tp, -2)
+		b.Ldwu(rr, tp, 2)
+		b.Add(s3, c, c)
+		b.Add(s3, s3, c)
+		b.Add(t0, s3, l)
+		b.AddI(t0, t0, 2)
+		b.SrlI(t0, t0, 2)
+		b.Stb(t0, op, 0)
+		b.Add(t0, s3, rr)
+		b.AddI(t0, t0, 1)
+		b.SrlI(t0, t0, 2)
+		b.Stb(t0, op, 1)
+		b.AddI(tp, tp, 2)
+		b.AddI(op, op, 2)
+	}
+}
+
+func emitHorizBorderRight(b *asm.Builder, tp, op isa.Reg, rem int) {
+	c, l, s3, t0 := isa.R(13), isa.R(14), isa.R(15), isa.R(16)
+	_ = rem
+	b.Ldwu(c, tp, 0)
+	b.Ldwu(l, tp, -2)
+	b.Add(s3, c, c)
+	b.Add(s3, s3, c)
+	b.Add(t0, s3, l)
+	b.AddI(t0, t0, 2)
+	b.SrlI(t0, t0, 2)
+	b.Stb(t0, op, 0)
+	b.Stb(c, op, 1)
+}
+
+// emitH2V2VertMOM: vertical pass vectorised across rows (VL=16); the first
+// and last rows (border clamping) run through the packed path.
+func emitH2V2VertMOM(b *asm.Builder, w, h int, inA, tmpA int64) {
+	p := pix{b: b, vec: true}
+	tmpRowB := int64(2 * w)
+	mz, m2, m1 := isa.M(29), isa.M(30), isa.M(28)
+	t0 := isa.R(13)
+	b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+	b.MovI(t0, 2)
+	b.Op(isa.PSPLATH, m2, t0, isa.Reg{})
+	b.MovI(t0, 1)
+	b.Op(isa.PSPLATH, m1, t0, isa.Reg{})
+
+	// Interior rows [1, h-1): chunks of up to 16 rows.
+	strideIn, strideOut := isa.R(22), isa.R(23)
+	b.MovI(strideIn, int64(w))
+	b.MovI(strideOut, 2*tmpRowB)
+	j, rows, cp, r0p, ic := isa.R(8), isa.R(24), isa.R(10), isa.R(18), isa.R(21)
+	jc := isa.R(9)
+	nChunks := (h - 2 + 15) / 16
+	b.MovI(j, 1)
+	b.Loop(jc, int64(nChunks), func() {
+		// rows = min(16, (h-1) - j), clamped via CMOV.
+		b.MovI(rows, int64(h-1))
+		b.Sub(rows, rows, j)
+		b.AddI(t0, rows, -16)
+		b.MovI(ic, 16)
+		b.Op(isa.CMOVGE, rows, t0, ic)
+		b.SetVL(rows)
+		b.MulI(cp, j, int64(w))
+		b.AddI(cp, cp, inA)
+		b.MulI(r0p, j, 2*tmpRowB)
+		b.AddI(r0p, r0p, tmpA)
+		b.Loop(ic, int64(w/8), func() {
+			upP, dnP := isa.R(11), isa.R(12)
+			b.AddI(upP, cp, int64(-w))
+			b.AddI(dnP, cp, int64(w))
+			emitVertBlend(p, cp, upP, dnP, r0p, strideIn, strideOut, tmpRowB, mz, m2, m1)
+			b.AddI(cp, cp, 8)
+			b.AddI(r0p, r0p, 16)
+		})
+		b.AddI(j, j, 16)
+	})
+	// Border rows 0 and h-1 through the packed path.
+	b.SetVLI(16)
+	emitH2V2VertPackedRows(b, w, h, []int{0, h - 1}, inA, tmpA)
+}
+
+// emitH2V2VertPackedRows runs the packed vertical blend for specific rows.
+func emitH2V2VertPackedRows(b *asm.Builder, w, h int, rows []int, inA, tmpA int64) {
+	p := pix{b: b, vec: false}
+	tmpRowB := int64(2 * w)
+	mz, m2, m1 := isa.M(29), isa.M(30), isa.M(28)
+	cp, up, dp, r0p, ic := isa.R(10), isa.R(11), isa.R(12), isa.R(18), isa.R(21)
+	for _, j := range rows {
+		uj, dj := j-1, j+1
+		if uj < 0 {
+			uj = 0
+		}
+		if dj >= h {
+			dj = h - 1
+		}
+		b.MovI(cp, inA+int64(j*w))
+		b.MovI(up, inA+int64(uj*w))
+		b.MovI(dp, inA+int64(dj*w))
+		b.MovI(r0p, tmpA+int64(j)*2*tmpRowB)
+		b.Loop(ic, int64(w/8), func() {
+			emitVertBlend(p, cp, up, dp, r0p, isa.Reg{}, isa.Reg{}, tmpRowB, mz, m2, m1)
+			b.AddI(cp, cp, 8)
+			b.AddI(up, up, 8)
+			b.AddI(dp, dp, 8)
+			b.AddI(r0p, r0p, 16)
+		})
+	}
+}
+
+// emitH2V2HorizMOM: horizontal pass vectorised across tmp rows (VL up to
+// 16); the per-row border outputs stay scalar.
+func emitH2V2HorizMOM(b *asm.Builder, w, h int, tmpA, outA int64) {
+	p := pix{b: b, vec: true}
+	tmpRowB := int64(2 * w)
+	outRowB := int64(2 * w)
+	m2, m1 := isa.M(30), isa.M(28)
+	t0 := isa.R(13)
+	b.MovI(t0, 2)
+	b.Op(isa.PSPLATH, m2, t0, isa.Reg{})
+	b.MovI(t0, 1)
+	b.Op(isa.PSPLATH, m1, t0, isa.Reg{})
+
+	strideIn, strideOut := isa.R(22), isa.R(23)
+	b.MovI(strideIn, tmpRowB)
+	b.MovI(strideOut, outRowB)
+	nRows := 2 * h
+	j, jc, rows, tp, op, ic := isa.R(8), isa.R(9), isa.R(24), isa.R(10), isa.R(11), isa.R(17)
+	nChunks := (nRows + 15) / 16
+	groups := (w - 2) / 4
+	rem := (w - 2) % 4
+	b.MovI(j, 0)
+	b.Loop(jc, int64(nChunks), func() {
+		b.MovI(rows, int64(nRows))
+		b.Sub(rows, rows, j)
+		b.AddI(t0, rows, -16)
+		b.MovI(ic, 16)
+		b.Op(isa.CMOVGE, rows, t0, ic)
+		b.SetVL(rows)
+		b.MulI(tp, j, tmpRowB)
+		b.AddI(tp, tp, tmpA+2)
+		b.MulI(op, j, outRowB)
+		b.AddI(op, op, outA+2)
+		b.Loop(ic, int64(groups), func() {
+			emitHorizBlend(p, tp, op, strideIn, strideOut, m2, m1)
+			b.AddI(tp, tp, 8)
+			b.AddI(op, op, 8)
+		})
+		b.AddI(j, j, 16)
+	})
+	// Borders and remainder, scalar over every row.
+	jr, jrc := isa.R(8), isa.R(9)
+	b.LoopVar(jrc, jr, 0, 1, int64(nRows), func() {
+		b.MulI(tp, jr, tmpRowB)
+		b.AddI(tp, tp, tmpA)
+		b.MulI(op, jr, outRowB)
+		b.AddI(op, op, outA)
+		emitHorizBorderLeft(b, tp, op)
+		// Position pointers at the remainder start: 1 + groups*4 samples in.
+		b.MulI(tp, jr, tmpRowB)
+		b.AddI(tp, tp, tmpA+int64(2*(1+groups*4)))
+		b.MulI(op, jr, outRowB)
+		b.AddI(op, op, outA+int64(2*(1+groups*4)))
+		emitHorizScalarN(b, tp, op, rem)
+		emitHorizBorderRight(b, tp, op, rem)
+	})
+}

@@ -1,0 +1,367 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// NewIDCT builds the 8x8 inverse-DCT kernel over a batch of coefficient
+// blocks (block stride 128 bytes).
+//
+// The 2-D transform is column pass -> transpose -> column pass ->
+// transpose, with the input prescale folded into the first pass and the
+// output descale folded into the last transpose.
+//
+//   - Alpha: scalar multiply-accumulate per output.
+//   - MMX: 4 columns per packed word; each 16x16 product is promoted to
+//     32-bit lanes (PMULLH/PMULHH + unpacks) — the data-promotion overhead
+//     the paper attributes to MMX-like ISAs.
+//   - MDMX: the packed accumulators absorb the promotion: one ACCMULH per
+//     coefficient and a single "round and clip" readback per output row.
+//   - MOM: the MMX structure vectorised across 16 blocks at once (matrix
+//     registers hold the same row of 16 different blocks; the block stride
+//     becomes the vector stride).
+func NewIDCT(sc Scale) Kernel {
+	nb := 16
+	if sc == ScaleBench {
+		nb = 64
+	}
+	seed := uint64(71)
+	genBlocks := func() []int16 {
+		// Realistic sparse coefficients: FDCT of synthetic pixels, then
+		// quantise/dequantise.
+		rng := media.NewRNG(seed)
+		out := make([]int16, 64*nb)
+		for bi := 0; bi < nb; bi++ {
+			var blk [64]int16
+			for i := range blk {
+				blk[i] = int16(rng.Intn(256) - 128)
+			}
+			media.FDCT8x8(&blk)
+			media.QuantizeBlock(&blk, 100)
+			media.DequantizeBlock(&blk, 100)
+			copy(out[64*bi:], blk[:])
+		}
+		return out
+	}
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("idct-" + ext.String())
+		blocks := genBlocks()
+		b.AllocH("blocks", blocks, 8)
+		b.Alloc("out", 128*nb, 8)
+		chunk := 1
+		if ext == isa.ExtMOM {
+			chunk = 16
+		}
+		b.Alloc("t1", 128*chunk, 8)
+		b.Alloc("t2", 128*chunk, 8)
+		// Splat table: word (u,n) = DCTMat[u][n] in all four lanes.
+		splats := make([]uint64, 64)
+		for u := 0; u < 8; u++ {
+			for n := 0; n < 8; n++ {
+				splats[u*8+n] = splatHWord(media.DCTMat[u][n])
+			}
+		}
+		b.AllocQ("coef", splats, 8)
+		switch ext {
+		case isa.ExtAlpha:
+			emitIDCTAlpha(b, nb)
+		case isa.ExtMMX:
+			emitIDCTPacked(b, nb, false)
+		case isa.ExtMDMX:
+			emitIDCTPacked(b, nb, true)
+		case isa.ExtMOM:
+			emitIDCTMOM(b, nb)
+		}
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		blocks := genBlocks()
+		got := readI16s(m, prog.Sym("out"), 64*nb)
+		for bi := 0; bi < nb; bi++ {
+			var blk [64]int16
+			copy(blk[:], blocks[64*bi:64*bi+64])
+			media.IDCT8x8(&blk)
+			for i, wv := range blk {
+				if got[64*bi+i] != wv {
+					return mismatch(prog.Name, 64*bi+i, got[64*bi+i], wv)
+				}
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: "idct", Build: build, Verify: verify}
+}
+
+// emitIDCTAlpha: scalar reference implementation (column pass with
+// prescale into t1, row pass with descale into out).
+func emitIDCTAlpha(b *asm.Builder, nb int) {
+	blkP, outP, t1P := isa.R(8), isa.R(9), isa.R(7)
+	bc := isa.R(10)
+	b.MovI(blkP, int64(b.Sym("blocks")))
+	b.MovI(outP, int64(b.Sym("out")))
+	b.MovI(t1P, int64(b.Sym("t1")))
+	b.Loop(bc, int64(nb), func() {
+		emitIDCTAlphaBlock(b, blkP, outP, t1P)
+		b.AddI(blkP, blkP, 128)
+		b.AddI(outP, outP, 128)
+	})
+}
+
+// emitIDCTAlphaBlock: scalar inverse transform of one block (blkP -> outP,
+// with t1P as inter-pass scratch).
+func emitIDCTAlphaBlock(b *asm.Builder, blkP, outP, t1P isa.Reg) {
+	x := [8]isa.Reg{isa.R(11), isa.R(12), isa.R(13), isa.R(14), isa.R(15), isa.R(16), isa.R(17), isa.R(18)}
+	acc, t, hi16, lo16 := isa.R(19), isa.R(20), isa.R(21), isa.R(22)
+	b.MovI(hi16, 32767)
+	b.MovI(lo16, -32768)
+	clamp := func() {
+		// acc = sat16(acc)
+		b.Sub(t, hi16, acc)
+		b.Op(isa.CMOVLT, acc, t, hi16)
+		b.Sub(t, acc, lo16)
+		b.Op(isa.CMOVLT, acc, t, lo16)
+	}
+	mac := func(get func(u int) isa.Reg, coef func(u int) int64) {
+		b.MovI(acc, int64(media.DCTBias))
+		for u := 0; u < 8; u++ {
+			b.MulI(t, get(u), coef(u))
+			b.Add(acc, acc, t)
+		}
+		b.SraI(acc, acc, 16)
+		clamp()
+	}
+	// Column pass: for each column j, outputs n into t1.
+	for j := 0; j < 8; j++ {
+		for u := 0; u < 8; u++ {
+			b.Ldwu(x[u], blkP, int64(u*16+2*j))
+			b.Op(isa.SEXTW, x[u], x[u], isa.Reg{})
+			b.SllI(x[u], x[u], media.IDCTPre)
+		}
+		for n := 0; n < 8; n++ {
+			nn := n
+			mac(func(u int) isa.Reg { return x[u] },
+				func(u int) int64 { return int64(media.DCTMat[u][nn]) })
+			b.Stw(acc, t1P, int64(n*16+2*j))
+		}
+	}
+	// Row pass with descale: row n of t1 -> row n of out.
+	for n := 0; n < 8; n++ {
+		for v := 0; v < 8; v++ {
+			b.Ldwu(x[v], t1P, int64(n*16+2*v))
+			b.Op(isa.SEXTW, x[v], x[v], isa.Reg{})
+		}
+		for mcol := 0; mcol < 8; mcol++ {
+			mm := mcol
+			mac(func(v int) isa.Reg { return x[v] },
+				func(v int) int64 { return int64(media.DCTMat[v][mm]) })
+			b.AddI(acc, acc, 1<<(media.IDCTPost-1))
+			b.SraI(acc, acc, media.IDCTPost)
+			b.Stw(acc, outP, int64(n*16+2*mcol))
+		}
+	}
+}
+
+// idctRegs names the packed registers shared by the MMX/MOM emitters.
+var (
+	idctX    = [8]int{0, 1, 2, 3, 4, 5, 6, 7} // x rows
+	idctAccs = [4]int{8, 9, 10, 11}           // accEL accEH accOL accOH
+	idctTmp  = [3]int{12, 13, 14}
+)
+
+// emitIDCTColPassPromote emits one column pass over both 4-column groups
+// using 32-bit promotion (the MMX/MOM path). src/dst are base registers;
+// stride is the vector stride register (vec mode only). coefP points at the
+// splat table; biasW holds [32768,32768] in 32-bit lanes.
+func emitIDCTColPassPromote(p pix, src, dst, stride isa.Reg, coefP, biasW isa.Reg, prescale bool) {
+	b := p.b
+	coefM := isa.M(15)
+	for _, off := range []int64{0, 8} {
+		for u := 0; u < 8; u++ {
+			p.ld(p.r(idctX[u]), src, stride, int64(u*16)+off)
+			if prescale {
+				p.opi(isa.PSLLH, p.r(idctX[u]), p.r(idctX[u]), media.IDCTPre)
+			}
+		}
+		for n := 0; n < 4; n++ {
+			accEL, accEH := p.r(idctAccs[0]), p.r(idctAccs[1])
+			accOL, accOH := p.r(idctAccs[2]), p.r(idctAccs[3])
+			lo, hi, pt := p.r(idctTmp[0]), p.r(idctTmp[1]), p.r(idctTmp[2])
+			// E starts from the rounding bias; O starts from zero.
+			p.broadcast(accEL, biasW)
+			p.broadcast(accEH, biasW)
+			first := true
+			addProd := func(u int, aL, aH isa.Reg, init bool) {
+				b.Ldm(coefM, coefP, int64(8*(u*8+n)))
+				p.op(isa.PMULLH, lo, p.r(idctX[u]), coefM)
+				p.op(isa.PMULHH, hi, p.r(idctX[u]), coefM)
+				p.op(isa.PUNPKLH, pt, lo, hi)
+				if init {
+					p.op(isa.PUNPKHH, aH, lo, hi)
+					p.op(isa.PMOV, aL, pt, isa.Reg{})
+					// aH already holds the product's high pair
+				} else {
+					p.op(isa.PADDW, aL, aL, pt)
+					p.op(isa.PUNPKHH, pt, lo, hi)
+					p.op(isa.PADDW, aH, aH, pt)
+				}
+			}
+			for j := 0; j < 4; j++ {
+				addProd(2*j, accEL, accEH, false)
+			}
+			for j := 0; j < 4; j++ {
+				addProd(2*j+1, accOL, accOH, first)
+				first = false
+			}
+			// y[n] = sat16((E+O)>>16); y[7-n] = sat16((E-O)>>16)
+			emitCombine := func(sub bool, outRow int) {
+				op := isa.PADDW
+				if sub {
+					op = isa.PSUBW
+				}
+				p.op(op, lo, accEL, accOL)
+				p.op(op, hi, accEH, accOH)
+				p.opi(isa.PSRAW, lo, lo, 16)
+				p.opi(isa.PSRAW, hi, hi, 16)
+				p.op(isa.PACKSSWH, lo, lo, hi)
+				p.st(lo, dst, stride, int64(outRow*16)+off)
+			}
+			emitCombine(false, n)
+			emitCombine(true, 7-n)
+		}
+	}
+}
+
+// emitIDCTColPassAcc emits one column pass using packed accumulators
+// (the MDMX path; vec is always false here).
+func emitIDCTColPassAcc(b *asm.Builder, src, dst isa.Reg, coefP isa.Reg, m256, m128 isa.Reg, prescale bool) {
+	coefM := isa.M(15)
+	res := isa.M(14)
+	for _, off := range []int64{0, 8} {
+		for u := 0; u < 8; u++ {
+			b.Ldm(isa.M(idctX[u]), src, off+int64(u*16))
+			if prescale {
+				b.OpI(isa.PSLLH, isa.M(idctX[u]), isa.M(idctX[u]), media.IDCTPre)
+			}
+		}
+		for n := 0; n < 8; n++ {
+			a := isa.A(n % 2) // alternate accumulators to relax the chain
+			b.Op(isa.ACLR, a, isa.Reg{}, isa.Reg{})
+			for u := 0; u < 8; u++ {
+				b.Ldm(coefM, coefP, int64(8*(u*8+n)))
+				b.Op(isa.ACCMULH, a, isa.M(idctX[u]), coefM)
+			}
+			b.Op(isa.ACCMULH, a, m256, m128) // rounding bias 256*128
+			b.OpI(isa.RACH, res, a, 16)
+			b.Stm(res, dst, off+int64(n*16))
+		}
+	}
+}
+
+// emitTranspose8x8 transposes an 8x8 halfword block from src to dst using
+// four 4x4 quadrant transposes. If shift > 0, (y + round) >> shift is
+// applied before the store (round is a media register holding the splatted
+// rounding constant).
+func emitTranspose8x8(p pix, src, dst, stride isa.Reg, round isa.Reg, shift int64) {
+	in := [4]isa.Reg{p.r(0), p.r(1), p.r(2), p.r(3)}
+	out := [4]isa.Reg{p.r(4), p.r(5), p.r(6), p.r(7)}
+	tmp := [4]isa.Reg{p.r(8), p.r(9), p.r(10), p.r(11)}
+	for qa := 0; qa < 2; qa++ { // row quadrant
+		for qb := 0; qb < 2; qb++ { // column quadrant
+			for i := 0; i < 4; i++ {
+				p.ld(in[i], src, stride, int64((4*qa+i)*16+8*qb))
+			}
+			p.transpose4x4h(in, out, tmp)
+			for i := 0; i < 4; i++ {
+				v := out[i]
+				if shift > 0 {
+					p.op(isa.PADDH, v, v, round)
+					p.opi(isa.PSRAH, v, v, shift)
+				}
+				p.st(v, dst, stride, int64((4*qb+i)*16+8*qa))
+			}
+		}
+	}
+}
+
+// emitIDCTPacked drives the per-block loop for MMX (acc=false) and MDMX
+// (acc=true).
+func emitIDCTPacked(b *asm.Builder, nb int, acc bool) {
+	blkP, outP := isa.R(8), isa.R(9)
+	t1P, t2P, coefP, bc := isa.R(7), isa.R(6), isa.R(5), isa.R(10)
+	b.MovI(blkP, int64(b.Sym("blocks")))
+	b.MovI(outP, int64(b.Sym("out")))
+	b.MovI(t1P, int64(b.Sym("t1")))
+	b.MovI(t2P, int64(b.Sym("t2")))
+	b.MovI(coefP, int64(b.Sym("coef")))
+	p := pix{b: b, vec: false}
+	t := isa.R(11)
+	biasW, m1 := isa.M(30), isa.M(29)
+	m256, m128 := isa.M(28), isa.M(27)
+	b.AllocQ("idctconst", []uint64{
+		uint64(media.DCTBias) | uint64(media.DCTBias)<<32,
+		splatHWord(1),
+		splatHWord(256),
+		splatHWord(128),
+	}, 8)
+	b.MovI(t, int64(b.Sym("idctconst")))
+	b.Ldm(biasW, t, 0)
+	b.Ldm(m1, t, 8)
+	b.Ldm(m256, t, 16)
+	b.Ldm(m128, t, 24)
+	b.Loop(bc, int64(nb), func() {
+		if acc {
+			emitIDCTColPassAcc(b, blkP, t1P, coefP, m256, m128, true)
+		} else {
+			emitIDCTColPassPromote(p, blkP, t1P, isa.Reg{}, coefP, biasW, true)
+		}
+		emitTranspose8x8(p, t1P, t2P, isa.Reg{}, m1, 0)
+		if acc {
+			emitIDCTColPassAcc(b, t2P, t1P, coefP, m256, m128, false)
+		} else {
+			emitIDCTColPassPromote(p, t2P, t1P, isa.Reg{}, coefP, biasW, false)
+		}
+		emitTranspose8x8(p, t1P, outP, isa.Reg{}, m1, media.IDCTPost)
+		b.AddI(blkP, blkP, 128)
+		b.AddI(outP, outP, 128)
+	})
+}
+
+// emitIDCTMOM drives the 16-blocks-at-a-time MOM loop: every packed word of
+// the MMX structure becomes a 16-deep matrix register column with the block
+// stride (128 bytes) as vector stride.
+func emitIDCTMOM(b *asm.Builder, nb int) {
+	blkP, outP := isa.R(8), isa.R(9)
+	t1P, t2P, coefP, bc := isa.R(7), isa.R(6), isa.R(5), isa.R(10)
+	stride := isa.R(12)
+	b.MovI(blkP, int64(b.Sym("blocks")))
+	b.MovI(outP, int64(b.Sym("out")))
+	b.MovI(t1P, int64(b.Sym("t1")))
+	b.MovI(t2P, int64(b.Sym("t2")))
+	b.MovI(coefP, int64(b.Sym("coef")))
+	b.MovI(stride, 128)
+	b.SetVLI(16)
+	p := pix{b: b, vec: true}
+	t := isa.R(11)
+	biasW, m1 := isa.M(30), isa.M(29)
+	b.AllocQ("idctconst", []uint64{
+		uint64(media.DCTBias) | uint64(media.DCTBias)<<32,
+		splatHWord(1),
+	}, 8)
+	b.MovI(t, int64(b.Sym("idctconst")))
+	b.Ldm(biasW, t, 0)
+	b.Ldm(m1, t, 8)
+	if nb%16 != 0 {
+		panic("idct MOM path needs a multiple of 16 blocks")
+	}
+	b.Loop(bc, int64(nb/16), func() {
+		emitIDCTColPassPromote(p, blkP, t1P, stride, coefP, biasW, true)
+		emitTranspose8x8(p, t1P, t2P, stride, m1, 0)
+		emitIDCTColPassPromote(p, t2P, t1P, stride, coefP, biasW, false)
+		emitTranspose8x8(p, t1P, outP, stride, m1, media.IDCTPost)
+		b.AddI(blkP, blkP, 16*128)
+		b.AddI(outP, outP, 16*128)
+	})
+}

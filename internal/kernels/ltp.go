@@ -1,0 +1,208 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// NewLTP builds the GSM long-term-prediction parameter kernel: for each
+// subframe, the cross-correlation against the reconstructed history is
+// maximised over lags 40..120. MOM vectorises the lag dimension (16 lags
+// per stride -2 matrix load); MDMX reduces each lag with one accumulator;
+// MMX uses PMADDH with a horizontal fold; Alpha is a scalar MAC loop.
+func NewLTP(sc Scale) Kernel {
+	nSub := 12
+	if sc == ScaleBench {
+		nSub = 32
+	}
+	seed := uint64(61)
+	sigLen := 160 + 160*nSub
+	positions := make([]int, nSub)
+	for s := range positions {
+		positions[s] = 160 + 160*s
+	}
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("ltpparameters-" + ext.String())
+		sig := media.GenPCM(sigLen, seed)
+		sigA := b.AllocH("sig", sig, 8)
+		b.Alloc("out", 16*nSub, 8) // bestLag, bestCorr per subframe
+		b.Alloc("scratch", 16*8, 8)
+		var flat []uint64
+		for _, pos := range positions {
+			flat = append(flat, sigA+uint64(2*pos))
+		}
+		b.AllocQ("tasks", flat, 8)
+		EmitLTPSearch(b, ext, nSub, "tasks", "out", "scratch")
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		sig := media.GenPCM(sigLen, seed)
+		got := readU64s(m, prog.Sym("out"), 2*nSub)
+		for s, pos := range positions {
+			lag, corr := media.LTPParameters(sig[pos:pos+media.SubframeLen], sig, pos)
+			if int64(got[2*s]) != int64(lag) {
+				return mismatch(prog.Name+"/lag", s, int64(got[2*s]), lag)
+			}
+			if int64(got[2*s+1]) != int64(corr) {
+				return mismatch(prog.Name+"/corr", s, int64(got[2*s+1]), corr)
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: "ltpparameters", Build: build, Verify: verify}
+}
+
+// EmitLTPSearch appends the full LTP lag search: tasksSym is a table of one
+// address per subframe (the subframe start inside the 16-bit signal);
+// outSym receives (bestLag, bestCorr) as two 64-bit words per subframe;
+// scratchSym needs 16*8 bytes (MOM correlation spill).
+func EmitLTPSearch(b *asm.Builder, ext isa.Ext, nSub int, tasksSym, outSym, scratchSym string) {
+	dR := isa.R(8) // subframe base address
+	outP := isa.R(2)
+	b.MovI(outP, int64(b.Sym(outSym)))
+	best, bestLag, corr, lag, t := isa.R(10), isa.R(11), isa.R(12), isa.R(13), isa.R(14)
+
+	argmaxUpdate := func() {
+		// if corr > best { best = corr; bestLag = lag }
+		b.Sub(t, best, corr)
+		b.Op(isa.CMOVLT, bestLag, t, lag)
+		b.Op(isa.CMOVLT, best, t, corr)
+	}
+	storeResult := func() {
+		b.Stq(bestLag, outP, 0)
+		b.Stq(best, outP, 8)
+		b.AddI(outP, outP, 16)
+	}
+
+	switch ext {
+	case isa.ExtAlpha:
+		dpP, a, c, lc := isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+		taskLoopSym(b, tasksSym, nSub, 1, []isa.Reg{dR}, func() {
+			b.MovI(best, -(1 << 31))
+			b.MovI(bestLag, media.LTPMinLag)
+			b.LoopVar(lc, lag, media.LTPMinLag, 1, media.LTPMaxLag-media.LTPMinLag+1, func() {
+				b.SllI(t, lag, 1)
+				b.Sub(dpP, dR, t)
+				b.MovI(corr, 0)
+				for i := int64(0); i < media.SubframeLen; i++ {
+					b.Ldwu(a, dR, 2*i)
+					b.Op(isa.SEXTW, a, a, isa.Reg{})
+					b.Ldwu(c, dpP, 2*i)
+					b.Op(isa.SEXTW, c, c, isa.Reg{})
+					b.Mul(a, a, c)
+					b.Add(corr, corr, a)
+				}
+				argmaxUpdate()
+			})
+			storeResult()
+		})
+
+	case isa.ExtMMX:
+		dpP, lc := isa.R(15), isa.R(18)
+		acc, prod, dw := isa.M(10), isa.M(11), isa.M(12)
+		taskLoopSym(b, tasksSym, nSub, 1, []isa.Reg{dR}, func() {
+			// Hoist the 10 subframe words into M0..M9.
+			for j := 0; j < 10; j++ {
+				b.Ldm(isa.M(j), dR, int64(8*j))
+			}
+			b.MovI(best, -(1 << 31))
+			b.MovI(bestLag, media.LTPMinLag)
+			b.LoopVar(lc, lag, media.LTPMinLag, 1, media.LTPMaxLag-media.LTPMinLag+1, func() {
+				b.SllI(t, lag, 1)
+				b.Sub(dpP, dR, t)
+				b.Op(isa.PZERO, acc, isa.Reg{}, isa.Reg{})
+				for j := 0; j < 10; j++ {
+					b.Ldm(dw, dpP, int64(8*j))
+					b.Op(isa.PMADDH, prod, dw, isa.M(j))
+					b.Op(isa.PADDW, acc, acc, prod)
+				}
+				b.OpI(isa.PSRLQ, prod, acc, 32)
+				b.Op(isa.PADDW, acc, acc, prod)
+				b.Op(isa.MFM, corr, acc, isa.Reg{})
+				b.Op(isa.SEXTL, corr, corr, isa.Reg{})
+				argmaxUpdate()
+			})
+			storeResult()
+		})
+
+	case isa.ExtMDMX:
+		dpP, lc := isa.R(15), isa.R(18)
+		dw := isa.M(12)
+		taskLoopSym(b, tasksSym, nSub, 1, []isa.Reg{dR}, func() {
+			for j := 0; j < 10; j++ {
+				b.Ldm(isa.M(j), dR, int64(8*j))
+			}
+			b.MovI(best, -(1 << 31))
+			b.MovI(bestLag, media.LTPMinLag)
+			b.LoopVar(lc, lag, media.LTPMinLag, 1, media.LTPMaxLag-media.LTPMinLag+1, func() {
+				b.SllI(t, lag, 1)
+				b.Sub(dpP, dR, t)
+				b.Op(isa.ACLR, isa.A(0), isa.Reg{}, isa.Reg{})
+				for j := 0; j < 10; j++ {
+					b.Ldm(dw, dpP, int64(8*j))
+					b.Op(isa.ACCMULH, isa.A(0), dw, isa.M(j))
+				}
+				b.OpI(isa.RACSUM, corr, isa.A(0), 1) // halfword-mode sum
+				argmaxUpdate()
+			})
+			storeResult()
+		})
+
+	case isa.ExtMOM:
+		// 16 lags at a time: the matrix load with stride -2 brings the
+		// history window of 16 consecutive lags as 16 matrix rows.
+		dpP, rem, rows, lc := isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+		scr, sp, k := isa.R(19), isa.R(20), isa.R(21)
+		strideNeg2, stride8 := isa.R(22), isa.R(23)
+		mz := isa.M(12)
+		b.MovI(strideNeg2, -2)
+		b.MovI(stride8, 8)
+		b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+		b.MovI(scr, int64(b.Sym(scratchSym)))
+		taskLoopSym(b, tasksSym, nSub, 1, []isa.Reg{dR}, func() {
+			for j := 0; j < 10; j++ {
+				b.Ldm(isa.M(j), dR, int64(8*j))
+			}
+			b.MovI(best, -(1 << 31))
+			b.MovI(bestLag, media.LTPMinLag)
+			b.MovI(lag, media.LTPMinLag)
+			b.MovI(rem, media.LTPMaxLag-media.LTPMinLag+1)
+			nChunks := (media.LTPMaxLag - media.LTPMinLag + 1 + 15) / 16
+			b.Loop(lc, int64(nChunks), func() {
+				// rows = min(16, rem)
+				b.Mov(rows, rem)
+				b.AddI(t, rows, -16)
+				b.MovI(k, 16)
+				b.Op(isa.CMOVGE, rows, t, k)
+				b.SetVL(rows)
+				// base = d - 2*lag (history window for the first lag of
+				// this chunk); row w sits 2 bytes lower per lag.
+				b.SllI(t, lag, 1)
+				b.Sub(dpP, dR, t)
+				b.Op(isa.MOMSPLAT, isa.V(3), mz, isa.Reg{})
+				for j := 0; j < 10; j++ {
+					b.MomLd(isa.V(1), dpP, strideNeg2, int64(8*j))
+					b.Op(isa.PMADDH.Vector(), isa.V(2), isa.V(1), isa.M(j))
+					b.Op(isa.PADDW.Vector(), isa.V(3), isa.V(3), isa.V(2))
+				}
+				// Horizontal fold per row, spill, scalar argmax scan.
+				b.OpI(isa.PSRLQ.Vector(), isa.V(4), isa.V(3), 32)
+				b.Op(isa.PADDW.Vector(), isa.V(4), isa.V(4), isa.V(3))
+				b.MomSt(isa.V(4), scr, stride8, 0)
+				b.Mov(sp, scr)
+				b.Mov(k, rows)
+				b.LoopDyn(k, func() {
+					b.Ldl(corr, sp, 0)
+					argmaxUpdate()
+					b.AddI(sp, sp, 8)
+					b.AddI(lag, lag, 1)
+				})
+				b.AddI(rem, rem, -16)
+			})
+			storeResult()
+		})
+		b.SetVLI(16)
+	}
+}

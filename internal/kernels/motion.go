@@ -1,0 +1,275 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// The motion kernels reproduce the mpeg2 dist1/dist2 functions of Figures 1
+// and 2: a 16x16 block distance (sum of absolute / squared differences)
+// evaluated over the spiral candidate list of fullsearch. Each "task" is
+// one (current block, candidate block) pair; the kernel writes one 64-bit
+// distance per task.
+
+type motionParams struct {
+	w, h   int
+	win    int
+	blocks [][2]int
+	seed   uint64
+}
+
+func motionConfig(sc Scale) motionParams {
+	p := motionParams{w: 128, h: 96, win: 3, seed: 1}
+	margin := 16 + p.win
+	step := 48
+	if sc == ScaleBench {
+		step = 32
+		p.win = 4
+		margin = 16 + p.win
+	}
+	for by := p.win; by+margin <= p.h; by += step {
+		for bx := p.win; bx+margin <= p.w; bx += step {
+			p.blocks = append(p.blocks, [2]int{bx, by})
+		}
+	}
+	return p
+}
+
+// buildMotionTasks allocates the two frames and the task table, returning
+// the builder plus the golden (curOff, refOff) pairs.
+func (p motionParams) buildTasks(b *asm.Builder) (cur, ref *media.Plane, tasks [][2]uint64) {
+	cur = media.GenFrame(p.w, p.h, 1, p.seed)
+	ref = media.GenFrame(p.w, p.h, 0, p.seed)
+	curA := b.AllocBytes("cur", cur.Pix, 8)
+	refA := b.AllocBytes("ref", ref.Pix, 8)
+	offs := media.SpiralOffsets(p.win)
+	for _, blk := range p.blocks {
+		bx, by := blk[0], blk[1]
+		for _, o := range offs {
+			x, y := bx+o[0], by+o[1]
+			if x < 0 || y < 0 || x+16 > p.w || y+16 > p.h {
+				continue
+			}
+			tasks = append(tasks, [2]uint64{
+				curA + uint64(by*p.w+bx),
+				refA + uint64(y*p.w+x),
+			})
+		}
+	}
+	flat := make([]uint64, 0, 2*len(tasks))
+	for _, t := range tasks {
+		flat = append(flat, t[0], t[1])
+	}
+	b.AllocQ("tasks", flat, 8)
+	b.Alloc("out", 8*len(tasks), 8)
+	return cur, ref, tasks
+}
+
+// motionTaskLoop emits the per-task loop: loads the two block addresses,
+// invokes body (which must leave the distance in res), stores the result.
+func motionTaskLoop(b *asm.Builder, nTasks int, curR, refR, res isa.Reg, body func()) {
+	tab, out, ctr := isa.R(1), isa.R(2), isa.R(3)
+	b.MovI(tab, int64(b.Sym("tasks")))
+	b.MovI(out, int64(b.Sym("out")))
+	b.Loop(ctr, int64(nTasks), func() {
+		b.Ldq(curR, tab, 0)
+		b.Ldq(refR, tab, 8)
+		body()
+		b.Stq(res, out, 0)
+		b.AddI(tab, tab, 16)
+		b.AddI(out, out, 8)
+	})
+}
+
+// NewMotion1 builds the SAD kernel (mpeg2 dist1).
+func NewMotion1(sc Scale) Kernel {
+	return newMotionKernel("motion1", sc, false)
+}
+
+// NewMotion2 builds the SQD kernel (mpeg2 sum-of-quadratic-differences).
+func NewMotion2(sc Scale) Kernel {
+	return newMotionKernel("motion2", sc, true)
+}
+
+func newMotionKernel(name string, sc Scale, squared bool) Kernel {
+	p := motionConfig(sc)
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New(name + "-" + ext.String())
+		_, _, tasks := p.buildTasks(b)
+		curR, refR, res := isa.R(8), isa.R(9), isa.R(10)
+		switch ext {
+		case isa.ExtAlpha:
+			motionTaskLoop(b, len(tasks), curR, refR, res, func() {
+				emitMotionAlpha(b, p.w, curR, refR, res, squared)
+			})
+		case isa.ExtMMX:
+			motionTaskLoop(b, len(tasks), curR, refR, res, func() {
+				emitMotionMMX(b, p.w, curR, refR, res, squared)
+			})
+		case isa.ExtMDMX:
+			motionTaskLoop(b, len(tasks), curR, refR, res, func() {
+				emitMotionMDMX(b, p.w, curR, refR, res, squared)
+			})
+		case isa.ExtMOM:
+			stride := isa.R(20)
+			b.MovI(stride, int64(p.w))
+			b.SetVLI(16)
+			motionTaskLoop(b, len(tasks), curR, refR, res, func() {
+				emitMotionMOM(b, curR, refR, stride, res, squared)
+			})
+		}
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		cur := media.GenFrame(p.w, p.h, 1, p.seed)
+		ref := media.GenFrame(p.w, p.h, 0, p.seed)
+		// Recompute the task list exactly as buildTasks did.
+		var want []int64
+		offs := media.SpiralOffsets(p.win)
+		for _, blk := range p.blocks {
+			bx, by := blk[0], blk[1]
+			for _, o := range offs {
+				x, y := bx+o[0], by+o[1]
+				if x < 0 || y < 0 || x+16 > p.w || y+16 > p.h {
+					continue
+				}
+				if squared {
+					want = append(want, media.SQD16(cur, bx, by, ref, x, y))
+				} else {
+					want = append(want, media.SAD16(cur, bx, by, ref, x, y))
+				}
+			}
+		}
+		got := readU64s(m, prog.Sym("out"), len(want))
+		for i := range want {
+			if int64(got[i]) != want[i] {
+				return mismatch(prog.Name, i, int64(got[i]), want[i])
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: name, Build: build, Verify: verify}
+}
+
+// emitMotionAlpha: plain scalar code, inner loop fully unrolled (the paper
+// used loop unrolling on all versions), abs via CMOV as the Alpha compiler
+// would emit.
+func emitMotionAlpha(b *asm.Builder, w int, curR, refR, res isa.Reg, squared bool) {
+	a, bb, d, nd, row := isa.R(11), isa.R(12), isa.R(13), isa.R(14), isa.R(15)
+	cp, rp := isa.R(16), isa.R(17)
+	b.MovI(res, 0)
+	b.Mov(cp, curR)
+	b.Mov(rp, refR)
+	b.Loop(row, 16, func() {
+		for i := int64(0); i < 16; i++ {
+			b.Ldbu(a, cp, i)
+			b.Ldbu(bb, rp, i)
+			b.Sub(d, a, bb)
+			if squared {
+				b.Mul(d, d, d)
+			} else {
+				b.Op(isa.SUBQ, nd, isa.Zero, d)
+				b.Op(isa.CMOVLT, d, d, nd)
+			}
+			b.Add(res, res, d)
+		}
+		b.AddI(cp, cp, int64(w))
+		b.AddI(rp, rp, int64(w))
+	})
+}
+
+// emitMotionMMX: 8 pixels per packed op; SAD uses the (enhanced) PSADBW,
+// SQD promotes |a-b| to halfwords and uses PMADDH.
+func emitMotionMMX(b *asm.Builder, w int, curR, refR, res isa.Reg, squared bool) {
+	m0, m1, m2, m3 := isa.M(0), isa.M(1), isa.M(2), isa.M(3)
+	d0, d1, lo, hi := isa.M(4), isa.M(5), isa.M(6), isa.M(7)
+	acc0, acc1, zero := isa.M(8), isa.M(9), isa.M(10)
+	row, cp, rp, t := isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+	b.Op(isa.PZERO, acc0, isa.Reg{}, isa.Reg{})
+	b.Op(isa.PZERO, acc1, isa.Reg{}, isa.Reg{})
+	b.Op(isa.PZERO, zero, isa.Reg{}, isa.Reg{})
+	b.Mov(cp, curR)
+	b.Mov(rp, refR)
+	b.Loop(row, 16, func() {
+		b.Ldm(m0, cp, 0)
+		b.Ldm(m1, cp, 8)
+		b.Ldm(m2, rp, 0)
+		b.Ldm(m3, rp, 8)
+		if !squared {
+			b.Op(isa.PSADBW, d0, m0, m2)
+			b.Op(isa.PSADBW, d1, m1, m3)
+			b.Op(isa.PADDW, acc0, acc0, d0)
+			b.Op(isa.PADDW, acc1, acc1, d1)
+		} else {
+			for _, pair := range [][3]isa.Reg{{m0, m2, d0}, {m1, m3, d1}} {
+				b.Op(isa.PABSDB, pair[2], pair[0], pair[1])
+				b.Op(isa.PUNPKLB, lo, pair[2], zero)
+				b.Op(isa.PUNPKHB, hi, pair[2], zero)
+				b.Op(isa.PMADDH, lo, lo, lo)
+				b.Op(isa.PMADDH, hi, hi, hi)
+				b.Op(isa.PADDW, acc0, acc0, lo)
+				b.Op(isa.PADDW, acc1, acc1, hi)
+			}
+		}
+		b.AddI(cp, cp, int64(w))
+		b.AddI(rp, rp, int64(w))
+	})
+	// Fold the two accumulators and their 32-bit lanes into res.
+	b.Op(isa.PADDW, acc0, acc0, acc1)
+	b.OpI(isa.PSRLQ, acc1, acc0, 32)
+	b.Op(isa.PADDW, acc0, acc0, acc1)
+	b.Op(isa.MFM, t, acc0, isa.Reg{})
+	b.MovI(res, 0)
+	b.OpI(isa.AND, res, t, 0xffffffff)
+}
+
+// emitMotionMDMX: packed accumulators absorb the reduction; two logical
+// accumulators break the recurrence in half.
+func emitMotionMDMX(b *asm.Builder, w int, curR, refR, res isa.Reg, squared bool) {
+	m0, m1, m2, m3 := isa.M(0), isa.M(1), isa.M(2), isa.M(3)
+	row, cp, rp, t := isa.R(15), isa.R(16), isa.R(17), isa.R(18)
+	op := isa.ACCABDB
+	if squared {
+		op = isa.ACCSQDB
+	}
+	b.Op(isa.ACLR, isa.A(0), isa.Reg{}, isa.Reg{})
+	b.Op(isa.ACLR, isa.A(1), isa.Reg{}, isa.Reg{})
+	b.Mov(cp, curR)
+	b.Mov(rp, refR)
+	b.Loop(row, 16, func() {
+		b.Ldm(m0, cp, 0)
+		b.Ldm(m1, cp, 8)
+		b.Ldm(m2, rp, 0)
+		b.Ldm(m3, rp, 8)
+		b.Op(op, isa.A(0), m0, m2)
+		b.Op(op, isa.A(1), m1, m3)
+		b.AddI(cp, cp, int64(w))
+		b.AddI(rp, rp, int64(w))
+	})
+	b.OpI(isa.RACSUM, res, isa.A(0), 0)
+	b.OpI(isa.RACSUM, t, isa.A(1), 0)
+	b.Add(res, res, t)
+}
+
+// emitMotionMOM: the whole 16x16 block distance is four strided matrix
+// loads and two matrix-accumulator operations — no row loop at all.
+func emitMotionMOM(b *asm.Builder, curR, refR, stride, res isa.Reg, squared bool) {
+	t := isa.R(18)
+	op := isa.ACCABDB.Vector()
+	if squared {
+		op = isa.ACCSQDB.Vector()
+	}
+	b.MomLd(isa.V(0), curR, stride, 0)
+	b.MomLd(isa.V(1), curR, stride, 8)
+	b.MomLd(isa.V(2), refR, stride, 0)
+	b.MomLd(isa.V(3), refR, stride, 8)
+	b.Op(isa.ACLR, isa.VA(0), isa.Reg{}, isa.Reg{})
+	b.Op(isa.ACLR, isa.VA(1), isa.Reg{}, isa.Reg{})
+	b.Op(op, isa.VA(0), isa.V(0), isa.V(2))
+	b.Op(op, isa.VA(1), isa.V(1), isa.V(3))
+	b.OpI(isa.RACSUM, res, isa.VA(0), 0)
+	b.OpI(isa.RACSUM, t, isa.VA(1), 0)
+	b.Add(res, res, t)
+}

@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// pix is a small emission context that lets one packed-code emitter serve
+// both the MMX/MDMX single-word path and the MOM matrix path: in vector
+// mode every packed opcode becomes its MOM twin, register indices map to
+// matrix registers, and loads/stores become strided vector accesses
+// governed by VL. This mirrors how the paper derives MOM code: "first
+// generate MMX-like code for the inner loop, then vectorise it across the
+// outer loop".
+type pix struct {
+	b   *asm.Builder
+	vec bool
+}
+
+// r maps a packed register index to M (packed) or V (matrix) register.
+func (p pix) r(i int) isa.Reg {
+	if p.vec {
+		return isa.V(i)
+	}
+	return isa.M(i)
+}
+
+// acc maps an accumulator index to A (MDMX) or VA (MOM).
+func (p pix) acc(i int) isa.Reg {
+	if p.vec {
+		return isa.VA(i)
+	}
+	return isa.A(i)
+}
+
+// vop translates a packed opcode in vector mode.
+func (p pix) vop(op isa.Opcode) isa.Opcode {
+	if p.vec {
+		return op.Vector()
+	}
+	return op
+}
+
+// op emits a packed/vector arithmetic op. Media-register operands (isa.M)
+// pass through unchanged in vector mode, where they act as broadcast
+// constants across all matrix words.
+func (p pix) op(op isa.Opcode, dst, s0, s1 isa.Reg) {
+	p.b.Op(p.vop(op), dst, s0, s1)
+}
+
+// opi emits a packed/vector op with an immediate (shifts).
+func (p pix) opi(op isa.Opcode, dst, s0 isa.Reg, imm int64) {
+	p.b.OpI(p.vop(op), dst, s0, imm)
+}
+
+// ld loads a 64-bit word (packed) or a strided word vector (matrix).
+// stride is only used in vector mode.
+func (p pix) ld(dst, base, stride isa.Reg, off int64) {
+	if p.vec {
+		p.b.MomLd(dst, base, stride, off)
+	} else {
+		p.b.Ldm(dst, base, off)
+	}
+}
+
+// st stores a 64-bit word or a strided word vector.
+func (p pix) st(val, base, stride isa.Reg, off int64) {
+	if p.vec {
+		p.b.MomSt(val, base, stride, off)
+	} else {
+		p.b.Stm(val, base, off)
+	}
+}
+
+// broadcast copies a media-register value into a packed register (PMOV) or
+// into every word of a matrix register (MOMSPLAT).
+func (p pix) broadcast(dst isa.Reg, mediaSrc isa.Reg) {
+	if p.vec {
+		p.b.Op(isa.MOMSPLAT, dst, mediaSrc, isa.Reg{})
+	} else {
+		p.b.Op(isa.PMOV, dst, mediaSrc, isa.Reg{})
+	}
+}
+
+// zero emits a packed/vector register clear. In vector mode there is no
+// direct "vpzero"; splatting a zeroed media register does the job.
+func (p pix) zero(dst isa.Reg, zeroMedia isa.Reg) {
+	if p.vec {
+		p.b.Op(isa.MOMSPLAT, dst, zeroMedia, isa.Reg{})
+	} else {
+		p.b.Op(isa.PZERO, dst, isa.Reg{}, isa.Reg{})
+	}
+}
+
+// transpose4x4h emits a 4x4 transpose of 16-bit elements across four
+// packed/matrix registers: out[i] holds former column i. tmp must name four
+// scratch registers distinct from in/out; out may alias in.
+func (p pix) transpose4x4h(in, out, tmp [4]isa.Reg) {
+	t0, t1, t2, t3 := tmp[0], tmp[1], tmp[2], tmp[3]
+	p.op(isa.PUNPKLH, t0, in[0], in[1]) // a00 a10 a01 a11
+	p.op(isa.PUNPKLH, t1, in[2], in[3]) // a20 a30 a21 a31
+	p.op(isa.PUNPKHH, t2, in[0], in[1]) // a02 a12 a03 a13
+	p.op(isa.PUNPKHH, t3, in[2], in[3]) // a22 a32 a23 a33
+	p.op(isa.PUNPKLW, out[0], t0, t1)   // a00 a10 a20 a30
+	p.op(isa.PUNPKHW, out[1], t0, t1)   // a01 a11 a21 a31
+	p.op(isa.PUNPKLW, out[2], t2, t3)   // a02 a12 a22 a32
+	p.op(isa.PUNPKHW, out[3], t2, t3)   // a03 a13 a23 a33
+}

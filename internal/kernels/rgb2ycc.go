@@ -1,0 +1,439 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/media"
+	"repro/internal/simd"
+)
+
+// NewRGB2YCC builds the colour-space-conversion kernel over planar RGB.
+// This is the kernel where the paper observes MOM's advantage collapse: the
+// natural MOM vectorisation runs along the colour dimension, so the vector
+// length is tiny (3 in the paper; 4 here, including the bias row of the
+// matrix-per-vector operation).
+func NewRGB2YCC(sc Scale) Kernel {
+	w, h := 64, 32
+	if sc == ScaleBench {
+		w, h = 128, 64
+	}
+	seed := uint64(51)
+	n := w * h
+	build := func(ext isa.Ext) *isa.Program {
+		b := asm.New("rgb2ycc-" + ext.String())
+		r, g, bl := media.GenRGB(w, h, seed)
+		// The four input planes are allocated contiguously so a MOM load
+		// with stride = plane size fetches (R, G, B, bias) as matrix rows.
+		b.AllocBytes("r", r.Pix, 8)
+		b.AllocBytes("g", g.Pix, 8)
+		b.AllocBytes("b", bl.Pix, 8)
+		biasPlane := make([]byte, n)
+		for i := range biasPlane {
+			biasPlane[i] = media.BiasVal // 128 in every sample
+		}
+		b.AllocBytes("bias", biasPlane, 8)
+		b.Alloc("y", n, 8)
+		b.Alloc("cb", n, 8)
+		b.Alloc("cr", n, 8)
+		switch ext {
+		case isa.ExtAlpha:
+			emitRGBAlpha(b, n)
+		case isa.ExtMMX:
+			emitRGBMMX(b, n)
+		case isa.ExtMDMX:
+			emitRGBMDMX(b, n)
+		case isa.ExtMOM:
+			emitRGBMOM(b, n)
+		}
+		return b.Build()
+	}
+	verify := func(prog *isa.Program, m *emu.Machine) error {
+		r, g, bl := media.GenRGB(w, h, seed)
+		wy, wcb, wcr := media.RGB2YCCPlanes(r, g, bl)
+		for _, c := range []struct {
+			sym  string
+			want []byte
+		}{{"y", wy.Pix}, {"cb", wcb.Pix}, {"cr", wcr.Pix}} {
+			got := readBytes(m, prog.Sym(c.sym), n)
+			for i := range c.want {
+				if got[i] != c.want[i] {
+					return mismatch(prog.Name+"/"+c.sym, i, got[i], c.want[i])
+				}
+			}
+		}
+		return nil
+	}
+	return Kernel{Name: "rgb2ycc", Build: build, Verify: verify}
+}
+
+// emitClamp8 clamps t into [0,255] with two conditional moves.
+// c255 must hold 255; tmp is scratch.
+func emitClamp8(b *asm.Builder, t, tmp, c255 isa.Reg) {
+	b.Op(isa.CMOVLT, t, t, isa.Zero) // t < 0 -> 0
+	b.Sub(tmp, c255, t)              // 255 - t < 0 -> 255
+	b.Op(isa.CMOVLT, t, tmp, c255)
+}
+
+func emitRGBAlpha(b *asm.Builder, n int) {
+	rp, gp, bp := isa.R(8), isa.R(9), isa.R(10)
+	yp, cbp, crp := isa.R(11), isa.R(12), isa.R(13)
+	rv, gv, bv := isa.R(14), isa.R(15), isa.R(16)
+	acc, t, c255, ctr := isa.R(17), isa.R(18), isa.R(19), isa.R(20)
+	b.MovI(rp, int64(b.Sym("r")))
+	b.MovI(gp, int64(b.Sym("g")))
+	b.MovI(bp, int64(b.Sym("b")))
+	b.MovI(yp, int64(b.Sym("y")))
+	b.MovI(cbp, int64(b.Sym("cb")))
+	b.MovI(crp, int64(b.Sym("cr")))
+	b.MovI(c255, 255)
+	bias := int64(media.BiasMul) * int64(media.BiasVal)
+	b.Loop(ctr, int64(n), func() {
+		b.Ldbu(rv, rp, 0)
+		b.Ldbu(gv, gp, 0)
+		b.Ldbu(bv, bp, 0)
+		// Y
+		b.MulI(acc, rv, media.CYR)
+		b.MulI(t, gv, media.CYG1)
+		b.Add(acc, acc, t)
+		b.MulI(t, gv, media.CYG2)
+		b.Add(acc, acc, t)
+		b.MulI(t, bv, media.CYB)
+		b.Add(acc, acc, t)
+		b.AddI(acc, acc, bias)
+		b.SraI(acc, acc, 16)
+		emitClamp8(b, acc, t, c255)
+		b.Stb(acc, yp, 0)
+		// Cb / Cr
+		for _, cc := range []struct {
+			cr, cg, cb int64
+			out        isa.Reg
+		}{
+			{media.CBR, media.CBG, media.CBB, cbp},
+			{media.CRR, media.CRG, media.CRB, crp},
+		} {
+			b.MulI(acc, rv, cc.cr)
+			b.MulI(t, gv, cc.cg)
+			b.Add(acc, acc, t)
+			b.MulI(t, bv, cc.cb)
+			b.Add(acc, acc, t)
+			b.AddI(acc, acc, bias)
+			b.SraI(acc, acc, 16)
+			b.AddI(acc, acc, 128)
+			emitClamp8(b, acc, t, c255)
+			b.Stb(acc, cc.out, 0)
+		}
+		for _, p := range []isa.Reg{rp, gp, bp, yp, cbp, crp} {
+			b.AddI(p, p, 1)
+		}
+	})
+}
+
+// splatHWord builds the 64-bit image of four identical halfwords.
+func splatHWord(v int16) uint64 {
+	return simd.SplatH(uint64(uint16(v)))
+}
+
+// pairWord builds [a,b,a,b] halfword lanes (PMADDH coefficient pairs).
+func pairWord(a, b int16) uint64 {
+	return uint64(uint16(a)) | uint64(uint16(b))<<16 |
+		uint64(uint16(a))<<32 | uint64(uint16(b))<<48
+}
+
+func emitRGBMMX(b *asm.Builder, n int) {
+	// Hoisted constants.
+	consts := []struct {
+		reg isa.Reg
+		val uint64
+	}{
+		{isa.M(16), pairWord(media.CYR, media.CYG1)},    // Y: (r,g) pair
+		{isa.M(17), pairWord(media.CYG2, media.CYB)},    // Y: (g,b) pair
+		{isa.M(18), pairWord(media.CBR, media.CBG)},     // Cb: (r,g)
+		{isa.M(19), pairWord(media.CBB, media.BiasMul)}, // Cb: (b,128->bias)
+		{isa.M(20), pairWord(media.CRR, media.CRG)},     // Cr: (r,g)
+		{isa.M(21), pairWord(media.CRB, media.BiasMul)}, // Cr: (b,bias)
+		{isa.M(22), uint64(32768) | uint64(32768)<<32},  // Y bias per 32-lane
+		{isa.M(23), splatHWord(128)},                    // chroma offset
+		{isa.M(24), splatHWord(media.BiasVal)},          // 128s to pair with b
+	}
+	b.AllocQ("mmxconst", func() []uint64 {
+		vs := make([]uint64, len(consts))
+		for i, c := range consts {
+			vs[i] = c.val
+		}
+		return vs
+	}(), 8)
+	cb := isa.R(7)
+	b.MovI(cb, int64(b.Sym("mmxconst")))
+	for i, c := range consts {
+		b.Ldm(c.reg, cb, int64(8*i))
+	}
+	mz := isa.M(25)
+	b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+
+	rp, gp, bp := isa.R(8), isa.R(9), isa.R(10)
+	yp, cbp, crp := isa.R(11), isa.R(12), isa.R(13)
+	ctr := isa.R(20)
+	b.MovI(rp, int64(b.Sym("r")))
+	b.MovI(gp, int64(b.Sym("g")))
+	b.MovI(bp, int64(b.Sym("b")))
+	b.MovI(yp, int64(b.Sym("y")))
+	b.MovI(cbp, int64(b.Sym("cb")))
+	b.MovI(crp, int64(b.Sym("cr")))
+
+	raw, r16, g16, b16 := isa.M(0), isa.M(1), isa.M(2), isa.M(3)
+	rg, gb, b5 := [4]isa.Reg{isa.M(4), isa.M(5), isa.M(6), isa.M(7)},
+		[4]isa.Reg{isa.M(8), isa.M(9), isa.M(10), isa.M(11)},
+		[4]isa.Reg{isa.M(12), isa.M(13), isa.M(14), isa.M(15)}
+	t1, t2 := isa.M(26), isa.M(27)
+	q0, q1, q2, q3 := isa.M(28), isa.M(29), isa.M(30), isa.M(31)
+
+	b.Loop(ctr, int64(n/8), func() {
+		// Unpack 8 pixels of each plane to halfwords (lo and hi quartets).
+		for half := 0; half < 2; half++ {
+			unp := isa.PUNPKLB
+			if half == 1 {
+				unp = isa.PUNPKHB
+			}
+			b.Ldm(raw, rp, 0)
+			b.Op(unp, r16, raw, mz)
+			b.Ldm(raw, gp, 0)
+			b.Op(unp, g16, raw, mz)
+			b.Ldm(raw, bp, 0)
+			b.Op(unp, b16, raw, mz)
+			b.Op(isa.PUNPKLH, rg[2*half], r16, g16)
+			b.Op(isa.PUNPKHH, rg[2*half+1], r16, g16)
+			b.Op(isa.PUNPKLH, gb[2*half], g16, b16)
+			b.Op(isa.PUNPKHH, gb[2*half+1], g16, b16)
+			b.Op(isa.PUNPKLH, b5[2*half], b16, isa.M(24))
+			b.Op(isa.PUNPKHH, b5[2*half+1], b16, isa.M(24))
+		}
+		quads := [4]isa.Reg{q0, q1, q2, q3}
+		// Y = (maddh(rg, cY1) + maddh(gb, cY2) + 32768) >> 16
+		for q := 0; q < 4; q++ {
+			b.Op(isa.PMADDH, t1, rg[q], isa.M(16))
+			b.Op(isa.PMADDH, t2, gb[q], isa.M(17))
+			b.Op(isa.PADDW, t1, t1, t2)
+			b.Op(isa.PADDW, t1, t1, isa.M(22))
+			b.OpI(isa.PSRAW, quads[q], t1, 16)
+		}
+		b.Op(isa.PACKSSWH, q0, q0, q1)
+		b.Op(isa.PACKSSWH, q2, q2, q3)
+		b.Op(isa.PACKUSHB, q0, q0, q2)
+		b.Stm(q0, yp, 0)
+		// Cb and Cr: (maddh(rg,c1) + maddh(b5,c2)) >> 16, then +128.
+		for _, cc := range []struct {
+			c1, c2 isa.Reg
+			out    isa.Reg
+		}{
+			{isa.M(18), isa.M(19), cbp},
+			{isa.M(20), isa.M(21), crp},
+		} {
+			for q := 0; q < 4; q++ {
+				b.Op(isa.PMADDH, t1, rg[q], cc.c1)
+				b.Op(isa.PMADDH, t2, b5[q], cc.c2)
+				b.Op(isa.PADDW, t1, t1, t2)
+				b.OpI(isa.PSRAW, quads[q], t1, 16)
+			}
+			b.Op(isa.PACKSSWH, q0, q0, q1)
+			b.Op(isa.PACKSSWH, q2, q2, q3)
+			b.Op(isa.PADDH, q0, q0, isa.M(23))
+			b.Op(isa.PADDH, q2, q2, isa.M(23))
+			b.Op(isa.PACKUSHB, q0, q0, q2)
+			b.Stm(q0, cc.out, 0)
+		}
+		for _, p := range []isa.Reg{rp, gp, bp, yp, cbp, crp} {
+			b.AddI(p, p, 8)
+		}
+	})
+}
+
+func emitRGBMDMX(b *asm.Builder, n int) {
+	consts := []struct {
+		reg isa.Reg
+		val uint64
+	}{
+		{isa.M(16), splatHWord(media.CYR)},
+		{isa.M(17), splatHWord(media.CYG1)},
+		{isa.M(18), splatHWord(media.CYG2)},
+		{isa.M(19), splatHWord(media.CYB)},
+		{isa.M(20), splatHWord(media.CBR)},
+		{isa.M(21), splatHWord(media.CBG)},
+		{isa.M(22), splatHWord(media.CBB)},
+		{isa.M(23), splatHWord(media.CRR)},
+		{isa.M(24), splatHWord(media.CRG)},
+		{isa.M(25), splatHWord(media.CRB)},
+		{isa.M(26), splatHWord(media.BiasMul)},
+		{isa.M(27), splatHWord(media.BiasVal)},
+		{isa.M(28), splatHWord(128)},
+	}
+	b.AllocQ("mdmxconst", func() []uint64 {
+		vs := make([]uint64, len(consts))
+		for i, c := range consts {
+			vs[i] = c.val
+		}
+		return vs
+	}(), 8)
+	cb := isa.R(7)
+	b.MovI(cb, int64(b.Sym("mdmxconst")))
+	for i, c := range consts {
+		b.Ldm(c.reg, cb, int64(8*i))
+	}
+	mz := isa.M(29)
+	b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+
+	rp, gp, bp := isa.R(8), isa.R(9), isa.R(10)
+	yp, cbp, crp := isa.R(11), isa.R(12), isa.R(13)
+	ctr := isa.R(20)
+	b.MovI(rp, int64(b.Sym("r")))
+	b.MovI(gp, int64(b.Sym("g")))
+	b.MovI(bp, int64(b.Sym("b")))
+	b.MovI(yp, int64(b.Sym("y")))
+	b.MovI(cbp, int64(b.Sym("cb")))
+	b.MovI(crp, int64(b.Sym("cr")))
+
+	raw := isa.M(0)
+	r16 := [2]isa.Reg{isa.M(1), isa.M(2)}
+	g16 := [2]isa.Reg{isa.M(3), isa.M(4)}
+	b16 := [2]isa.Reg{isa.M(5), isa.M(6)}
+	res := [2]isa.Reg{isa.M(7), isa.M(8)}
+
+	b.Loop(ctr, int64(n/8), func() {
+		for half := 0; half < 2; half++ {
+			unp := isa.PUNPKLB
+			if half == 1 {
+				unp = isa.PUNPKHB
+			}
+			b.Ldm(raw, rp, 0)
+			b.Op(unp, r16[half], raw, mz)
+			b.Ldm(raw, gp, 0)
+			b.Op(unp, g16[half], raw, mz)
+			b.Ldm(raw, bp, 0)
+			b.Op(unp, b16[half], raw, mz)
+		}
+		// Y: five multiply-accumulates per quartet, then clip to register.
+		for half := 0; half < 2; half++ {
+			a := isa.A(half)
+			b.Op(isa.ACLR, a, isa.Reg{}, isa.Reg{})
+			b.Op(isa.ACCMULH, a, r16[half], isa.M(16))
+			b.Op(isa.ACCMULH, a, g16[half], isa.M(17))
+			b.Op(isa.ACCMULH, a, g16[half], isa.M(18))
+			b.Op(isa.ACCMULH, a, b16[half], isa.M(19))
+			b.Op(isa.ACCMULH, a, isa.M(26), isa.M(27))
+			b.OpI(isa.RACH, res[half], a, 16)
+		}
+		b.Op(isa.PACKUSHB, res[0], res[0], res[1])
+		b.Stm(res[0], yp, 0)
+		for _, cc := range []struct {
+			cr, cg, cbb isa.Reg
+			out         isa.Reg
+		}{
+			{isa.M(20), isa.M(21), isa.M(22), cbp},
+			{isa.M(23), isa.M(24), isa.M(25), crp},
+		} {
+			for half := 0; half < 2; half++ {
+				a := isa.A(half)
+				b.Op(isa.ACLR, a, isa.Reg{}, isa.Reg{})
+				b.Op(isa.ACCMULH, a, r16[half], cc.cr)
+				b.Op(isa.ACCMULH, a, g16[half], cc.cg)
+				b.Op(isa.ACCMULH, a, b16[half], cc.cbb)
+				b.Op(isa.ACCMULH, a, isa.M(26), isa.M(27))
+				b.OpI(isa.RACH, res[half], a, 16)
+				b.Op(isa.PADDH, res[half], res[half], isa.M(28))
+			}
+			b.Op(isa.PACKUSHB, res[0], res[0], res[1])
+			b.Stm(res[0], cc.out, 0)
+		}
+		for _, p := range []isa.Reg{rp, gp, bp, yp, cbp, crp} {
+			b.AddI(p, p, 8)
+		}
+	})
+}
+
+func emitRGBMOM(b *asm.Builder, n int) {
+	// Coefficient vectors for matrix-per-vector: lane k multiplies matrix
+	// row k (R, G, B, bias128).
+	consts := []struct {
+		reg isa.Reg
+		val uint64
+	}{
+		{isa.M(16), pack4(media.CYR, media.CYG1, media.CYB, media.BiasMul)},
+		{isa.M(17), pack4(0, media.CYG2, 0, 0)},
+		{isa.M(18), pack4(media.CBR, media.CBG, media.CBB, media.BiasMul)},
+		{isa.M(19), pack4(media.CRR, media.CRG, media.CRB, media.BiasMul)},
+		{isa.M(20), splatHWord(128)},
+	}
+	b.AllocQ("momconst", func() []uint64 {
+		vs := make([]uint64, len(consts))
+		for i, c := range consts {
+			vs[i] = c.val
+		}
+		return vs
+	}(), 8)
+	cb := isa.R(7)
+	b.MovI(cb, int64(b.Sym("momconst")))
+	for i, c := range consts {
+		b.Ldm(c.reg, cb, int64(8*i))
+	}
+	mz := isa.M(21)
+	b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+
+	rp := isa.R(8)
+	yp, cbp, crp := isa.R(11), isa.R(12), isa.R(13)
+	stride, ctr := isa.R(14), isa.R(20)
+	b.MovI(rp, int64(b.Sym("r")))
+	b.MovI(yp, int64(b.Sym("y")))
+	b.MovI(cbp, int64(b.Sym("cb")))
+	b.MovI(crp, int64(b.Sym("cr")))
+	b.MovI(stride, int64(n)) // plane size = row stride of the matrix load
+	b.SetVLI(4)
+
+	res := [2]isa.Reg{isa.M(0), isa.M(1)}
+	b.Loop(ctr, int64(n/8), func() {
+		// One strided load brings 8 pixels of R, G, B and bias as the four
+		// matrix rows; unpack bytes to halfwords across all rows at once.
+		b.MomLd(isa.V(0), rp, stride, 0)
+		b.Op(isa.PUNPKLB.Vector(), isa.V(1), isa.V(0), mz)
+		b.Op(isa.PUNPKHB.Vector(), isa.V(2), isa.V(0), mz)
+		// Y: two matrix-per-vector passes (split green coefficient).
+		for half := 0; half < 2; half++ {
+			v := isa.V(1 + half)
+			va := isa.VA(half % isa.NumMomAcc)
+			b.Op(isa.ACLR, va, isa.Reg{}, isa.Reg{})
+			b.Op(isa.MOMMPVH, va, v, isa.M(16))
+			b.Op(isa.MOMMPVH, va, v, isa.M(17))
+			b.OpI(isa.RACH, res[half], va, 16)
+		}
+		b.Op(isa.PACKUSHB, res[0], res[0], res[1])
+		b.Stm(res[0], yp, 0)
+		// Cb / Cr: one pass each plus the +128 offset.
+		for _, cc := range []struct {
+			coef isa.Reg
+			out  isa.Reg
+		}{
+			{isa.M(18), cbp},
+			{isa.M(19), crp},
+		} {
+			for half := 0; half < 2; half++ {
+				v := isa.V(1 + half)
+				va := isa.VA(half % isa.NumMomAcc)
+				b.Op(isa.ACLR, va, isa.Reg{}, isa.Reg{})
+				b.Op(isa.MOMMPVH, va, v, cc.coef)
+				b.OpI(isa.RACH, res[half], va, 16)
+				b.Op(isa.PADDH, res[half], res[half], isa.M(20))
+			}
+			b.Op(isa.PACKUSHB, res[0], res[0], res[1])
+			b.Stm(res[0], cc.out, 0)
+		}
+		b.AddI(rp, rp, 8)
+		for _, p := range []isa.Reg{yp, cbp, crp} {
+			b.AddI(p, p, 8)
+		}
+	})
+}
+
+// pack4 packs four int16 lanes into a 64-bit word.
+func pack4(a, b, c, d int16) uint64 {
+	return uint64(uint16(a)) | uint64(uint16(b))<<16 |
+		uint64(uint16(c))<<32 | uint64(uint16(d))<<48
+}

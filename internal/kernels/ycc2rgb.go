@@ -1,0 +1,190 @@
+package kernels
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/media"
+)
+
+// EmitRGB2YCC appends the forward colour conversion over n pixels. The
+// program must have allocated the planes under the symbols "r", "g", "b",
+// "bias" (contiguous, in that order — the MOM variant loads them as matrix
+// rows with the plane size as stride) and outputs "y", "cb", "cr".
+func EmitRGB2YCC(b *asm.Builder, ext isa.Ext, n int) {
+	switch ext {
+	case isa.ExtAlpha:
+		emitRGBAlpha(b, n)
+	case isa.ExtMMX:
+		emitRGBMMX(b, n)
+	case isa.ExtMDMX:
+		emitRGBMDMX(b, n)
+	case isa.ExtMOM:
+		emitRGBMOM(b, n)
+	}
+}
+
+// EmitYCC2RGB appends the inverse colour conversion over n contiguous
+// pixels of the named planes (media.YCC2RGB semantics).
+func EmitYCC2RGB(b *asm.Builder, ext isa.Ext, n int, ySym, cbSym, crSym, rSym, gSym, bSym string) {
+	yA, cbA, crA := int64(b.Sym(ySym)), int64(b.Sym(cbSym)), int64(b.Sym(crSym))
+	rA, gA, bA := int64(b.Sym(rSym)), int64(b.Sym(gSym)), int64(b.Sym(bSym))
+
+	if ext == isa.ExtAlpha {
+		emitYCC2RGBAlpha(b, n, yA, cbA, crA, rA, gA, bA)
+		return
+	}
+
+	// Hoisted constants.
+	b.AllocQ("y2r.const."+ySym, []uint64{
+		splatHWord(128),
+		splatHWord(media.CRV),
+		splatHWord(media.CGU),
+		splatHWord(media.CGV),
+		splatHWord(media.CBU),
+	}, 8)
+	cp := isa.R(28)
+	m128, mCRV, mCGU, mCGV, mCBU := isa.M(16), isa.M(17), isa.M(18), isa.M(19), isa.M(20)
+	mz := isa.M(21)
+	b.MovI(cp, int64(b.Sym("y2r.const."+ySym)))
+	for i, r := range []isa.Reg{m128, mCRV, mCGU, mCGV, mCBU} {
+		b.Ldm(r, cp, int64(8*i))
+	}
+	b.Op(isa.PZERO, mz, isa.Reg{}, isa.Reg{})
+
+	yp, cbp, crp := isa.R(8), isa.R(9), isa.R(10)
+	rp, gp, bp := isa.R(11), isa.R(12), isa.R(13)
+	ctr := isa.R(26)
+	setPtrs := func(off int64) {
+		b.MovI(yp, yA+off)
+		b.MovI(cbp, cbA+off)
+		b.MovI(crp, crA+off)
+		b.MovI(rp, rA+off)
+		b.MovI(gp, gA+off)
+		b.MovI(bp, bA+off)
+	}
+	advance := func(step int64) {
+		for _, p := range []isa.Reg{yp, cbp, crp, rp, gp, bp} {
+			b.AddI(p, p, step)
+		}
+	}
+
+	// body converts one group of 8 pixels (packed) or 128 pixels (vector).
+	body := func(p pix, stride isa.Reg) {
+		yraw, cbraw, crraw := p.r(0), p.r(1), p.r(2)
+		y16l, y16h := p.r(3), p.r(4)
+		cbd4l, cbd4h := p.r(5), p.r(6)
+		crd4l, crd4h := p.r(7), p.r(8)
+		t, outl, outh := p.r(9), p.r(10), p.r(11)
+		p.ld(yraw, yp, stride, 0)
+		p.ld(cbraw, cbp, stride, 0)
+		p.ld(crraw, crp, stride, 0)
+		p.op(isa.PUNPKLB, y16l, yraw, mz)
+		p.op(isa.PUNPKHB, y16h, yraw, mz)
+		diff4 := func(raw, dl, dh isa.Reg) {
+			p.op(isa.PUNPKLB, dl, raw, mz)
+			p.op(isa.PUNPKHB, dh, raw, mz)
+			p.op(isa.PSUBH, dl, dl, m128)
+			p.op(isa.PSUBH, dh, dh, m128)
+			p.opi(isa.PSLLH, dl, dl, 2)
+			p.opi(isa.PSLLH, dh, dh, 2)
+		}
+		diff4(cbraw, cbd4l, cbd4h)
+		diff4(crraw, crd4l, crd4h)
+		// R = sat8(y + mulh(crd4, CRV))
+		p.op(isa.PMULHH, t, crd4l, mCRV)
+		p.op(isa.PADDH, outl, y16l, t)
+		p.op(isa.PMULHH, t, crd4h, mCRV)
+		p.op(isa.PADDH, outh, y16h, t)
+		p.op(isa.PACKUSHB, outl, outl, outh)
+		p.st(outl, rp, stride, 0)
+		// G = sat8(y - mulh(cbd4, CGU) - mulh(crd4, CGV))
+		p.op(isa.PMULHH, t, cbd4l, mCGU)
+		p.op(isa.PSUBH, outl, y16l, t)
+		p.op(isa.PMULHH, t, crd4l, mCGV)
+		p.op(isa.PSUBH, outl, outl, t)
+		p.op(isa.PMULHH, t, cbd4h, mCGU)
+		p.op(isa.PSUBH, outh, y16h, t)
+		p.op(isa.PMULHH, t, crd4h, mCGV)
+		p.op(isa.PSUBH, outh, outh, t)
+		p.op(isa.PACKUSHB, outl, outl, outh)
+		p.st(outl, gp, stride, 0)
+		// B = sat8(y + mulh(cbd4, CBU))
+		p.op(isa.PMULHH, t, cbd4l, mCBU)
+		p.op(isa.PADDH, outl, y16l, t)
+		p.op(isa.PMULHH, t, cbd4h, mCBU)
+		p.op(isa.PADDH, outh, y16h, t)
+		p.op(isa.PACKUSHB, outl, outl, outh)
+		p.st(outl, bp, stride, 0)
+	}
+
+	done := 0
+	if ext == isa.ExtMOM && n >= 128 {
+		// 16 groups of 8 pixels per iteration (contiguous stride-8 rows).
+		pv := pix{b: b, vec: true}
+		stride8 := isa.R(27)
+		b.MovI(stride8, 8)
+		b.SetVLI(16)
+		setPtrs(0)
+		chunks := n / 128
+		b.Loop(ctr, int64(chunks), func() {
+			body(pv, stride8)
+			advance(128)
+		})
+		done = chunks * 128
+	}
+	// Packed path for the whole plane (MMX/MDMX) or the MOM remainder.
+	if rem := n - done; rem > 0 {
+		pp := pix{b: b, vec: false}
+		setPtrs(int64(done))
+		b.Loop(ctr, int64(rem/8), func() {
+			body(pp, isa.Reg{})
+			advance(8)
+		})
+	}
+}
+
+func emitYCC2RGBAlpha(b *asm.Builder, n int, yA, cbA, crA, rA, gA, bA int64) {
+	yp, cbp, crp := isa.R(8), isa.R(9), isa.R(10)
+	rp, gp, bp := isa.R(11), isa.R(12), isa.R(13)
+	yv, cbd, crd, t, t2, c255 := isa.R(14), isa.R(15), isa.R(16), isa.R(17), isa.R(18), isa.R(19)
+	ctr := isa.R(26)
+	b.MovI(yp, yA)
+	b.MovI(cbp, cbA)
+	b.MovI(crp, crA)
+	b.MovI(rp, rA)
+	b.MovI(gp, gA)
+	b.MovI(bp, bA)
+	b.MovI(c255, 255)
+	mulh := func(dst, src isa.Reg, c int64) {
+		// dst = (4*(src-128) * c) >> 16, computed exactly like MulH16 on the
+		// pre-shifted difference.
+		b.AddI(dst, src, -128)
+		b.SllI(dst, dst, 2)
+		b.MulI(dst, dst, c)
+		b.SraI(dst, dst, 16)
+		_ = src
+	}
+	b.Loop(ctr, int64(n), func() {
+		b.Ldbu(yv, yp, 0)
+		b.Ldbu(cbd, cbp, 0)
+		b.Ldbu(crd, crp, 0)
+		mulh(t, crd, media.CRV)
+		b.Add(t, yv, t)
+		emitClamp8(b, t, t2, c255)
+		b.Stb(t, rp, 0)
+		mulh(t, cbd, media.CGU)
+		b.Op(isa.SUBQ, t, isa.Zero, t)
+		b.Add(t, yv, t)
+		mulh(t2, crd, media.CGV)
+		b.Sub(t, t, t2)
+		emitClamp8(b, t, t2, c255)
+		b.Stb(t, gp, 0)
+		mulh(t, cbd, media.CBU)
+		b.Add(t, yv, t)
+		emitClamp8(b, t, t2, c255)
+		b.Stb(t, bp, 0)
+		for _, p := range []isa.Reg{yp, cbp, crp, rp, gp, bp} {
+			b.AddI(p, p, 1)
+		}
+	})
+}

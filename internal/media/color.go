@@ -1,0 +1,103 @@
+package media
+
+// Planar RGB -> YCbCr conversion with Q0.16 signed coefficients, chosen so
+// every constant fits a signed halfword (so the packed-multiply form is
+// expressible in all three multimedia ISAs with identical results).
+//
+// Each output sample is computed as a sum of 16x16 products accumulated at
+// >= 32-bit precision, with a rounding bias that is itself expressible as a
+// 16x16 product (128*256 = 32768), so every ISA can fold it into one extra
+// multiply-accumulate (MMX pairs it into a PMADDH, MDMX adds one ACCMULH,
+// MOM adds a fourth matrix row to the matrix-per-vector operation):
+//
+//	Y  = sat8(  (cYR*R + cYG1*G + cYG2*G + cYB*B + 128*256) >> 16 )
+//	Cb = sat8( ((cBR*R + cBG*G  + cBB*B  + 128*256) >> 16) + 128 )
+//	Cr = sat8( ((cRR*R + cRG*G  + cRB*B  + 128*256) >> 16) + 128 )
+//
+// The chroma +128 offset is added after the arithmetic shift (exactly
+// equivalent to a 128<<16 bias, since the bias is a multiple of 2^16).
+const (
+	CYR, CYB      = 19595, 7471
+	CYG1, CYG2    = 32767, 5703 // cYG = 38470 does not fit int16: split in two
+	CBR, CBG, CBB = -11059, -21709, 32767
+	CRR, CRG, CRB = 32767, -27439, -5329
+
+	// Rounding bias as a 16x16 product (128*256 = 32768).
+	BiasMul, BiasVal = 256, 128
+)
+
+// RGB2YCC converts one pixel using the exact fixed-point recipe above.
+// The green Y coefficient (38470) exceeds the int16 range, so it is split
+// into two products (32767 + 5703), exactly as the packed code does.
+func RGB2YCC(r, g, b byte) (y, cb, cr byte) {
+	ri, gi, bi := int32(r), int32(g), int32(b)
+	bias := int32(BiasMul) * int32(BiasVal)
+	ys := int32(CYR)*ri + int32(CYG1)*gi + int32(CYG2)*gi + int32(CYB)*bi + bias
+	cbs := int32(CBR)*ri + int32(CBG)*gi + int32(CBB)*bi + bias
+	crs := int32(CRR)*ri + int32(CRG)*gi + int32(CRB)*bi + bias
+	return sat8i32(ys >> 16), sat8i32((cbs >> 16) + 128), sat8i32((crs >> 16) + 128)
+}
+
+// Inverse-conversion coefficients (Q0.14).
+const (
+	CRV = 22970
+	CGU = 5638
+	CGV = 11700
+	CBU = 29032
+)
+
+// YCC2RGB is the inverse conversion (used by the jpeg-decode application).
+// Coefficients are Q0.14; each product is evaluated with the packed
+// multiply-high primitive on a <<2 pre-shifted difference, so
+// (c * d) >> 14 == MulH16(4*d, c) exactly, and every ISA (including the
+// scalar one) computes the identical per-term-truncated value:
+//
+//	R = sat8( Y + mulh16(4*(Cr-128), CRV) )
+//	G = sat8( Y - mulh16(4*(Cb-128), CGU) - mulh16(4*(Cr-128), CGV) )
+//	B = sat8( Y + mulh16(4*(Cb-128), CBU) )
+func YCC2RGB(y, cb, cr byte) (r, g, b byte) {
+	yy := int32(y)
+	cbd4 := int16((int32(cb) - 128) << 2)
+	crd4 := int16((int32(cr) - 128) << 2)
+	r = sat8i32(yy + int32(MulH16(crd4, CRV)))
+	g = sat8i32(yy - int32(MulH16(cbd4, CGU)) - int32(MulH16(crd4, CGV)))
+	b = sat8i32(yy + int32(MulH16(cbd4, CBU)))
+	return
+}
+
+// RGB2YCCPlanes converts whole planes (golden reference for the kernel).
+func RGB2YCCPlanes(r, g, b *Plane) (y, cb, cr *Plane) {
+	y, cb, cr = NewPlane(r.W, r.H), NewPlane(r.W, r.H), NewPlane(r.W, r.H)
+	for j := 0; j < r.H; j++ {
+		for i := 0; i < r.W; i++ {
+			yy, cbb, crr := RGB2YCC(r.At(i, j), g.At(i, j), b.At(i, j))
+			y.Set(i, j, yy)
+			cb.Set(i, j, cbb)
+			cr.Set(i, j, crr)
+		}
+	}
+	return
+}
+
+// Downsample2x2 averages 2x2 blocks (chroma subsampling for the encoders).
+func Downsample2x2(p *Plane) *Plane {
+	out := NewPlane(p.W/2, p.H/2)
+	for j := 0; j < out.H; j++ {
+		for i := 0; i < out.W; i++ {
+			s := int(p.At(2*i, 2*j)) + int(p.At(2*i+1, 2*j)) +
+				int(p.At(2*i, 2*j+1)) + int(p.At(2*i+1, 2*j+1))
+			out.Set(i, j, byte((s+2)>>2))
+		}
+	}
+	return out
+}
+
+func sat8i32(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

@@ -1,0 +1,85 @@
+package media
+
+// Golden implementations of the pixel-filter kernels: motion compensation
+// (averaging prediction), addblock (residual reconstruction with
+// saturation) and the jpeg h2v2 upsampler.
+
+// AvgPred computes the bidirectional prediction (fwd+bwd+1)>>1 per pixel —
+// the exact semantics of the packed-average instruction.
+func AvgPred(fwd, bwd []byte) []byte {
+	out := make([]byte, len(fwd))
+	for i := range fwd {
+		out[i] = byte((uint16(fwd[i]) + uint16(bwd[i]) + 1) >> 1)
+	}
+	return out
+}
+
+// AddBlock reconstructs pixels: out = sat8(pred + residual). residual is a
+// signed 16-bit block. The original mpeg2 code performs the saturation with
+// a memory lookup table; the multimedia ISAs do it with saturating packed
+// adds — both produce these values.
+func AddBlock(pred []byte, residual []int16) []byte {
+	out := make([]byte, len(pred))
+	for i := range pred {
+		v := int32(pred[i]) + int32(residual[i])
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// H2V2Upsample doubles a plane in both dimensions with the triangular
+// (3x+y+rounding)/4 filter used by the jpeg "fancy" upsampler. Only the
+// interior rows/columns get the full filter; borders replicate, which is
+// also what the kernels implement.
+//
+// Horizontal:  out[2i] = (3*in[i] + in[i-1] + 2) >> 2
+//
+//	out[2i+1] = (3*in[i] + in[i+1] + 1) >> 2
+//
+// applied after the same filter vertically.
+func H2V2Upsample(in *Plane) *Plane {
+	w, h := in.W, in.H
+	// Vertical pass: 2h rows, each blending a row with its neighbour.
+	tmp := make([][]int16, 2*h)
+	for j := 0; j < h; j++ {
+		up, down := j-1, j+1
+		if up < 0 {
+			up = 0
+		}
+		if down >= h {
+			down = h - 1
+		}
+		r0 := make([]int16, w)
+		r1 := make([]int16, w)
+		for i := 0; i < w; i++ {
+			c := int16(in.At(i, j))
+			r0[i] = (3*c + int16(in.At(i, up)) + 2) >> 2
+			r1[i] = (3*c + int16(in.At(i, down)) + 1) >> 2
+		}
+		tmp[2*j] = r0
+		tmp[2*j+1] = r1
+	}
+	out := NewPlane(2*w, 2*h)
+	for j := 0; j < 2*h; j++ {
+		row := tmp[j]
+		for i := 0; i < w; i++ {
+			left, right := i-1, i+1
+			if left < 0 {
+				left = 0
+			}
+			if right >= w {
+				right = w - 1
+			}
+			c := row[i]
+			out.Set(2*i, j, byte((3*c+row[left]+2)>>2))
+			out.Set(2*i+1, j, byte((3*c+row[right]+1)>>2))
+		}
+	}
+	return out
+}

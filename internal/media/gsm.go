@@ -1,0 +1,188 @@
+package media
+
+// Golden GSM 06.10-style long-term-prediction parameter computation
+// (the ltpparameters kernel) and the small helpers the gsm-encode
+// application composes.
+
+// LTPMinLag and LTPMaxLag bound the long-term predictor lag search.
+const (
+	LTPMinLag   = 40
+	LTPMaxLag   = 120
+	SubframeLen = 40
+)
+
+// LTPCorr computes the cross-correlation sum_{i<40} d[i]*dp[i-lag] with
+// 32-bit wrapping accumulation (the exact arithmetic of the packed
+// implementations; with 13-bit inputs the sum never overflows 32 bits, so
+// wrapping equals exact).
+func LTPCorr(d []int16, dp []int16, dpPos, lag int) int32 {
+	var s int32
+	for i := 0; i < SubframeLen; i++ {
+		s += int32(d[i]) * int32(dp[dpPos+i-lag])
+	}
+	return s
+}
+
+// LTPParameters finds the lag in [LTPMinLag, LTPMaxLag] maximising the
+// cross-correlation of subframe d against history dp (dpPos is the index of
+// the subframe start inside dp). It returns the best lag and its
+// correlation; ties keep the smaller lag.
+func LTPParameters(d []int16, dp []int16, dpPos int) (bestLag int, bestCorr int32) {
+	bestLag = LTPMinLag
+	bestCorr = -1 << 31
+	for lag := LTPMinLag; lag <= LTPMaxLag; lag++ {
+		c := LTPCorr(d, dp, dpPos, lag)
+		if c > bestCorr {
+			bestCorr, bestLag = c, lag
+		}
+	}
+	return
+}
+
+// LTPGainIndex quantises the gain ratio corr/energy into the 2-bit GSM gain
+// index (coarse approximation of the standard's table).
+func LTPGainIndex(corr int32, energy int32) int {
+	if energy <= 0 || corr <= 0 {
+		return 0
+	}
+	// ratio in Q6
+	r := int64(corr) * 64 / int64(energy)
+	switch {
+	case r < 13:
+		return 0
+	case r < 26:
+		return 1
+	case r < 45:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Energy40 computes the energy of a 40-sample window at dp[pos-lag...].
+func Energy40(dp []int16, pos, lag int) int32 {
+	var s int32
+	for i := 0; i < SubframeLen; i++ {
+		v := int32(dp[pos+i-lag])
+		s += v * v
+	}
+	return s
+}
+
+// Preemphasis applies the GSM front-end preemphasis filter
+// s'[i] = sat16(s[i] - (28180*s[i-1])>>15) with the exact fixed-point
+// arithmetic used by the ISA-level code.
+func Preemphasis(s []int16) []int16 {
+	out := make([]int16, len(s))
+	var prev int32
+	for i, v := range s {
+		t := int32(v) - (28180*prev)>>15
+		if t > 32767 {
+			t = 32767
+		}
+		if t < -32768 {
+			t = -32768
+		}
+		out[i] = int16(t)
+		prev = int32(v)
+	}
+	return out
+}
+
+// ---- short-term prediction (simplified order-2 LPC) ----
+//
+// Real GSM 06.10 runs an order-8 Schur recursion and lattice filter; this
+// reproduction uses an order-2 predictor with a closed-form Yule-Walker
+// solution, which preserves the pipeline structure (autocorrelation ->
+// coefficient solve -> quantise -> analysis filter -> LTP on the residual)
+// while staying expressible as straightforward scalar integer code whose
+// semantics the ISA-level programs reproduce exactly.
+
+// AutoCorr computes sum (s[i]>>2)*(s[i-lag]>>2) over i in [lag, len).
+// The >>2 prescale keeps every downstream product inside int64.
+func AutoCorr(s []int16, lag int) int64 {
+	var acc int64
+	for i := lag; i < len(s); i++ {
+		acc += int64(s[i]>>2) * int64(s[i-lag]>>2)
+	}
+	return acc
+}
+
+// normShift returns the right-shift that brings v under 2^20 (0 if already
+// small); both golden and generated code use the same loop.
+func normShift(v int64) uint {
+	var sh uint
+	for v>>sh >= 1<<20 {
+		sh++
+	}
+	return sh
+}
+
+// STP2 solves the order-2 Yule-Walker equations in Q15:
+//
+//	a1 = ((ac1*(ac0-ac2)) << 15) / (ac0^2 - ac1^2)
+//	a2 = ((ac0*ac2 - ac1^2) << 15) / (ac0^2 - ac1^2)
+//
+// after normalising the autocorrelations below 2^20. Degenerate frames
+// (den <= 0) predict nothing.
+func STP2(ac0, ac1, ac2 int64) (a1, a2 int16) {
+	sh := normShift(ac0)
+	ac0 >>= sh
+	ac1 >>= sh
+	ac2 >>= sh
+	den := ac0*ac0 - ac1*ac1
+	if ac0 <= 0 || den <= 0 {
+		return 0, 0
+	}
+	n1 := (ac1 * (ac0 - ac2)) << 15 / den
+	n2 := (ac0*ac2 - ac1*ac1) << 15 / den
+	return satSTP(n1), satSTP(n2)
+}
+
+func satSTP(v int64) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// QuantSTP quantises a Q15 coefficient to a 7-bit index.
+func QuantSTP(a int16) int {
+	q := int(a) >> 9
+	if q < -64 {
+		q = -64
+	}
+	if q > 63 {
+		q = 63
+	}
+	return q
+}
+
+// DequantSTP reverses QuantSTP.
+func DequantSTP(q int) int16 { return int16(q << 9) }
+
+// STPFilterFrame writes the short-term residual of s[start:start+n] into
+// dst[start:start+n]: d[i] = sat16(s[i] - (a1*s[i-1] + a2*s[i-2]) >> 15),
+// reading predecessors from the full signal (zero before index 0).
+func STPFilterFrame(s []int16, dst []int16, start, n int, a1, a2 int16) {
+	at := func(i int) int64 {
+		if i < 0 {
+			return 0
+		}
+		return int64(s[i])
+	}
+	for i := start; i < start+n; i++ {
+		p := (int64(a1)*at(i-1) + int64(a2)*at(i-2)) >> 15
+		v := int64(s[i]) - p
+		if v > 32767 {
+			v = 32767
+		}
+		if v < -32768 {
+			v = -32768
+		}
+		dst[i] = int16(v)
+	}
+}

@@ -1,0 +1,277 @@
+package media
+
+import "sort"
+
+// Canonical Huffman coding for the jpeg-style entropy stage.
+//
+// Symbols follow JPEG's AC coding model: a (run, size) pair packed as
+// run<<4 | size, where run is the number of preceding zero coefficients
+// (0..15) and size the magnitude category of the nonzero value; the code is
+// followed by `size` raw magnitude bits (negative values are stored as
+// v + 2^size - 1, exactly like JPEG). Two special symbols: EOB (0x00) ends
+// a block early, ZRL (0xF0) encodes a run of 16 zeros.
+//
+// The code book is canonical and deterministic: it is built once from a
+// fixed frequency profile, and the resulting code/length tables are
+// embedded as data into the generated programs, so the golden coder and
+// the ISA-level coders share identical bits.
+
+// HuffTable is a canonical Huffman code book.
+type HuffTable struct {
+	Code []uint32 // code value per symbol (MSB-first)
+	Len  []uint8  // code length per symbol (0 = symbol unused)
+
+	// Canonical decoding tables, indexed by code length 1..MaxHuffLen:
+	First  [MaxHuffLen + 1]int32 // first code value of this length
+	Count  [MaxHuffLen + 1]int32 // number of codes of this length
+	Offset [MaxHuffLen + 1]int32 // index of the first symbol of this length
+	Syms   []uint16              // symbols ordered by (length, code)
+}
+
+// MaxHuffLen bounds code lengths (JPEG uses 16).
+const MaxHuffLen = 16
+
+// BuildCanonical constructs a length-limited canonical Huffman table for
+// the given symbol frequencies (zero-frequency symbols get no code).
+func BuildCanonical(freqs []int) *HuffTable {
+	type node struct {
+		sym  int // -1 for internal
+		freq int
+		l, r int // child indices
+	}
+	var nodes []node
+	var heap []int // indices into nodes, maintained as a simple sorted slice
+	for s, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, node{sym: s, freq: f, l: -1, r: -1})
+			heap = append(heap, len(nodes)-1)
+		}
+	}
+	if len(heap) == 0 {
+		return &HuffTable{Code: make([]uint32, len(freqs)), Len: make([]uint8, len(freqs))}
+	}
+	if len(heap) == 1 {
+		t := &HuffTable{Code: make([]uint32, len(freqs)), Len: make([]uint8, len(freqs))}
+		t.Len[nodes[heap[0]].sym] = 1
+		finishCanonical(t)
+		return t
+	}
+	less := func(a, b int) bool {
+		if nodes[a].freq != nodes[b].freq {
+			return nodes[a].freq < nodes[b].freq
+		}
+		// Tie-break on symbol/creation order for determinism.
+		return a < b
+	}
+	for len(heap) > 1 {
+		sort.Slice(heap, func(i, j int) bool { return less(heap[i], heap[j]) })
+		a, b := heap[0], heap[1]
+		heap = heap[2:]
+		nodes = append(nodes, node{sym: -1, freq: nodes[a].freq + nodes[b].freq, l: a, r: b})
+		heap = append(heap, len(nodes)-1)
+	}
+	// Depth-first walk assigns lengths.
+	lens := make([]uint8, len(freqs))
+	var walk func(idx int, depth uint8)
+	walk = func(idx int, depth uint8) {
+		nd := nodes[idx]
+		if nd.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lens[nd.sym] = depth
+			return
+		}
+		walk(nd.l, depth+1)
+		walk(nd.r, depth+1)
+	}
+	walk(heap[0], 0)
+	// Length-limit to MaxHuffLen with the simple push-down heuristic.
+	for limitOnce(lens) {
+	}
+	t := &HuffTable{Code: make([]uint32, len(freqs)), Len: lens}
+	finishCanonical(t)
+	return t
+}
+
+// limitOnce shortens one over-long code by pairing it under a shorter one;
+// returns true if another pass is needed.
+func limitOnce(lens []uint8) bool {
+	over := -1
+	for s, l := range lens {
+		if l > MaxHuffLen {
+			over = s
+			break
+		}
+	}
+	if over < 0 {
+		return false
+	}
+	// Find the longest code <= MaxHuffLen-1 and split it.
+	best, bestLen := -1, uint8(0)
+	for s, l := range lens {
+		if s != over && l > bestLen && l < MaxHuffLen {
+			best, bestLen = s, l
+		}
+	}
+	lens[best]++
+	lens[over] = lens[best]
+	return true
+}
+
+// finishCanonical assigns canonical code values and decode tables from the
+// length assignment (Kraft-valid by construction).
+func finishCanonical(t *HuffTable) {
+	type se struct {
+		sym int
+		l   uint8
+	}
+	var entries []se
+	for s, l := range t.Len {
+		if l > 0 {
+			entries = append(entries, se{s, l})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].l != entries[j].l {
+			return entries[i].l < entries[j].l
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	code := uint32(0)
+	prevLen := uint8(0)
+	t.Syms = make([]uint16, 0, len(entries))
+	for idx, e := range entries {
+		code <<= (e.l - prevLen)
+		prevLen = e.l
+		t.Code[e.sym] = code
+		if t.Count[e.l] == 0 {
+			t.First[e.l] = int32(code)
+			t.Offset[e.l] = int32(idx)
+		}
+		t.Count[e.l]++
+		t.Syms = append(t.Syms, uint16(e.sym))
+		code++
+	}
+}
+
+// jpegACFreqs is the fixed frequency profile the jpeg applications use:
+// short runs and small magnitudes dominate, EOB is very common.
+func jpegACFreqs() []int {
+	f := make([]int, 256)
+	f[0x00] = 4000 // EOB
+	f[0xF0] = 60   // ZRL
+	for run := 0; run < 16; run++ {
+		for size := 1; size <= 12; size++ {
+			weight := 3000 / ((run + 1) * size * size)
+			if weight < 1 {
+				weight = 1
+			}
+			f[run<<4|size] = weight
+		}
+	}
+	return f
+}
+
+// JPEGACTable is the shared code book.
+var JPEGACTable = BuildCanonical(jpegACFreqs())
+
+// magSize returns JPEG's magnitude category (number of bits).
+func magSize(v int32) uint {
+	if v < 0 {
+		v = -v
+	}
+	var s uint
+	for v > 0 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+// magBits returns the raw magnitude bits: v >= 0 -> v; v < 0 -> v+2^s-1.
+func magBits(v int32, s uint) uint32 {
+	if v < 0 {
+		return uint32(v + (1 << s) - 1)
+	}
+	return uint32(v)
+}
+
+// magValue inverts magBits.
+func magValue(bits uint32, s uint) int32 {
+	if s == 0 {
+		return 0
+	}
+	if bits < 1<<(s-1) { // negative range
+		return int32(bits) - (1 << s) + 1
+	}
+	return int32(bits)
+}
+
+// HuffEncodeBlock writes one quantised block in zig-zag order using the
+// shared AC table (the DC coefficient is coded like any other symbol with
+// run 0).
+func HuffEncodeBlock(w *BitWriter, blk *[64]int16) {
+	t := JPEGACTable
+	emit := func(sym int) {
+		w.WriteBits(t.Code[sym], uint(t.Len[sym]))
+	}
+	run := 0
+	for _, zz := range ZigZag {
+		v := int32(blk[zz])
+		if v == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			emit(0xF0)
+			run -= 16
+		}
+		s := magSize(v)
+		emit(run<<4 | int(s))
+		w.WriteBits(magBits(v, s), s)
+		run = 0
+	}
+	emit(0x00) // EOB (always, also for full blocks; the decoder consumes it)
+}
+
+// HuffDecodeSym reads one canonically-coded symbol.
+func HuffDecodeSym(r *BitReader) int {
+	t := JPEGACTable
+	code := int32(0)
+	for l := 1; l <= MaxHuffLen; l++ {
+		code = code<<1 | int32(r.ReadBits(1))
+		if t.Count[l] > 0 && code-t.First[l] < t.Count[l] && code >= t.First[l] {
+			return int(t.Syms[t.Offset[l]+code-t.First[l]])
+		}
+	}
+	return 0 // malformed stream decodes as EOB
+}
+
+// HuffDecodeBlock reverses HuffEncodeBlock.
+func HuffDecodeBlock(r *BitReader, blk *[64]int16) {
+	for i := range blk {
+		blk[i] = 0
+	}
+	pos := 0
+	for pos < 64 {
+		sym := HuffDecodeSym(r)
+		if sym == 0x00 {
+			return
+		}
+		if sym == 0xF0 {
+			pos += 16
+			continue
+		}
+		run := sym >> 4
+		s := uint(sym & 0xF)
+		pos += run
+		bits := r.ReadBits(s)
+		if pos < 64 {
+			blk[ZigZag[pos]] = int16(magValue(bits, s))
+			pos++
+		}
+	}
+	// A full block still carries its EOB.
+	HuffDecodeSym(r)
+}

@@ -1,0 +1,90 @@
+package media
+
+// Quantisation and zig-zag scanning for the block codecs.
+
+// LumaQuant is a JPEG-flavoured luminance quantisation table (row-major).
+var LumaQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// ZigZag maps scan order -> block index.
+var ZigZag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Recip returns the Q0.16 reciprocal used by the quantiser. It is the exact
+// value both the golden code and the ISA-level programs use.
+func Recip(q int32) int32 { return (1 << 16) / q }
+
+// QuantizeCoef quantises one coefficient with the reciprocal-multiply
+// semantics (sign-magnitude, round-half-up on the magnitude):
+//
+//	q(x) = sgn(x) * ((|x| + step/2) * recip >> 16)
+func QuantizeCoef(x int16, step int32) int16 {
+	recip := Recip(step)
+	mag := int64(x)
+	neg := mag < 0
+	if neg {
+		mag = -mag
+	}
+	// 64-bit arithmetic: mag*recip can exceed 31 bits for step 1.
+	v := (mag + int64(step)/2) * int64(recip) >> 16
+	if neg {
+		v = -v
+	}
+	return int16(v)
+}
+
+// DequantizeCoef inverts QuantizeCoef up to quantisation error.
+func DequantizeCoef(x int16, step int32) int16 {
+	v := int32(x) * step
+	if v > 32767 {
+		v = 32767
+	}
+	if v < -32768 {
+		v = -32768
+	}
+	return int16(v)
+}
+
+// QuantizeBlock applies QuantizeCoef over a block with a scaled table.
+// scale is a percentage-style factor (100 = table as is; larger = coarser).
+func QuantizeBlock(blk *[64]int16, scale int32) {
+	for i := range blk {
+		blk[i] = QuantizeCoef(blk[i], ScaledStep(i, scale))
+	}
+}
+
+// DequantizeBlock inverts QuantizeBlock.
+func DequantizeBlock(blk *[64]int16, scale int32) {
+	for i := range blk {
+		blk[i] = DequantizeCoef(blk[i], ScaledStep(i, scale))
+	}
+}
+
+// ScaledStep returns the quantisation step for block index i at the given
+// scale, clamped to [1, 255].
+func ScaledStep(i int, scale int32) int32 {
+	s := (LumaQuant[i]*scale + 50) / 100
+	if s < 1 {
+		s = 1
+	}
+	if s > 255 {
+		s = 255
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+// Package mem implements the memory-system timing models: an idealised
+// fixed-latency memory (used for the kernel-level study, Figure 5 and the
+// latency-tolerance experiment) and the detailed two-level hierarchy of the
+// full-application study (Section 4.2), including the three MOM-specific
+// cache organisations: multi-address cache, vector cache and collapsing
+// buffer cache (Figure 6 / Table 3).
+package mem
+
+// Model is the timing interface the CPU core uses. All methods take and
+// return absolute cycle numbers. Models are single-core and not safe for
+// concurrent use (like the simulated hardware, there is one of them).
+type Model interface {
+	Name() string
+	// Reset clears all cache state and statistics.
+	Reset()
+	// Load returns the cycle at which the loaded data is available.
+	Load(cycle int64, addr uint64, size int) int64
+	// Store returns the cycle at which the store is accepted (write buffer
+	// occupancy may push this later; commit stalls until acceptance).
+	Store(cycle int64, addr uint64, size int) int64
+	// LoadVector times a MOM vector load of n 8-byte elements with the given
+	// byte stride. rate is the maximum number of elements the processor can
+	// supply addresses for per cycle (memory ports x lanes). It returns the
+	// cycle at which the last element is available.
+	LoadVector(cycle int64, base uint64, stride int64, n, rate int) int64
+	// StoreVector times a MOM vector store; returns acceptance of the last
+	// element.
+	StoreVector(cycle int64, base uint64, stride int64, n, rate int) int64
+	// VectorReservesAllPorts reports whether a MOM memory instruction
+	// occupies every CPU memory-issue port while it streams (true for the
+	// multi-address organisation, which decouples one access across all
+	// ports) or just the port it issued on (vector/collapsing caches, which
+	// move whole lines on the L2 side).
+	VectorReservesAllPorts() bool
+	Stats() Stats
+}
+
+// Stats aggregates memory-system event counts.
+type Stats struct {
+	Loads, Stores       uint64
+	VecLoads, VecStores uint64
+	VecElems            uint64
+	L1Hits, L1Misses    uint64
+	L2Hits, L2Misses    uint64
+	LineAccesses        uint64 // vector-cache line(-pair) accesses
+	BankConflicts       uint64
+	WriteBufStalls      uint64
+	Unaligned           uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.VecLoads += o.VecLoads
+	s.VecStores += o.VecStores
+	s.VecElems += o.VecElems
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.LineAccesses += o.LineAccesses
+	s.BankConflicts += o.BankConflicts
+	s.WriteBufStalls += o.WriteBufStalls
+	s.Unaligned += o.Unaligned
+}

@@ -1,0 +1,58 @@
+package mem
+
+// Perfect is an idealised memory with unlimited bandwidth and a fixed
+// latency: the "equivalent model of a perfect cache" used for the
+// kernel-level study. With Latency=1 it models the paper's perfect cache;
+// with Latency=50 it models the streaming-reference latency experiment of
+// Section 4.1.
+type Perfect struct {
+	Latency int64
+	stats   Stats
+}
+
+// NewPerfect returns a Perfect memory with the given fixed latency.
+func NewPerfect(latency int) *Perfect {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Perfect{Latency: int64(latency)}
+}
+
+func (p *Perfect) Name() string { return "perfect" }
+
+func (p *Perfect) Reset() { p.stats = Stats{} }
+
+func (p *Perfect) Load(cycle int64, addr uint64, size int) int64 {
+	p.stats.Loads++
+	return cycle + p.Latency
+}
+
+func (p *Perfect) Store(cycle int64, addr uint64, size int) int64 {
+	p.stats.Stores++
+	return cycle
+}
+
+func (p *Perfect) LoadVector(cycle int64, base uint64, stride int64, n, rate int) int64 {
+	p.stats.VecLoads++
+	p.stats.VecElems += uint64(n)
+	if rate < 1 {
+		rate = 1
+	}
+	// Elements stream at the port rate; the last element's data returns
+	// Latency cycles after its address is issued.
+	last := cycle + int64((n-1)/rate)
+	return last + p.Latency
+}
+
+func (p *Perfect) StoreVector(cycle int64, base uint64, stride int64, n, rate int) int64 {
+	p.stats.VecStores++
+	p.stats.VecElems += uint64(n)
+	if rate < 1 {
+		rate = 1
+	}
+	return cycle + int64((n-1)/rate)
+}
+
+func (p *Perfect) VectorReservesAllPorts() bool { return true }
+
+func (p *Perfect) Stats() Stats { return p.stats }

@@ -1,0 +1,67 @@
+package regfile
+
+import "testing"
+
+func TestTable2Ratios(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	if rows[0].NormalizedArea != 1.0 {
+		t.Errorf("MMX must normalise to 1, got %f", rows[0].NormalizedArea)
+	}
+	// Paper: MDMX ~1.19, MOM ~0.87.
+	if a := rows[1].NormalizedArea; a < 1.10 || a > 1.30 {
+		t.Errorf("MDMX area %f outside [1.10, 1.30]", a)
+	}
+	if a := rows[2].NormalizedArea; a < 0.75 || a > 1.00 {
+		t.Errorf("MOM area %f outside [0.75, 1.00]", a)
+	}
+}
+
+func TestTable2Sizes(t *testing.T) {
+	rows := Table2()
+	// Paper: 0.5K, 0.78K, 2.6K.
+	if rows[0].SizeBytes != 512 {
+		t.Errorf("MMX size %d, want 512", rows[0].SizeBytes)
+	}
+	if rows[1].SizeBytes != 800 {
+		t.Errorf("MDMX size %d, want 800 (0.78K)", rows[1].SizeBytes)
+	}
+	if rows[2].SizeBytes != 2656 {
+		t.Errorf("MOM size %d, want 2656 (2.6K)", rows[2].SizeBytes)
+	}
+	// MOM's file is about 5x MMX's.
+	if r := float64(rows[2].SizeBytes) / float64(rows[0].SizeBytes); r < 4.5 || r > 5.5 {
+		t.Errorf("MOM/MMX size ratio %f, want ~5", r)
+	}
+}
+
+func TestPortScalingDominatesArea(t *testing.T) {
+	m := DefaultModel
+	narrow := Config{Regs: 64, BitsPer: 64, ReadPorts: 2, WrPorts: 1, Banks: 1}
+	wide := narrow
+	wide.ReadPorts, wide.WrPorts = 6, 3
+	if m.Area(wide) < 3*m.Area(narrow) {
+		t.Errorf("tripling ports should grow area superlinearly: %f vs %f",
+			m.Area(wide), m.Area(narrow))
+	}
+}
+
+func TestBankingTradeoff(t *testing.T) {
+	m := DefaultModel
+	// Same storage: one heavily-ported monolith vs 8 lightly-ported banks.
+	mono := Config{Regs: 20, BitsPer: 1024, ReadPorts: 6, WrPorts: 3, Banks: 1}
+	banked := Config{Regs: 20, BitsPer: 1024, ReadPorts: 2, WrPorts: 1, Banks: 8}
+	if m.Area(banked) >= m.Area(mono) {
+		t.Errorf("banking with fewer ports should save area: %f vs %f",
+			m.Area(banked), m.Area(mono))
+	}
+	// But banking a tiny file is not free (per-bank overhead).
+	tinyMono := Config{Regs: 4, BitsPer: 192, ReadPorts: 2, WrPorts: 1, Banks: 1}
+	tinyBanked := tinyMono
+	tinyBanked.Banks = 8
+	if m.Area(tinyBanked) <= m.Area(tinyMono) {
+		t.Error("banking a tiny file should cost overhead")
+	}
+}

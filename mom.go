@@ -1,0 +1,280 @@
+// Package mom is a full reproduction of "Exploiting a New Level of DLP in
+// Multimedia Applications" (Corbal, Espasa, Valero — MICRO-32, 1999): the
+// MOM matrix-oriented multimedia ISA, its MMX/MDMX/Alpha comparison
+// baselines, an R10000-like out-of-order cycle-level simulator, the
+// perfect-memory and detailed (multi-address / vector-cache / collapsing
+// buffer) memory systems, the paper's eight kernels and five Mediabench
+// applications, and drivers regenerating every table and figure of the
+// evaluation.
+//
+// The public surface is intentionally small:
+//
+//   - RunKernel / RunApp time one workload on one machine.
+//   - Figure5, LatencyStudy, Table1, Table2, Table3, Figure7 regenerate the
+//     paper's artifacts.
+//   - BuildKernel exposes the generated programs for inspection.
+package mom
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// ISA selects the instruction-set level of a program and machine.
+type ISA int
+
+// The four ISA levels of the paper.
+const (
+	Alpha ISA = iota
+	MMX
+	MDMX
+	MOM
+)
+
+// AllISAs lists the ISA levels in the paper's order.
+var AllISAs = []ISA{Alpha, MMX, MDMX, MOM}
+
+func (i ISA) String() string { return i.ext().String() }
+
+func (i ISA) ext() isa.Ext {
+	switch i {
+	case Alpha:
+		return isa.ExtAlpha
+	case MMX:
+		return isa.ExtMMX
+	case MDMX:
+		return isa.ExtMDMX
+	case MOM:
+		return isa.ExtMOM
+	}
+	panic(fmt.Sprintf("mom: bad ISA %d", int(i)))
+}
+
+// Scale selects workload sizes.
+type Scale int
+
+// Workload scales: Test keeps functional runs fast; Bench matches the
+// experiment sizes used for the figures.
+const (
+	ScaleTest  Scale = Scale(kernels.ScaleTest)
+	ScaleBench Scale = Scale(kernels.ScaleBench)
+)
+
+// CacheMode selects the memory organisation of the detailed hierarchy.
+type CacheMode int
+
+// The cache organisations of Figure 6 / Table 3.
+const (
+	Conventional CacheMode = iota
+	MultiAddress
+	VectorCache
+	CollapsingBuffer
+)
+
+func (c CacheMode) String() string { return c.mode().String() }
+
+func (c CacheMode) mode() mem.VectorMode {
+	switch c {
+	case Conventional:
+		return mem.ModeConventional
+	case MultiAddress:
+		return mem.ModeMultiAddress
+	case VectorCache:
+		return mem.ModeVectorCache
+	case CollapsingBuffer:
+		return mem.ModeCollapsing
+	}
+	panic(fmt.Sprintf("mom: bad cache mode %d", int(c)))
+}
+
+// MemModel abstracts the memory system passed to a run.
+type MemModel struct {
+	build func(width int) mem.Model
+	name  string
+}
+
+// Name identifies the model.
+func (m MemModel) Name() string { return m.name }
+
+// PerfectMemory returns the idealised fixed-latency memory of the kernel
+// study (latency 1 = perfect cache; 50 = the latency-tolerance experiment).
+func PerfectMemory(latency int) MemModel {
+	return MemModel{
+		build: func(int) mem.Model { return mem.NewPerfect(latency) },
+		name:  fmt.Sprintf("perfect(%d)", latency),
+	}
+}
+
+// DetailedMemory returns the two-level hierarchy with the chosen vector
+// cache organisation; the width-dependent port counts follow Table 3.
+func DetailedMemory(mode CacheMode) MemModel {
+	return MemModel{
+		build: func(width int) mem.Model {
+			return mem.NewHierarchy(mem.HierConfig{Width: width, Mode: mode.mode()})
+		},
+		name: mode.String(),
+	}
+}
+
+// MemStats is the public mirror of the memory-system statistics.
+type MemStats struct {
+	Loads, Stores       uint64
+	VecLoads, VecStores uint64
+	VecElems            uint64
+	L1Hits, L1Misses    uint64
+	L2Hits, L2Misses    uint64
+	LineAccesses        uint64
+	BankConflicts       uint64
+	WriteBufStalls      uint64
+	Unaligned           uint64
+}
+
+// Result reports one timed run.
+type Result struct {
+	Workload    string
+	ISA         ISA
+	Width       int
+	MemName     string
+	Cycles      int64
+	Insts       uint64
+	WordOps     uint64
+	Branches    uint64
+	Mispredicts uint64
+	Loads       uint64
+	Stores      uint64
+	// OpMix counts graduated instructions per operation class
+	// (e.g. "int", "vload", "vmed*").
+	OpMix map[string]uint64
+	Mem   MemStats
+}
+
+// IPC returns graduated instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// OPC returns packed-word operations per cycle (fetch-pressure metric).
+func (r Result) OPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.WordOps) / float64(r.Cycles)
+}
+
+func fromCPU(name string, i ISA, width int, memName string, c cpu.Result) Result {
+	mix := map[string]uint64{}
+	for cl, n := range c.ByClass {
+		if n > 0 {
+			mix[isa.Class(cl).String()] = n
+		}
+	}
+	return Result{
+		Workload: name, ISA: i, Width: width, MemName: memName,
+		Cycles: c.Cycles, Insts: c.Insts, WordOps: c.WordOps,
+		Branches: c.Branches, Mispredicts: c.Mispredicts,
+		Loads: c.Loads, Stores: c.Stores, OpMix: mix,
+		Mem: MemStats{
+			Loads: c.Mem.Loads, Stores: c.Mem.Stores,
+			VecLoads: c.Mem.VecLoads, VecStores: c.Mem.VecStores,
+			VecElems: c.Mem.VecElems,
+			L1Hits:   c.Mem.L1Hits, L1Misses: c.Mem.L1Misses,
+			L2Hits: c.Mem.L2Hits, L2Misses: c.Mem.L2Misses,
+			LineAccesses:   c.Mem.LineAccesses,
+			BankConflicts:  c.Mem.BankConflicts,
+			WriteBufStalls: c.Mem.WriteBufStalls,
+			Unaligned:      c.Mem.Unaligned,
+		},
+	}
+}
+
+// KernelNames lists the eight kernels of the paper's kernel-level study.
+func KernelNames() []string {
+	var out []string
+	for _, k := range kernels.All(kernels.ScaleTest) {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+// maxDynInsts is the safety cap on dynamic instructions per run.
+const maxDynInsts = 400_000_000
+
+// RunKernel times one kernel on one machine configuration.
+func RunKernel(kernel string, i ISA, width int, m MemModel, sc Scale) (Result, error) {
+	k, err := kernels.ByName(kernel, kernels.Scale(sc))
+	if err != nil {
+		return Result{}, err
+	}
+	p := k.Build(i.ext())
+	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
+	res, err := sim.Run(emu.New(p), maxDynInsts)
+	if err != nil {
+		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", kernel, i, width, err)
+	}
+	return fromCPU(kernel, i, width, m.Name(), res), nil
+}
+
+// VerifyKernel runs a kernel functionally and checks bit-exactness against
+// the golden implementation.
+func VerifyKernel(kernel string, i ISA, sc Scale) error {
+	k, err := kernels.ByName(kernel, kernels.Scale(sc))
+	if err != nil {
+		return err
+	}
+	return kernels.RunAndVerify(k, i.ext(), maxDynInsts)
+}
+
+// AppNames lists the five applications of the program-level study.
+func AppNames() []string { return apps.Names() }
+
+// RunApp times one full application on one machine configuration.
+func RunApp(app string, i ISA, width int, m MemModel, sc Scale) (Result, error) {
+	a, err := apps.ByName(app, apps.Scale(sc))
+	if err != nil {
+		return Result{}, err
+	}
+	p := a.Build(i.ext())
+	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
+	res, err := sim.Run(emu.New(p), maxDynInsts)
+	if err != nil {
+		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", app, i, width, err)
+	}
+	return fromCPU(app, i, width, m.Name(), res), nil
+}
+
+// VerifyApp runs an application functionally and checks its outputs.
+func VerifyApp(app string, i ISA, sc Scale) error {
+	a, err := apps.ByName(app, apps.Scale(sc))
+	if err != nil {
+		return err
+	}
+	return apps.RunAndVerify(a, i.ext(), maxDynInsts)
+}
+
+// BuildKernel returns the generated program for inspection (disassembly,
+// static statistics).
+func BuildKernel(kernel string, i ISA, sc Scale) (*isa.Program, error) {
+	k, err := kernels.ByName(kernel, kernels.Scale(sc))
+	if err != nil {
+		return nil, err
+	}
+	return k.Build(i.ext()), nil
+}
+
+// BuildApp returns the generated application program for inspection.
+func BuildApp(app string, i ISA, sc Scale) (*isa.Program, error) {
+	a, err := apps.ByName(app, apps.Scale(sc))
+	if err != nil {
+		return nil, err
+	}
+	return a.Build(i.ext()), nil
+}
