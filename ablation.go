@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // runTransposeAblation times transposing 256 8x8 halfword tiles on the
@@ -45,7 +46,7 @@ func runTransposeAblation(useMatrixOp bool, width int) (int64, error) {
 		})
 	}
 	sim := cpu.New(cpu.NewConfig(width, isa.ExtMOM), mem.NewPerfect(1))
-	res, err := sim.Run(emu.New(b.Build()), maxDynInsts)
+	res, err := sim.Run(trace.NewLive(emu.New(b.Build())), maxDynInsts)
 	if err != nil {
 		return 0, err
 	}

@@ -38,6 +38,11 @@ func BenchmarkFigure5(b *testing.B) {
 	}
 	b.ReportMetric(momVsAlpha/n, "MOM-vs-Alpha-4way")
 	b.ReportMetric(momVsMMX/n, "MOM-vs-MMX-4way")
+	var insts uint64
+	for _, r := range rows {
+		insts += r.Insts
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "dyninsts/s")
 }
 
 // BenchmarkFigure5Kernels times each kernel/ISA pair individually at 4-way
@@ -110,6 +115,11 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 	b.ReportMetric(momS/n, "MOM-vs-Alpha-apps")
 	b.ReportMetric(mmxS/n, "MMX-vs-Alpha-apps")
+	var insts uint64
+	for _, r := range rows {
+		insts += r.Insts
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "dyninsts/s")
 }
 
 // BenchmarkFigure7Apps times each application/configuration pair (the bars
@@ -131,6 +141,42 @@ func BenchmarkFigure7Apps(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkSimThroughput measures raw simulator speed — host-side dynamic
+// instructions simulated per second — on a representative kernel, comparing
+// the live interleaved emulate-and-time path against replay from a recorded
+// trace. The gap between the two is the functional-emulation share that
+// capture-once/replay-many amortises across machine configurations.
+func BenchmarkSimThroughput(b *testing.B) {
+	const kernel = "idct"
+	b.Run("live", func(b *testing.B) {
+		var insts uint64
+		for n := 0; n < b.N; n++ {
+			r, err := RunKernel(kernel, MOM, 4, PerfectMemory(1), ScaleTest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts = r.Insts
+		}
+		b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "dyninsts/s")
+	})
+	b.Run("replay", func(b *testing.B) {
+		key := traceKey{name: kernel, isa: MOM, scale: ScaleTest}
+		if cachedTrace(key) == nil {
+			b.Fatal("capture failed")
+		}
+		b.ResetTimer()
+		var insts uint64
+		for n := 0; n < b.N; n++ {
+			r, ok, err := runTraced(key, 4, PerfectMemory(1))
+			if err != nil || !ok {
+				b.Fatalf("replay: ok=%v err=%v", ok, err)
+			}
+			insts = r.Insts
+		}
+		b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "dyninsts/s")
+	})
 }
 
 // BenchmarkTable2 recomputes the register-file area model (Table 2).

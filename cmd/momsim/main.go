@@ -18,21 +18,23 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	mom "repro"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|isacount|all")
-		scale  = flag.String("scale", "test", "workload scale: test|bench")
-		isaStr = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
-		width  = flag.Int("width", 4, "issue width: 1|2|4|8")
-		kernel = flag.String("kernel", "", "run a single kernel")
-		app    = flag.String("app", "", "run a single application")
-		cache  = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
-		verify = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
-		format = flag.String("format", "table", "experiment output format: table|csv")
+		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|isacount|all")
+		scale   = flag.String("scale", "test", "workload scale: test|bench")
+		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+		width   = flag.Int("width", 4, "issue width: 1|2|4|8")
+		kernel  = flag.String("kernel", "", "run a single kernel")
+		app     = flag.String("app", "", "run a single application")
+		cache   = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
+		verify  = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
+		format  = flag.String("format", "table", "experiment output format: table|csv")
+		verbose = flag.Bool("v", false, "report trace capture/replay timing per experiment")
 	)
 	flag.Parse()
 
@@ -81,8 +83,12 @@ func main() {
 		printResult(res)
 	case *exp != "":
 		for _, e := range strings.Split(*exp, ",") {
+			before := mom.ReadTraceStats()
 			if err := runExperiment(e, sc, i, *format == "csv"); err != nil {
 				fatal(err)
+			}
+			if *verbose {
+				printTraceStats(e, before, mom.ReadTraceStats())
 			}
 		}
 	default:
@@ -187,6 +193,19 @@ func fetchPressure(sc mom.Scale) error {
 		}
 	}
 	return nil
+}
+
+// printTraceStats reports what the trace layer did during one experiment:
+// captures and replays with their wall-clock totals, any live-emulation
+// fall-backs, and the current cache occupancy.
+func printTraceStats(exp string, before, after mom.TraceStats) {
+	captures := after.Captures - before.Captures
+	replays := after.Replays - before.Replays
+	live := after.LiveRuns - before.LiveRuns
+	fmt.Printf("# %s traces: %d captured (%v), %d replayed (%v), %d live runs; cache holds %d traces, %.1f MB\n",
+		exp, captures, (after.CaptureTime - before.CaptureTime).Round(time.Millisecond),
+		replays, (after.ReplayTime - before.ReplayTime).Round(time.Millisecond),
+		live, after.CachedTraces, float64(after.CachedBytes)/(1<<20))
 }
 
 func printResult(r mom.Result) {

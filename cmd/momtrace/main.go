@@ -4,6 +4,7 @@
 // discussion of Section 4.2).
 //
 //	momtrace -kernel motion1 -isa MOM
+//	momtrace -app gsmencode -isa MOM -stats   # trace-encoding statistics
 package main
 
 import (
@@ -12,17 +13,23 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	mom "repro"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
+
+// maxSteps caps dynamic instructions, mirroring the library's own limit.
+const maxSteps = 400_000_000
 
 func main() {
 	var (
 		kernel = flag.String("kernel", "motion1", "kernel name")
 		app    = flag.String("app", "", "application name (overrides -kernel)")
 		isaStr = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+		stats  = flag.Bool("stats", false, "record the trace and report encoding and capture/replay statistics")
 	)
 	flag.Parse()
 
@@ -52,13 +59,50 @@ func main() {
 		os.Exit(1)
 	}
 
-	m := emu.New(p)
+	// The analysis consumes any trace.Source. Without -stats it reads the
+	// live emulator directly; with -stats it first records the trace
+	// (timing the capture), reports the encoding, and analyses the replay.
+	var src trace.Source = trace.NewLive(emu.New(p))
+	if *stats {
+		t0 := time.Now()
+		tr, err := trace.Capture(emu.New(p), maxSteps, 1<<34)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace: capture:", err)
+			os.Exit(1)
+		}
+		captureT := time.Since(t0)
+
+		t0 = time.Now()
+		r := tr.Reader()
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		replayT := time.Since(t0)
+
+		fmt.Printf("trace encoding: %s\n", p.Name)
+		fmt.Printf("  records       %12d\n", tr.Records())
+		fmt.Printf("  chunks        %12d\n", tr.Chunks())
+		fmt.Printf("  bytes         %12d (%.2f bytes/record)\n",
+			tr.Bytes(), float64(tr.Bytes())/float64(tr.Records()))
+		fmt.Printf("  capture       %12v (%.1f Minsts/s)\n",
+			captureT.Round(time.Microsecond),
+			float64(tr.Records())/captureT.Seconds()/1e6)
+		fmt.Printf("  replay drain  %12v (%.1f Minsts/s, %.1fx capture)\n",
+			replayT.Round(time.Microsecond),
+			float64(tr.Records())/replayT.Seconds()/1e6,
+			captureT.Seconds()/replayT.Seconds())
+		fmt.Println()
+		src = tr.Reader()
+	}
+
 	classCount := map[isa.Class]uint64{}
 	vlHist := map[int]uint64{}
 	strideHist := map[int64]uint64{}
 	var total, wordOps, taken, branches uint64
 	for {
-		d, ok := m.Step()
+		d, ok := src.Next()
 		if !ok {
 			break
 		}
@@ -80,8 +124,8 @@ func main() {
 			wordOps++
 		}
 	}
-	if m.Err != nil {
-		fmt.Fprintln(os.Stderr, "momtrace:", m.Err)
+	if err := src.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace:", err)
 		os.Exit(1)
 	}
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,7 +47,7 @@ func main() {
 
 	// Cycle-level timing on the paper's 4-way MOM machine.
 	sim := cpu.New(cpu.NewConfig(4, isa.ExtMOM), mem.NewPerfect(1))
-	res, err := sim.Run(emu.New(prog), 1000)
+	res, err := sim.Run(trace.NewLive(emu.New(prog)), 1000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,8 +2,6 @@ package mom
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/cpu"
@@ -11,11 +9,15 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/par"
 	"repro/internal/regfile"
 )
 
 // This file contains the drivers that regenerate every table and figure of
-// the paper's evaluation (the experiment index lives in DESIGN.md).
+// the paper's evaluation (the experiment index lives in DESIGN.md). Every
+// driver follows the capture-once / replay-many pattern: the dynamic trace
+// of each workload×ISA is recorded once (see tracecache.go) and replayed
+// across all machine configurations in parallel.
 
 // Widths are the issue widths of the kernel study (Table 1 columns).
 var Widths = []int{1, 2, 4, 8}
@@ -26,40 +28,9 @@ type KernelSpeedup struct {
 	ISA     ISA
 	Width   int
 	Cycles  int64
+	Insts   uint64
 	IPC     float64
 	Speedup float64 // versus the 1-way Alpha run of the same kernel
-}
-
-// parallelFor runs fn(i) for i in [0,n) on all cores, collecting the first
-// error.
-func parallelFor(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // Figure5 reruns the kernel-level study: every kernel on every ISA at every
@@ -67,6 +38,7 @@ func parallelFor(n int, fn func(i int) error) error {
 // relative to the 1-way Alpha machine.
 func Figure5(sc Scale) ([]KernelSpeedup, error) {
 	names := KernelNames()
+	warmTraces(false, names, AllISAs, sc)
 	type job struct {
 		kernel string
 		isa    ISA
@@ -81,15 +53,15 @@ func Figure5(sc Scale) ([]KernelSpeedup, error) {
 		}
 	}
 	rows := make([]KernelSpeedup, len(jobs))
-	err := parallelFor(len(jobs), func(idx int) error {
+	err := par.For(len(jobs), func(idx int) error {
 		j := jobs[idx]
-		res, err := RunKernel(j.kernel, j.isa, j.width, PerfectMemory(1), sc)
+		res, err := runKernelCached(j.kernel, j.isa, j.width, PerfectMemory(1), sc)
 		if err != nil {
 			return err
 		}
 		rows[idx] = KernelSpeedup{
 			Kernel: j.kernel, ISA: j.isa, Width: j.width,
-			Cycles: res.Cycles, IPC: res.IPC(),
+			Cycles: res.Cycles, Insts: res.Insts, IPC: res.IPC(),
 		}
 		return nil
 	})
@@ -126,6 +98,7 @@ type LatencyRow struct {
 // slow-downs of 3-9x for Alpha, 4-8x for MMX/MDMX and only 2-4x for MOM.
 func LatencyStudy(sc Scale, width int) ([]LatencyRow, error) {
 	names := KernelNames()
+	warmTraces(false, names, AllISAs, sc)
 	var jobs []struct {
 		kernel string
 		isa    ISA
@@ -139,13 +112,13 @@ func LatencyStudy(sc Scale, width int) ([]LatencyRow, error) {
 		}
 	}
 	rows := make([]LatencyRow, len(jobs))
-	err := parallelFor(len(jobs), func(idx int) error {
+	err := par.For(len(jobs), func(idx int) error {
 		j := jobs[idx]
-		r1, err := RunKernel(j.kernel, j.isa, width, PerfectMemory(1), sc)
+		r1, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(1), sc)
 		if err != nil {
 			return err
 		}
-		r50, err := RunKernel(j.kernel, j.isa, width, PerfectMemory(50), sc)
+		r50, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(50), sc)
 		if err != nil {
 			return err
 		}
@@ -185,6 +158,7 @@ type AppSpeedup struct {
 	Config  AppConfig
 	Width   int
 	Cycles  int64
+	Insts   uint64
 	IPC     float64
 	Speedup float64 // versus Alpha/conventional at the same width
 }
@@ -194,6 +168,17 @@ type AppSpeedup struct {
 // hierarchy.
 func Figure7(sc Scale) ([]AppSpeedup, error) {
 	names := AppNames()
+	isas := map[ISA]bool{}
+	for _, cfg := range Figure7Configs {
+		isas[cfg.ISA] = true
+	}
+	var uniq []ISA
+	for _, i := range AllISAs {
+		if isas[i] {
+			uniq = append(uniq, i)
+		}
+	}
+	warmTraces(true, names, uniq, sc)
 	widths := []int{4, 8}
 	type job struct {
 		app   string
@@ -209,15 +194,15 @@ func Figure7(sc Scale) ([]AppSpeedup, error) {
 		}
 	}
 	rows := make([]AppSpeedup, len(jobs))
-	err := parallelFor(len(jobs), func(idx int) error {
+	err := par.For(len(jobs), func(idx int) error {
 		j := jobs[idx]
-		res, err := RunApp(j.app, j.cfg.ISA, j.width, DetailedMemory(j.cfg.Cache), sc)
+		res, err := runAppCached(j.app, j.cfg.ISA, j.width, DetailedMemory(j.cfg.Cache), sc)
 		if err != nil {
 			return err
 		}
 		rows[idx] = AppSpeedup{
 			App: j.app, Config: j.cfg, Width: j.width,
-			Cycles: res.Cycles, IPC: res.IPC(),
+			Cycles: res.Cycles, Insts: res.Insts, IPC: res.IPC(),
 		}
 		return nil
 	})
@@ -356,14 +341,17 @@ func RegisterSweep(sc Scale, kernel string) ([]RegSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := k.Build(isa.ExtMOM)
+	// One capture, five replays: the trace is width- and register-file
+	// independent. Live fallback builds a fresh machine per point.
+	tr := cachedTrace(traceKey{name: kernel, isa: MOM, scale: sc})
 	sizes := []int{17, 18, 20, 24, 32}
 	rows := make([]RegSweepRow, len(sizes))
-	err = parallelFor(len(sizes), func(i int) error {
+	err = par.For(len(sizes), func(i int) error {
 		cfg := cpu.NewConfig(4, isa.ExtMOM)
 		cfg.MomPhys = sizes[i]
-		sim := cpu.New(cfg, mem.NewPerfect(1))
-		res, err := sim.Run(emu.New(p), maxDynInsts)
+		res, err := runConfig(cfg, mem.NewPerfect(1), tr, func() *emu.Machine {
+			return emu.New(k.Build(isa.ExtMOM))
+		})
 		if err != nil {
 			return err
 		}
@@ -407,15 +395,16 @@ func MemorySweep(sc Scale, app string) ([]MemSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := a.Build(isa.ExtMOM)
+	tr := cachedTrace(traceKey{app: true, name: app, isa: MOM, scale: sc})
 	rows := make([]MemSweepRow, len(variants))
-	err = parallelFor(len(variants), func(i int) error {
+	err = par.For(len(variants), func(i int) error {
 		v := variants[i]
 		model := mem.NewHierarchy(mem.HierConfig{
 			Width: 4, Mode: mem.ModeMultiAddress, MSHRs: v.mshrs, L1Banks: v.banks,
 		})
-		sim := cpu.New(cpu.NewConfig(4, isa.ExtMOM), model)
-		res, err := sim.Run(emu.New(p), maxDynInsts)
+		res, err := runConfig(cpu.NewConfig(4, isa.ExtMOM), model, tr, func() *emu.Machine {
+			return emu.New(a.Build(isa.ExtMOM))
+		})
 		if err != nil {
 			return err
 		}

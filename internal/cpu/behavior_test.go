@@ -8,13 +8,14 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // runCfg runs a program under an explicit configuration.
 func runCfg(t *testing.T, p *isa.Program, cfg cpu.Config, m mem.Model) cpu.Result {
 	t.Helper()
 	sim := cpu.New(cfg, m)
-	res, err := sim.Run(emu.New(p), 50_000_000)
+	res, err := sim.Run(trace.NewLive(emu.New(p)), 50_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}

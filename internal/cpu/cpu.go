@@ -3,9 +3,9 @@ package cpu
 import (
 	"fmt"
 
-	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Result summarises one timed run.
@@ -63,38 +63,67 @@ func (s *slots) take(earliest int64) int64 {
 }
 
 // wideSlots hands out up to width slots per cycle for non-monotonic requests
-// (issue is out of order). Old entries are pruned against the dispatch
-// frontier, which lower-bounds every future request.
+// (issue is out of order). It is a ring of per-cycle counters anchored at
+// the dispatch frontier, which lower-bounds every future request: advancing
+// the frontier retires old cells, and the ring doubles if a request lands
+// further ahead of the frontier than the current window covers.
 type wideSlots struct {
-	width int
-	used  map[int64]int
-	takes int
+	width int32
+	base  int64   // cycle stored in slot base&mask
+	used  []int32 // per-cycle issue counts; length is a power of two
+	mask  int64
 }
 
 func newWideSlots(width int) *wideSlots {
-	return &wideSlots{width: width, used: make(map[int64]int)}
+	const n = 1 << 10
+	return &wideSlots{width: int32(width), used: make([]int32, n), mask: n - 1}
+}
+
+// grow widens the window until cycle c fits, re-anchoring every live cell.
+func (s *wideSlots) grow(c int64) {
+	n := int64(len(s.used))
+	for c-s.base >= n {
+		n *= 2
+	}
+	wide := make([]int32, n)
+	for cyc := s.base; cyc < s.base+int64(len(s.used)); cyc++ {
+		wide[cyc&(n-1)] = s.used[cyc&s.mask]
+	}
+	s.used, s.mask = wide, n-1
 }
 
 func (s *wideSlots) take(earliest int64) int64 {
 	c := earliest
-	for s.used[c] >= s.width {
-		c++
+	if c < s.base {
+		c = s.base
 	}
-	s.used[c]++
-	s.takes++
+	if c-s.base >= int64(len(s.used)) {
+		s.grow(c)
+	}
+	for s.used[c&s.mask] >= s.width {
+		c++
+		if c-s.base >= int64(len(s.used)) {
+			s.grow(c)
+		}
+	}
+	s.used[c&s.mask]++
 	return c
 }
 
-func (s *wideSlots) prune(frontier int64) {
-	if s.takes < 1<<16 {
+// advance moves the window base to the dispatch frontier, clearing the
+// cells that fall behind it (they can never be requested again).
+func (s *wideSlots) advance(frontier int64) {
+	if frontier <= s.base {
 		return
 	}
-	for k := range s.used {
-		if k < frontier {
-			delete(s.used, k)
+	if frontier-s.base >= int64(len(s.used)) {
+		clear(s.used)
+	} else {
+		for c := s.base; c < frontier; c++ {
+			s.used[c&s.mask] = 0
 		}
 	}
-	s.takes = 0
+	s.base = frontier
 }
 
 // pool is a set of identical functional units.
@@ -239,13 +268,56 @@ func New(cfg Config, m mem.Model) *Sim {
 	return &Sim{Cfg: cfg, Mem: m}
 }
 
-// Run executes the machine's program to completion (or maxInsts dynamic
-// instructions, whichever comes first) under the timing model and returns
-// the result. The machine carries the architectural state; Run drives it
-// via Step, so a fresh machine must be supplied for a fresh run.
-func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
+// staticInst caches the per-static-instruction facts the timing loop needs,
+// hoisting the Op.Info() map lookups and DepsOf normalisation out of the
+// per-dynamic-instruction path.
+type staticInst struct {
+	lat     int64
+	class   isa.Class
+	isMem   bool
+	isBR    bool  // unconditional branch (always predicted taken)
+	dstKey  int32 // regKey of the destination, -1 if none
+	dstKind isa.RegKind
+	nsrc    uint8
+	srcKeys [4]int32
+}
+
+// buildStatics computes the staticInst table for a program; it runs once
+// per Run, then every dynamic instruction is a single slice index.
+func buildStatics(p *isa.Program) []staticInst {
+	sts := make([]staticInst, len(p.Insts))
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		info := in.Op.Info()
+		dst, srcs := isa.DepsOf(in)
+		st := &sts[i]
+		st.lat, st.class = int64(info.Lat), info.Class
+		st.isMem = info.Class.IsMem()
+		st.isBR = in.Op == isa.BR
+		st.dstKey = -1
+		if dst.Valid() {
+			st.dstKey, st.dstKind = int32(regKey(dst)), dst.Kind
+		}
+		for _, src := range srcs {
+			if !src.Valid() {
+				break
+			}
+			st.srcKeys[st.nsrc] = int32(regKey(src))
+			st.nsrc++
+		}
+	}
+	return sts
+}
+
+// Run consumes a dynamic instruction stream to completion (or maxInsts
+// dynamic instructions, whichever comes first) under the timing model and
+// returns the result. The source may be a live emulator (trace.NewLive) or
+// a recorded trace reader — both produce identical results; a fresh source
+// must be supplied for a fresh run.
+func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 	cfg := &s.Cfg
 	memModel := s.Mem
+	statics := buildStatics(src.Program())
 
 	pred := newBimodal(cfg.BimodalSize)
 	targets := newBTB(cfg.BTBEntries)
@@ -284,13 +356,12 @@ func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
 	vecRate := cfg.MemPorts * cfg.MemPortLanes
 
 	for idx < maxInsts {
-		d, ok := m.Step()
+		d, ok := src.Next()
 		if !ok {
 			break
 		}
-		in := &m.Prog.Insts[d.SI]
-		info := in.Op.Info()
-		res.ByClass[info.Class]++
+		st := &statics[d.SI]
+		res.ByClass[st.class]++
 
 		// ---- fetch ----
 		if fetchUsed >= cfg.Width {
@@ -308,40 +379,36 @@ func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
 		if c := robRing[idx%uint64(cfg.ROBSize)]; c+1 > earliest {
 			earliest = c + 1
 		}
-		isMem := info.Class.IsMem()
+		isMem := st.isMem
 		if isMem {
 			if c := lsqRing[lsqHead]; c+1 > earliest {
 				earliest = c + 1
 			}
 		}
-		dst, srcs := isa.DepsOf(in)
-		if dst.Valid() {
-			ring := renameRing[dst.Kind]
+		if st.dstKey >= 0 {
+			ring := renameRing[st.dstKind]
 			if ring != nil {
-				if c := ring[renameHead[dst.Kind]]; c+1 > earliest {
+				if c := ring[renameHead[st.dstKind]]; c+1 > earliest {
 					earliest = c + 1
 				}
 			}
 		}
 		dispatch := dispatchSlots.take(earliest)
 		lastDispatch = dispatch
-		issueSlots.prune(dispatch)
+		issueSlots.advance(dispatch)
 
 		// ---- operand readiness ----
 		ready := dispatch + 1
-		for _, src := range srcs {
-			if !src.Valid() {
-				break
-			}
-			if t := lastWriter[regKey(src)]; t > ready {
+		for _, key := range st.srcKeys[:st.nsrc] {
+			if t := lastWriter[key]; t > ready {
 				ready = t
 			}
 		}
 
 		// ---- issue + execute ----
 		var complete int64
-		lat := int64(info.Lat)
-		switch info.Class {
+		lat := st.lat
+		switch st.class {
 		case isa.ClassNop:
 			complete = ready
 
@@ -389,7 +456,7 @@ func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
 			// architecturally complete when the last word drains.
 			occ := occupancy(d.VL, cfg.MedLanes)
 			var t0, start int64
-			if info.Class == isa.ClassMomSimple {
+			if st.class == isa.ClassMomSimple {
 				t0 = maxI64(ready, minFreeEither(medS, medC))
 				c := issueSlots.take(t0)
 				start = takeEither(medS, medC, c, occ)
@@ -470,12 +537,12 @@ func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
 			res.WordOps += uint64(d.NElem)
 
 		default:
-			return res, fmt.Errorf("cpu: unhandled class %v", info.Class)
+			return res, fmt.Errorf("cpu: unhandled class %v", st.class)
 		}
 
 		// ---- commit (in order, width per cycle) ----
 		commit := commitSlots.take(maxI64(complete+1, lastCommit))
-		switch info.Class {
+		switch st.class {
 		case isa.ClassStore:
 			if acc := memModel.Store(commit, d.EA, d.Size); acc > commit {
 				commit = commitSlots.take(acc)
@@ -491,20 +558,20 @@ func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
 			lsqRing[lsqHead] = commit
 			lsqHead = (lsqHead + 1) % cfg.LSQSize
 		}
-		if dst.Valid() {
-			lastWriter[regKey(dst)] = complete
-			if ring := renameRing[dst.Kind]; ring != nil {
-				ring[renameHead[dst.Kind]] = commit
-				renameHead[dst.Kind] = (renameHead[dst.Kind] + 1) % len(ring)
+		if st.dstKey >= 0 {
+			lastWriter[st.dstKey] = complete
+			if ring := renameRing[st.dstKind]; ring != nil {
+				ring[renameHead[st.dstKind]] = commit
+				renameHead[st.dstKind] = (renameHead[st.dstKind] + 1) % len(ring)
 			}
 		}
 
 		// ---- branch resolution and fetch redirect ----
-		if info.Class == isa.ClassBranch {
+		if st.class == isa.ClassBranch {
 			res.Branches++
-			predTaken := in.Op == isa.BR || pred.predict(d.SI)
+			predTaken := st.isBR || pred.predict(d.SI)
 			btbHit := targets.hit(d.SI)
-			if in.Op != isa.BR {
+			if !st.isBR {
 				pred.update(d.SI, d.Taken)
 			}
 			if d.Taken {
@@ -535,7 +602,7 @@ func (s *Sim) Run(m *emu.Machine, maxInsts uint64) (Result, error) {
 	res.Cycles = lastCommit + 1
 	res.Insts = idx
 	res.Mem = memModel.Stats()
-	return res, m.Err
+	return res, src.Err()
 }
 
 func maxI64(a, b int64) int64 {

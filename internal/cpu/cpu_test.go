@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func sumProgram(n int) *isa.Program {
@@ -34,7 +35,7 @@ func sumProgram(n int) *isa.Program {
 func run(t *testing.T, p *isa.Program, width int, ext isa.Ext, lat int) cpu.Result {
 	t.Helper()
 	sim := cpu.New(cpu.NewConfig(width, ext), mem.NewPerfect(lat))
-	res, err := sim.Run(emu.New(p), 10_000_000)
+	res, err := sim.Run(trace.NewLive(emu.New(p)), 10_000_000)
 	if err != nil {
 		t.Fatalf("%s: %v", p.Name, err)
 	}

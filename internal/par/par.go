@@ -1,0 +1,58 @@
+// Package par provides the shared worker-pool helper used by every
+// experiment driver.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for i in [0,n) on up to GOMAXPROCS workers. The first
+// error stops submission of further work: jobs already started finish, but
+// no new job begins once any job has failed. The returned error is the
+// failure with the lowest index among the jobs that ran.
+func For(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 0 {
+		return nil
+	}
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+	)
+	errs := make([]error, n)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue // drain without running
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

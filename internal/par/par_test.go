@@ -1,0 +1,61 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	if err := For(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d jobs, want 100", ran.Load())
+	}
+}
+
+func TestForZeroJobs(t *testing.T) {
+	if err := For(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	err := For(8, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+// TestForStopsAfterError: once job 0 fails, submission must stop — only the
+// handful of jobs already handed to workers may still run.
+func TestForStopsAfterError(t *testing.T) {
+	const n = 10_000
+	var ran atomic.Int64
+	err := For(n, func(i int) error {
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got > n/2 {
+		t.Fatalf("%d jobs ran after the failure; submission did not stop", got)
+	}
+}

@@ -1,0 +1,261 @@
+// Package trace implements the capture-once / replay-many layer between the
+// functional emulator and the timing simulator. The paper instrumented each
+// binary once with ATOM and fed the recorded trace to the Jinks timing
+// simulator for every machine configuration; this package plays the ATOM
+// role: Capture runs the emulator to completion and records the dynamic
+// instruction stream in a compact chunked encoding, and any number of
+// Readers replay it — concurrently — into cpu.Sim.Run.
+//
+// The timing model consumes the Source interface, which both a live
+// emulator (Live) and a recorded trace (Reader) implement, so correctness
+// never depends on a trace being available.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Source is a stream of dynamic instructions plus the program they came
+// from. It is implemented by the live emulator (NewLive) and by recorded
+// traces (Trace.Reader).
+type Source interface {
+	// Program returns the static program the stream executes.
+	Program() *isa.Program
+	// Next returns the next dynamic instruction; ok is false at end of
+	// stream (or on a fault; check Err).
+	Next() (d emu.Dyn, ok bool)
+	// Err reports the fault that terminated the stream, if any.
+	Err() error
+}
+
+// Live adapts a functional emulator into a Source (the interleaved
+// emulate-and-time path). It is single-use: the machine advances as the
+// timing model consumes it.
+type Live struct {
+	m *emu.Machine
+}
+
+// NewLive wraps a machine as a Source.
+func NewLive(m *emu.Machine) *Live { return &Live{m: m} }
+
+// Program returns the machine's program.
+func (l *Live) Program() *isa.Program { return l.m.Prog }
+
+// Next executes one instruction.
+func (l *Live) Next() (emu.Dyn, bool) { return l.m.Step() }
+
+// Err returns the machine fault, if any.
+func (l *Live) Err() error { return l.m.Err }
+
+// chunkRecords is the number of records per chunk. Chunks keep the capture
+// allocation pattern flat: no giant-slice doubling, no per-record
+// allocation, and replay walks each column sequentially.
+const chunkRecords = 1 << 15
+
+// metaTaken flags a taken branch in the meta byte; the low five bits hold
+// the vector length (0..MaxVL).
+const metaTaken = 0x80
+
+// A chunk stores chunkRecords dynamic instructions as struct-of-slices
+// columns. Only the dynamic facts are stored: the static index, the vector
+// length and branch outcome (one meta byte), and — only for the records
+// that need them — the effective address and vector stride. Everything else
+// in emu.Dyn (opcode, class, branch target, element size/count) is
+// reconstructed from the static program during replay.
+type chunk struct {
+	si     []int32  // static instruction index, per record
+	meta   []uint8  // VL | metaTaken, per record
+	ea     []uint64 // effective address, per memory record
+	stride []int64  // byte stride, per vector-memory record
+}
+
+// bytesPerRecord is the fixed per-record cost (si + meta).
+const bytesPerRecord = 5
+
+// Memory kind of a static instruction, for replay reconstruction.
+const (
+	memNone = iota
+	memScalar
+	memVector
+)
+
+// sinst is the per-static-instruction table used to rebuild emu.Dyn records.
+type sinst struct {
+	op     isa.Opcode
+	class  isa.Class
+	target int32
+	size   uint8
+	mem    uint8
+}
+
+// Trace is a recorded dynamic instruction stream. It is immutable after
+// Capture returns, so any number of Readers may replay it concurrently.
+type Trace struct {
+	prog   *isa.Program
+	static []sinst
+	chunks []chunk
+	n      uint64
+	bytes  int64
+}
+
+// ErrTooLarge is returned by Capture when the encoded trace would exceed
+// the byte budget; callers fall back to live interleaved emulation.
+var ErrTooLarge = errors.New("trace: exceeds memory budget")
+
+// memSize returns the element size in bytes of a memory opcode.
+func memSize(op isa.Opcode) uint8 {
+	switch op {
+	case isa.LDBU, isa.STB:
+		return 1
+	case isa.LDWU, isa.STW:
+		return 2
+	case isa.LDL, isa.STL:
+		return 4
+	}
+	return 8 // LDQ/STQ, LDT/STT, LDQM/STQM, MOMLDQ/MOMSTQ
+}
+
+// buildStatic precomputes the replay reconstruction table for a program.
+func buildStatic(p *isa.Program) []sinst {
+	st := make([]sinst, len(p.Insts))
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		info := in.Op.Info()
+		s := &st[i]
+		s.op, s.class, s.target = in.Op, info.Class, int32(in.Target)
+		switch info.Class {
+		case isa.ClassLoad, isa.ClassStore:
+			s.mem, s.size = memScalar, memSize(in.Op)
+		case isa.ClassMomLoad, isa.ClassMomStore:
+			s.mem, s.size = memVector, memSize(in.Op)
+		}
+	}
+	return st
+}
+
+// Capture runs the machine to completion, recording its dynamic stream.
+// It fails if the program faults, exceeds maxSteps dynamic instructions, or
+// (when maxBytes > 0) the encoding grows past maxBytes.
+func Capture(m *emu.Machine, maxSteps uint64, maxBytes int64) (*Trace, error) {
+	t := &Trace{prog: m.Prog}
+	var c *chunk
+	var bytes int64
+	for {
+		d, ok := m.Step()
+		if !ok {
+			break
+		}
+		if t.n >= maxSteps {
+			return nil, fmt.Errorf("trace: %s exceeded %d steps", m.Prog.Name, maxSteps)
+		}
+		if c == nil || len(c.si) == chunkRecords {
+			t.chunks = append(t.chunks, chunk{
+				si:   make([]int32, 0, chunkRecords),
+				meta: make([]uint8, 0, chunkRecords),
+			})
+			c = &t.chunks[len(t.chunks)-1]
+		}
+		c.si = append(c.si, int32(d.SI))
+		meta := uint8(d.VL)
+		if d.Taken {
+			meta |= metaTaken
+		}
+		c.meta = append(c.meta, meta)
+		bytes += bytesPerRecord
+		if d.Class.IsMem() {
+			c.ea = append(c.ea, d.EA)
+			bytes += 8
+			if d.Class == isa.ClassMomLoad || d.Class == isa.ClassMomStore {
+				c.stride = append(c.stride, d.Stride)
+				bytes += 8
+			}
+		}
+		t.n++
+		if maxBytes > 0 && bytes > maxBytes {
+			return nil, fmt.Errorf("%w: %s needs more than %d bytes", ErrTooLarge, m.Prog.Name, maxBytes)
+		}
+	}
+	if m.Err != nil {
+		return nil, m.Err
+	}
+	t.static = buildStatic(m.Prog)
+	t.bytes = bytes
+	return t, nil
+}
+
+// Program returns the traced program.
+func (t *Trace) Program() *isa.Program { return t.prog }
+
+// Records returns the number of dynamic instructions recorded.
+func (t *Trace) Records() uint64 { return t.n }
+
+// Chunks returns the number of storage chunks.
+func (t *Trace) Chunks() int { return len(t.chunks) }
+
+// Bytes returns the approximate encoded size in memory.
+func (t *Trace) Bytes() int64 { return t.bytes }
+
+// Reader returns a fresh replay cursor over the trace. Readers are
+// independent: many may replay the same trace concurrently.
+func (t *Trace) Reader() *Reader { return &Reader{t: t} }
+
+// Reader replays a recorded trace as a Source.
+type Reader struct {
+	t    *Trace
+	ci   int // chunk index
+	ri   int // record index within chunk
+	eaI  int // cursor into chunk.ea
+	strI int // cursor into chunk.stride
+}
+
+// Program returns the traced program.
+func (r *Reader) Program() *isa.Program { return r.t.prog }
+
+// Err always returns nil: only complete, fault-free runs are recorded.
+func (r *Reader) Err() error { return nil }
+
+// Next reconstructs the next dynamic instruction from the trace.
+func (r *Reader) Next() (emu.Dyn, bool) {
+	for {
+		if r.ci >= len(r.t.chunks) {
+			return emu.Dyn{}, false
+		}
+		if r.ri < len(r.t.chunks[r.ci].si) {
+			break
+		}
+		r.ci++
+		r.ri, r.eaI, r.strI = 0, 0, 0
+	}
+	c := &r.t.chunks[r.ci]
+	si := c.si[r.ri]
+	meta := c.meta[r.ri]
+	r.ri++
+	s := &r.t.static[si]
+	d := emu.Dyn{
+		SI:    int(si),
+		Op:    s.op,
+		Class: s.class,
+		Taken: meta&metaTaken != 0,
+		VL:    int(meta &^ metaTaken),
+	}
+	if s.class == isa.ClassBranch {
+		d.Target = int(s.target)
+	}
+	switch s.mem {
+	case memScalar:
+		d.EA = c.ea[r.eaI]
+		r.eaI++
+		d.NElem, d.Size = 1, int(s.size)
+	case memVector:
+		d.EA = c.ea[r.eaI]
+		r.eaI++
+		d.Stride = c.stride[r.strI]
+		r.strI++
+		d.NElem, d.Size = d.VL, int(s.size)
+	}
+	return d, true
+}

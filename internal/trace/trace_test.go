@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+const testMaxSteps = 50_000_000
+
+// TestReplayMatchesLive captures every kernel (all ISAs) and checks that the
+// replayed Dyn stream is field-for-field identical to a fresh live run.
+func TestReplayMatchesLive(t *testing.T) {
+	for _, k := range kernels.All(kernels.ScaleTest) {
+		for _, ext := range []isa.Ext{isa.ExtAlpha, isa.ExtMMX, isa.ExtMDMX, isa.ExtMOM} {
+			k, ext := k, ext
+			t.Run(k.Name+"/"+ext.String(), func(t *testing.T) {
+				t.Parallel()
+				p := k.Build(ext)
+				tr, err := Capture(emu.New(p), testMaxSteps, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live := NewLive(emu.New(k.Build(ext)))
+				r := tr.Reader()
+				var n uint64
+				for {
+					want, okW := live.Next()
+					got, okG := r.Next()
+					if okW != okG {
+						t.Fatalf("record %d: live ok=%v, replay ok=%v", n, okW, okG)
+					}
+					if !okW {
+						break
+					}
+					if got != want {
+						t.Fatalf("record %d: replay %+v != live %+v", n, got, want)
+					}
+					n++
+				}
+				if n != tr.Records() {
+					t.Fatalf("replayed %d records, trace holds %d", n, tr.Records())
+				}
+				if tr.Chunks() < 1 {
+					t.Fatal("trace has no chunks")
+				}
+				if tr.Bytes() <= 0 {
+					t.Fatal("trace reports no bytes")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentReaders replays one trace from many goroutines at once; the
+// race detector guards the sharing contract.
+func TestConcurrentReaders(t *testing.T) {
+	k, err := kernels.ByName("idct", kernels.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Capture(emu.New(k.Build(isa.ExtMOM)), testMaxSteps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan uint64)
+	for w := 0; w < 8; w++ {
+		go func() {
+			r := tr.Reader()
+			var n uint64
+			for {
+				if _, ok := r.Next(); !ok {
+					break
+				}
+				n++
+			}
+			done <- n
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if n := <-done; n != tr.Records() {
+			t.Fatalf("reader saw %d records, want %d", n, tr.Records())
+		}
+	}
+}
+
+// TestCaptureByteBudget: a tiny budget must yield ErrTooLarge, not a
+// truncated trace.
+func TestCaptureByteBudget(t *testing.T) {
+	k, err := kernels.ByName("idct", kernels.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Capture(emu.New(k.Build(isa.ExtMOM)), testMaxSteps, 64)
+	if err == nil {
+		t.Fatal("expected ErrTooLarge")
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+// TestCaptureStepBudget: exceeding maxSteps is an error.
+func TestCaptureStepBudget(t *testing.T) {
+	k, err := kernels.ByName("idct", kernels.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Capture(emu.New(k.Build(isa.ExtMOM)), 10, 0); err == nil {
+		t.Fatal("expected step-budget error")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // ISA selects the instruction-set level of a program and machine.
@@ -216,7 +217,7 @@ func RunKernel(kernel string, i ISA, width int, m MemModel, sc Scale) (Result, e
 	}
 	p := k.Build(i.ext())
 	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
-	res, err := sim.Run(emu.New(p), maxDynInsts)
+	res, err := sim.Run(trace.NewLive(emu.New(p)), maxDynInsts)
 	if err != nil {
 		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", kernel, i, width, err)
 	}
@@ -244,7 +245,7 @@ func RunApp(app string, i ISA, width int, m MemModel, sc Scale) (Result, error) 
 	}
 	p := a.Build(i.ext())
 	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
-	res, err := sim.Run(emu.New(p), maxDynInsts)
+	res, err := sim.Run(trace.NewLive(emu.New(p)), maxDynInsts)
 	if err != nil {
 		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", app, i, width, err)
 	}

@@ -1,0 +1,84 @@
+package mom
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// equivConfigs are the machine configurations the equivalence tests cover:
+// a narrow and a wide machine under the idealised memory, and both widths
+// the detailed hierarchy supports (Table 3 only defines 4- and 8-way ports).
+var equivConfigs = []struct {
+	width int
+	model MemModel
+}{
+	{1, PerfectMemory(1)},
+	{8, PerfectMemory(1)},
+	{4, DetailedMemory(MultiAddress)},
+	{8, DetailedMemory(MultiAddress)},
+}
+
+// TestTraceReplayEquivalence is the contract of the capture/replay engine:
+// timing a workload from its recorded trace must produce a Result
+// field-for-field identical to the live interleaved emulate-and-time path,
+// for every kernel on every ISA, at a narrow and a wide machine, under both
+// the idealised and the detailed memory system.
+func TestTraceReplayEquivalence(t *testing.T) {
+	for _, k := range KernelNames() {
+		for _, i := range AllISAs {
+			k, i := k, i
+			t.Run(fmt.Sprintf("%s/%s", k, i), func(t *testing.T) {
+				t.Parallel()
+				for _, c := range equivConfigs {
+					live, err := RunKernel(k, i, c.width, c.model, ScaleTest)
+					if err != nil {
+						t.Fatalf("live %d-way %s: %v", c.width, c.model.Name(), err)
+					}
+					key := traceKey{name: k, isa: i, scale: ScaleTest}
+					replay, ok, err := runTraced(key, c.width, c.model)
+					if err != nil {
+						t.Fatalf("replay %d-way %s: %v", c.width, c.model.Name(), err)
+					}
+					if !ok {
+						t.Fatalf("no trace captured for %s/%s", k, i)
+					}
+					if !reflect.DeepEqual(live, replay) {
+						t.Errorf("%d-way %s: replay diverges from live\nlive:   %+v\nreplay: %+v",
+							c.width, c.model.Name(), live, replay)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceReplayEquivalenceApps spot-checks the application path: one app
+// per ISA, same two widths and memory systems.
+func TestTraceReplayEquivalenceApps(t *testing.T) {
+	apps := AppNames()
+	for n, i := range AllISAs {
+		a, i := apps[n%len(apps)], i
+		t.Run(fmt.Sprintf("%s/%s", a, i), func(t *testing.T) {
+			t.Parallel()
+			for _, c := range equivConfigs {
+				live, err := RunApp(a, i, c.width, c.model, ScaleTest)
+				if err != nil {
+					t.Fatalf("live %d-way %s: %v", c.width, c.model.Name(), err)
+				}
+				key := traceKey{app: true, name: a, isa: i, scale: ScaleTest}
+				replay, ok, err := runTraced(key, c.width, c.model)
+				if err != nil {
+					t.Fatalf("replay %d-way %s: %v", c.width, c.model.Name(), err)
+				}
+				if !ok {
+					t.Fatalf("no trace captured for %s/%s", a, i)
+				}
+				if !reflect.DeepEqual(live, replay) {
+					t.Errorf("%d-way %s: replay diverges from live\nlive:   %+v\nreplay: %+v",
+						c.width, c.model.Name(), live, replay)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package mom
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// The process-wide trace cache implements the capture-once / replay-many
+// methodology of the paper (ATOM instruments the binary once, the trace
+// feeds Jinks for every machine configuration). A dynamic trace depends
+// only on (workload, ISA, scale) — never on issue width, cache mode or
+// memory latency — so the experiment drivers capture each workload once and
+// replay the recording across every machine configuration in parallel.
+//
+// The cache is an optimisation, never a correctness dependency: when a
+// capture fails or the cache is full, callers fall back to the live
+// interleaved emulate-and-time path, which produces identical results
+// (TestTraceReplayEquivalence enforces this).
+
+// TraceCacheBytes bounds the total memory the trace cache may hold.
+// Captures that would push the cache past the bound are discarded and the
+// affected runs use live emulation instead. It is read when an entry is
+// first populated; set it before running experiments.
+var TraceCacheBytes int64 = 1 << 30
+
+// TraceStats reports the accumulated activity of the trace layer.
+type TraceStats struct {
+	Captures     int64         // traces recorded
+	CaptureTime  time.Duration // wall-clock spent capturing (functional emulation)
+	Replays      int64         // timing runs fed from a recorded trace
+	ReplayTime   time.Duration // wall-clock spent in trace-fed timing runs
+	LiveRuns     int64         // timing runs that fell back to live emulation
+	CachedTraces int64         // traces currently held
+	CachedBytes  int64         // bytes currently held
+}
+
+var traceStats struct {
+	captures, captureNS, replays, replayNS, liveRuns atomic.Int64
+}
+
+// ReadTraceStats returns a snapshot of the trace-layer counters.
+func ReadTraceStats() TraceStats {
+	traceCache.mu.Lock()
+	var held int64
+	for _, e := range traceCache.entries {
+		if e.tr != nil { // e.tr is only written under traceCache.mu
+			held++
+		}
+	}
+	bytes := traceCache.bytes
+	traceCache.mu.Unlock()
+	return TraceStats{
+		Captures:     traceStats.captures.Load(),
+		CaptureTime:  time.Duration(traceStats.captureNS.Load()),
+		Replays:      traceStats.replays.Load(),
+		ReplayTime:   time.Duration(traceStats.replayNS.Load()),
+		LiveRuns:     traceStats.liveRuns.Load(),
+		CachedTraces: held,
+		CachedBytes:  bytes,
+	}
+}
+
+type traceKey struct {
+	app   bool
+	name  string
+	isa   ISA
+	scale Scale
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace // nil if capture failed or cache full
+}
+
+var traceCache = struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	bytes   int64
+}{entries: map[traceKey]*traceEntry{}}
+
+// entry returns (creating if needed) the cache slot for a key.
+func cacheEntry(key traceKey) *traceEntry {
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	e, ok := traceCache.entries[key]
+	if !ok {
+		e = &traceEntry{}
+		traceCache.entries[key] = e
+	}
+	return e
+}
+
+// cachedTrace returns the recorded trace for a workload, capturing it on
+// first use. It returns nil when the workload cannot be captured within the
+// cache budget (or faults); callers then use the live path.
+func cachedTrace(key traceKey) *trace.Trace {
+	e := cacheEntry(key)
+	e.once.Do(func() {
+		var m *emu.Machine
+		switch {
+		case key.app:
+			a, err := apps.ByName(key.name, apps.Scale(key.scale))
+			if err != nil {
+				return
+			}
+			m = emu.New(a.Build(key.isa.ext()))
+		default:
+			k, err := kernels.ByName(key.name, kernels.Scale(key.scale))
+			if err != nil {
+				return
+			}
+			m = emu.New(k.Build(key.isa.ext()))
+		}
+		traceCache.mu.Lock()
+		budget := TraceCacheBytes - traceCache.bytes
+		traceCache.mu.Unlock()
+		if budget <= 0 {
+			return
+		}
+		t0 := time.Now()
+		tr, err := trace.Capture(m, maxDynInsts, budget)
+		if err != nil {
+			return
+		}
+		traceStats.captures.Add(1)
+		traceStats.captureNS.Add(int64(time.Since(t0)))
+		traceCache.mu.Lock()
+		defer traceCache.mu.Unlock()
+		if traceCache.bytes+tr.Bytes() > TraceCacheBytes {
+			return // another capture consumed the budget meanwhile
+		}
+		traceCache.bytes += tr.Bytes()
+		e.tr = tr
+	})
+	return e.tr
+}
+
+// runTraced times one workload from its recorded trace. ok is false when no
+// trace is available, in which case the caller must run live.
+func runTraced(key traceKey, width int, m MemModel) (Result, bool, error) {
+	tr := cachedTrace(key)
+	if tr == nil {
+		return Result{}, false, nil
+	}
+	sim := cpu.New(cpu.NewConfig(width, key.isa.ext()), m.build(width))
+	t0 := time.Now()
+	res, err := sim.Run(tr.Reader(), maxDynInsts)
+	traceStats.replays.Add(1)
+	traceStats.replayNS.Add(int64(time.Since(t0)))
+	if err != nil {
+		return Result{}, true, err
+	}
+	return fromCPU(key.name, key.isa, width, m.Name(), res), true, nil
+}
+
+// runKernelCached is RunKernel through the trace cache: replay when a trace
+// is available, live emulation otherwise.
+func runKernelCached(kernel string, i ISA, width int, m MemModel, sc Scale) (Result, error) {
+	key := traceKey{name: kernel, isa: i, scale: sc}
+	if res, ok, err := runTraced(key, width, m); ok {
+		return res, err
+	}
+	traceStats.liveRuns.Add(1)
+	return RunKernel(kernel, i, width, m, sc)
+}
+
+// runAppCached is RunApp through the trace cache.
+func runAppCached(app string, i ISA, width int, m MemModel, sc Scale) (Result, error) {
+	key := traceKey{app: true, name: app, isa: i, scale: sc}
+	if res, ok, err := runTraced(key, width, m); ok {
+		return res, err
+	}
+	traceStats.liveRuns.Add(1)
+	return RunApp(app, i, width, m, sc)
+}
+
+// runConfig times one run under an explicit processor configuration,
+// replaying the trace when one is available and otherwise falling back to a
+// live machine built by mk.
+func runConfig(cfg cpu.Config, model mem.Model, tr *trace.Trace, mk func() *emu.Machine) (cpu.Result, error) {
+	sim := cpu.New(cfg, model)
+	if tr != nil {
+		t0 := time.Now()
+		res, err := sim.Run(tr.Reader(), maxDynInsts)
+		traceStats.replays.Add(1)
+		traceStats.replayNS.Add(int64(time.Since(t0)))
+		return res, err
+	}
+	traceStats.liveRuns.Add(1)
+	return sim.Run(trace.NewLive(mk()), maxDynInsts)
+}
+
+// warmTraces captures the traces for a workload×ISA job list in parallel
+// before the replay fan-out, so no replay worker blocks behind a capture
+// another configuration also needs. Capture failures are not errors here —
+// the affected runs simply fall back to live emulation.
+func warmTraces(app bool, names []string, isas []ISA, sc Scale) {
+	type wk struct {
+		name string
+		isa  ISA
+	}
+	var jobs []wk
+	for _, n := range names {
+		for _, i := range isas {
+			jobs = append(jobs, wk{n, i})
+		}
+	}
+	_ = par.For(len(jobs), func(idx int) error {
+		cachedTrace(traceKey{app: app, name: jobs[idx].name, isa: jobs[idx].isa, scale: sc})
+		return nil
+	})
+}
