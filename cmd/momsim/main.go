@@ -8,6 +8,8 @@
 //	momsim -exp table2                # register file area comparison
 //	momsim -exp table3                # memory model ports
 //	momsim -exp fetch                 # fetch-pressure (ops per instruction)
+//	momsim -exp profile               # cycle-attribution breakdown
+//	momsim -exp profile -json         # same rows as machine-readable JSON
 //	momsim -kernel motion1 -isa MOM -width 4   # one kernel run
 //	momsim -app mpeg2decode -isa MOM -width 8 -cache vector
 package main
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|isacount|all")
+		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|isacount|all")
 		scale   = flag.String("scale", "test", "workload scale: test|bench")
 		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
 		width   = flag.Int("width", 4, "issue width: 1|2|4|8")
@@ -33,7 +35,8 @@ func main() {
 		app     = flag.String("app", "", "run a single application")
 		cache   = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
 		verify  = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
-		format  = flag.String("format", "table", "experiment output format: table|csv")
+		format  = flag.String("format", "table", "experiment output format: table|csv|json")
+		asJSON  = flag.Bool("json", false, "emit JSON (shorthand for -format json; also applies to single runs)")
 		verbose = flag.Bool("v", false, "report trace capture/replay timing per experiment")
 	)
 	flag.Parse()
@@ -49,6 +52,10 @@ func main() {
 	m, err := parseMem(*cache)
 	if err != nil {
 		fatal(err)
+	}
+	outFormat := *format
+	if *asJSON {
+		outFormat = "json"
 	}
 
 	switch {
@@ -74,17 +81,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		printResult(res)
+		emitResult(res, outFormat)
 	case *app != "":
 		res, err := mom.RunApp(*app, i, *width, m, sc)
 		if err != nil {
 			fatal(err)
 		}
-		printResult(res)
+		emitResult(res, outFormat)
 	case *exp != "":
 		for _, e := range strings.Split(*exp, ",") {
 			before := mom.ReadTraceStats()
-			if err := runExperiment(e, sc, i, *format == "csv"); err != nil {
+			if err := runExperiment(e, sc, i, *width, outFormat); err != nil {
 				fatal(err)
 			}
 			if *verbose {
@@ -97,14 +104,19 @@ func main() {
 	}
 }
 
-func runExperiment(exp string, sc mom.Scale, i mom.ISA, csv bool) error {
+func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string) error {
+	asJSON := format == "json"
+	asCSV := format == "csv"
 	switch exp {
 	case "fig5":
 		rows, err := mom.Figure5(sc)
 		if err != nil {
 			return err
 		}
-		if csv {
+		switch {
+		case asJSON:
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		case asCSV:
 			return mom.WriteFigure5CSV(os.Stdout, rows)
 		}
 		fmt.Print(mom.FormatFigure5(rows))
@@ -113,7 +125,10 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, csv bool) error {
 		if err != nil {
 			return err
 		}
-		if csv {
+		switch {
+		case asJSON:
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		case asCSV:
 			return mom.WriteLatencyCSV(os.Stdout, rows)
 		}
 		fmt.Print(mom.FormatLatency(rows))
@@ -122,23 +137,62 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, csv bool) error {
 		if err != nil {
 			return err
 		}
-		if csv {
+		switch {
+		case asJSON:
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		case asCSV:
 			return mom.WriteFigure7CSV(os.Stdout, rows)
 		}
 		fmt.Print(mom.FormatFigure7(rows))
 	case "table1":
-		fmt.Print(mom.FormatTable1(mom.Table1(i)))
+		rows := mom.Table1(i)
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		}
+		fmt.Print(mom.FormatTable1(rows))
 	case "table2":
-		fmt.Print(mom.FormatTable2(mom.Table2()))
+		rows := mom.Table2()
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		}
+		fmt.Print(mom.FormatTable2(rows))
 	case "table3":
-		fmt.Print(mom.FormatTable3(mom.Table3()))
+		rows := mom.Table3()
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		}
+		fmt.Print(mom.FormatTable3(rows))
 	case "fetch":
-		return fetchPressure(sc)
+		rows, err := mom.FetchPressure(sc)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		}
+		fmt.Print(mom.FormatFetch(rows))
+	case "profile":
+		rows, err := mom.ProfileStudy(sc, width)
+		if err != nil {
+			return err
+		}
+		switch {
+		case asJSON:
+			return mom.WriteExperimentJSON(os.Stdout, exp, rows)
+		case asCSV:
+			return mom.WriteProfileCSV(os.Stdout, rows)
+		}
+		fmt.Print(mom.FormatProfile(rows))
 	case "regsweep":
+		var all []mom.RegSweepRow
 		for _, k := range []string{"idct", "motion1"} {
 			rows, err := mom.RegisterSweep(sc, k)
 			if err != nil {
 				return err
+			}
+			if asJSON {
+				all = append(all, rows...)
+				continue
 			}
 			fmt.Printf("physical matrix registers vs performance — %s (4-way MOM)\n", k)
 			for _, r := range rows {
@@ -147,11 +201,19 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, csv bool) error {
 			}
 			fmt.Println()
 		}
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, all)
+		}
 	case "memsweep":
+		var all []mom.MemSweepRow
 		for _, app := range []string{"mpeg2decode", "jpegdecode"} {
 			rows, err := mom.MemorySweep(sc, app)
 			if err != nil {
 				return err
+			}
+			if asJSON {
+				all = append(all, rows...)
+				continue
 			}
 			fmt.Printf("memory-system ablation — %s (4-way MOM, multi-address)\n", app)
 			for _, r := range rows {
@@ -160,37 +222,28 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, csv bool) error {
 			}
 			fmt.Println()
 		}
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, all)
+		}
 	case "isacount":
 		mmx, mdmx, momN := mom.ISACounts()
+		if asJSON {
+			return mom.WriteExperimentJSON(os.Stdout, exp, map[string]int{
+				"mmx": mmx, "mdmx": mdmx, "mom": momN,
+			})
+		}
 		fmt.Printf("multimedia instructions: MMX %d, MDMX %d, MOM %d\n", mmx, mdmx, momN)
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7"} {
-			if err := runExperiment(e, sc, i, csv); err != nil {
+		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7", "fetch", "profile"} {
+			if err := runExperiment(e, sc, i, width, format); err != nil {
 				return err
 			}
-			fmt.Println()
+			if !asJSON {
+				fmt.Println()
+			}
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
-	}
-	return nil
-}
-
-// fetchPressure reports packed-word operations per instruction per ISA —
-// the paper's "MOM packs an order of magnitude more operations per
-// instruction" argument.
-func fetchPressure(sc mom.Scale) error {
-	fmt.Println("Fetch pressure — dynamic instructions and word-operations per instruction")
-	for _, k := range mom.KernelNames() {
-		fmt.Printf("\n%s\n", k)
-		for _, i := range mom.AllISAs {
-			res, err := mom.RunKernel(k, i, 4, mom.PerfectMemory(1), sc)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %-6s insts=%9d  word-ops/inst=%5.2f\n",
-				i, res.Insts, float64(res.WordOps)/float64(res.Insts))
-		}
 	}
 	return nil
 }
@@ -208,7 +261,20 @@ func printTraceStats(exp string, before, after mom.TraceStats) {
 		live, after.CachedTraces, float64(after.CachedBytes)/(1<<20))
 }
 
-func printResult(r mom.Result) {
+// emitResult reports one timed run as a human-readable summary or, with
+// -json, as the full machine-readable Result document. Either way the run
+// is first checked against the accounting invariants, so a broken counter
+// is a hard CLI failure.
+func emitResult(r mom.Result, format string) {
+	if err := r.CheckInvariants(); err != nil {
+		fatal(err)
+	}
+	if format == "json" {
+		if err := mom.WriteResultJSON(os.Stdout, r); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("%s on %s/%d-way, %s memory\n", r.Workload, r.ISA, r.Width, r.MemName)
 	fmt.Printf("  cycles        %12d\n", r.Cycles)
 	fmt.Printf("  instructions  %12d\n", r.Insts)
@@ -232,6 +298,13 @@ func printResult(r mom.Result) {
 	fmt.Printf("  op mix       ")
 	for _, c := range classes {
 		fmt.Printf(" %s=%.1f%%", c, 100*float64(r.OpMix[c])/float64(r.Insts))
+	}
+	fmt.Println()
+	fmt.Printf("  cycle profile")
+	for _, b := range r.Profile.Buckets() {
+		if b.Cycles > 0 {
+			fmt.Printf(" %s=%.1f%%", b.Name, 100*float64(b.Cycles)/float64(r.Cycles))
+		}
 	}
 	fmt.Println()
 }

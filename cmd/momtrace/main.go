@@ -5,6 +5,7 @@
 //
 //	momtrace -kernel motion1 -isa MOM
 //	momtrace -app gsmencode -isa MOM -stats   # trace-encoding statistics
+//	momtrace -kernel idct -isa MOM -profile   # timed run + cycle attribution
 package main
 
 import (
@@ -26,10 +27,11 @@ const maxSteps = 400_000_000
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "motion1", "kernel name")
-		app    = flag.String("app", "", "application name (overrides -kernel)")
-		isaStr = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
-		stats  = flag.Bool("stats", false, "record the trace and report encoding and capture/replay statistics")
+		kernel  = flag.String("kernel", "motion1", "kernel name")
+		app     = flag.String("app", "", "application name (overrides -kernel)")
+		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+		stats   = flag.Bool("stats", false, "record the trace and report encoding and capture/replay statistics")
+		profile = flag.Bool("profile", false, "also run the timing simulator (4-way, perfect memory) and report the cycle-attribution breakdown")
 	)
 	flag.Parse()
 
@@ -167,6 +169,31 @@ func main() {
 		sort.Slice(strides, func(i, j int) bool { return strides[i] < strides[j] })
 		for _, s := range strides {
 			fmt.Printf("  stride %-6d %10d\n", s, strideHist[s])
+		}
+	}
+
+	if *profile {
+		var r mom.Result
+		if *app != "" {
+			r, err = mom.RunApp(*app, level, 4, mom.PerfectMemory(1), mom.ScaleTest)
+		} else {
+			r, err = mom.RunKernel(*kernel, level, 4, mom.PerfectMemory(1), mom.ScaleTest)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace:", err)
+			os.Exit(1)
+		}
+		if err := r.CheckInvariants(); err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncycle attribution (4-way, %s memory): %d cycles, IPC %.3f\n",
+			r.MemName, r.Cycles, r.IPC())
+		for _, b := range r.Profile.Buckets() {
+			if b.Cycles == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %12d (%.1f%%)\n", b.Name, b.Cycles, 100*float64(b.Cycles)/float64(r.Cycles))
 		}
 	}
 }

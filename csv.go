@@ -36,6 +36,46 @@ func WriteLatencyCSV(w io.Writer, rows []LatencyRow) error {
 	return nil
 }
 
+// WriteProfileCSV emits one row per kernel×isa×memory with the full stall
+// taxonomy in canonical bucket order.
+func WriteProfileCSV(w io.Writer, rows []ProfileRow) error {
+	header := "kernel,isa,width,mem,cycles,ipc"
+	for _, b := range (Profile{}).Buckets() {
+		header += "," + csvBucketName(b.Name)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%d,%.4f",
+			r.Kernel, r.ISA, r.Width, r.MemName, r.Cycles, r.IPC); err != nil {
+			return err
+		}
+		for _, b := range r.Profile.Buckets() {
+			if _, err := fmt.Fprintf(w, ",%d", b.Cycles); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvBucketName flattens display bucket names into CSV-safe column names.
+func csvBucketName(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			out[i] = '_'
+		} else {
+			out[i] = s[i]
+		}
+	}
+	return string(out)
+}
+
 // WriteFigure7CSV emits app,isa,cache,width,cycles,ipc,speedup rows.
 func WriteFigure7CSV(w io.Writer, rows []AppSpeedup) error {
 	if _, err := fmt.Fprintln(w, "app,isa,cache,width,cycles,ipc,speedup"); err != nil {

@@ -60,4 +60,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("motion1 on 4-way MOM: %d cycles, IPC %.2f\n", r.Cycles, r.IPC())
+
+	// Every run carries a cycle-attribution profile whose buckets sum
+	// exactly to the cycle count — where did the time go?
+	if err := r.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cycle profile:")
+	for _, b := range r.Profile.Buckets() {
+		if b.Cycles > 0 {
+			fmt.Printf("  %-10s %6.1f%%\n", b.Name, 100*float64(b.Cycles)/float64(r.Cycles))
+		}
+	}
 }

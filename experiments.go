@@ -24,13 +24,13 @@ var Widths = []int{1, 2, 4, 8}
 
 // KernelSpeedup is one bar of Figure 5.
 type KernelSpeedup struct {
-	Kernel  string
-	ISA     ISA
-	Width   int
-	Cycles  int64
-	Insts   uint64
-	IPC     float64
-	Speedup float64 // versus the 1-way Alpha run of the same kernel
+	Kernel  string  `json:"kernel"`
+	ISA     ISA     `json:"isa"`
+	Width   int     `json:"width"`
+	Cycles  int64   `json:"cycles"`
+	Insts   uint64  `json:"insts"`
+	IPC     float64 `json:"ipc"`
+	Speedup float64 `json:"speedup"` // versus the 1-way Alpha run of the same kernel
 }
 
 // Figure5 reruns the kernel-level study: every kernel on every ISA at every
@@ -85,12 +85,12 @@ func Figure5(sc Scale) ([]KernelSpeedup, error) {
 
 // LatencyRow is one entry of the Section 4.1 latency-tolerance study.
 type LatencyRow struct {
-	Kernel   string
-	ISA      ISA
-	Width    int
-	Cycles1  int64
-	Cycles50 int64
-	Slowdown float64
+	Kernel   string  `json:"kernel"`
+	ISA      ISA     `json:"isa"`
+	Width    int     `json:"width"`
+	Cycles1  int64   `json:"cycles_lat1"`
+	Cycles50 int64   `json:"cycles_lat50"`
+	Slowdown float64 `json:"slowdown"`
 }
 
 // LatencyStudy reruns the kernels with the memory latency raised from 1 to
@@ -135,8 +135,8 @@ func LatencyStudy(sc Scale, width int) ([]LatencyRow, error) {
 // AppConfig is one machine configuration of the program-level study
 // (Figure 7): an ISA plus a cache organisation.
 type AppConfig struct {
-	ISA   ISA
-	Cache CacheMode
+	ISA   ISA       `json:"isa"`
+	Cache CacheMode `json:"cache"`
 }
 
 func (c AppConfig) String() string {
@@ -154,13 +154,13 @@ var Figure7Configs = []AppConfig{
 
 // AppSpeedup is one bar of Figure 7.
 type AppSpeedup struct {
-	App     string
-	Config  AppConfig
-	Width   int
-	Cycles  int64
-	Insts   uint64
-	IPC     float64
-	Speedup float64 // versus Alpha/conventional at the same width
+	App     string    `json:"app"`
+	Config  AppConfig `json:"config"`
+	Width   int       `json:"width"`
+	Cycles  int64     `json:"cycles"`
+	Insts   uint64    `json:"insts"`
+	IPC     float64   `json:"ipc"`
+	Speedup float64   `json:"speedup"` // versus Alpha/conventional at the same width
 }
 
 // Figure7 reruns the program-level study: the five applications on the five
@@ -223,10 +223,112 @@ func Figure7(sc Scale) ([]AppSpeedup, error) {
 	return rows, nil
 }
 
+// ProfileRow is one kernel×ISA×memory cycle-attribution breakdown of the
+// profiling study.
+type ProfileRow struct {
+	Kernel  string   `json:"kernel"`
+	ISA     ISA      `json:"isa"`
+	Width   int      `json:"width"`
+	MemName string   `json:"mem"`
+	Cycles  int64    `json:"cycles"`
+	IPC     float64  `json:"ipc"`
+	Profile Profile  `json:"profile"`
+	Mem     MemStats `json:"mem_stats"`
+}
+
+// ProfileStudy is the cycle-attribution companion to the Section 4.1
+// latency argument: every kernel on every ISA, at the given width, under
+// the 1-cycle and the 50-cycle idealised memories. Comparing each ISA's
+// MemWait share across the two memories shows *why* MOM tolerates latency —
+// overlapped vector memory access keeps the stall share low where the
+// scalar and packed ISAs serialise on loads. Every row is checked against
+// the attribution identity (buckets sum to Cycles) and the memory counter
+// invariants before being returned, so a broken counter fails the study
+// rather than skewing it.
+func ProfileStudy(sc Scale, width int) ([]ProfileRow, error) {
+	names := KernelNames()
+	warmTraces(false, names, AllISAs, sc)
+	mems := []MemModel{PerfectMemory(1), PerfectMemory(50)}
+	type job struct {
+		kernel string
+		isa    ISA
+		mem    MemModel
+	}
+	var jobs []job
+	for _, k := range names {
+		for _, i := range AllISAs {
+			for _, m := range mems {
+				jobs = append(jobs, job{k, i, m})
+			}
+		}
+	}
+	rows := make([]ProfileRow, len(jobs))
+	err := par.For(len(jobs), func(idx int) error {
+		j := jobs[idx]
+		res, err := runKernelCached(j.kernel, j.isa, width, j.mem, sc)
+		if err != nil {
+			return err
+		}
+		if err := res.CheckInvariants(); err != nil {
+			return err
+		}
+		rows[idx] = ProfileRow{
+			Kernel: j.kernel, ISA: j.isa, Width: width, MemName: j.mem.Name(),
+			Cycles: res.Cycles, IPC: res.IPC(), Profile: res.Profile, Mem: res.Mem,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// FetchRow is one entry of the fetch-pressure comparison (word-operations
+// packed per dynamic instruction).
+type FetchRow struct {
+	Kernel     string  `json:"kernel"`
+	ISA        ISA     `json:"isa"`
+	Insts      uint64  `json:"insts"`
+	WordOps    uint64  `json:"word_ops"`
+	OpsPerInst float64 `json:"ops_per_inst"`
+}
+
+// FetchPressure reports dynamic instruction counts and word-operations per
+// instruction for every kernel and ISA — the paper's "MOM packs an order of
+// magnitude more operations per instruction" argument.
+func FetchPressure(sc Scale) ([]FetchRow, error) {
+	names := KernelNames()
+	warmTraces(false, names, AllISAs, sc)
+	var jobs []struct {
+		kernel string
+		isa    ISA
+	}
+	for _, k := range names {
+		for _, i := range AllISAs {
+			jobs = append(jobs, struct {
+				kernel string
+				isa    ISA
+			}{k, i})
+		}
+	}
+	rows := make([]FetchRow, len(jobs))
+	err := par.For(len(jobs), func(idx int) error {
+		j := jobs[idx]
+		res, err := runKernelCached(j.kernel, j.isa, 4, PerfectMemory(1), sc)
+		if err != nil {
+			return err
+		}
+		rows[idx] = FetchRow{
+			Kernel: j.kernel, ISA: j.isa, Insts: res.Insts, WordOps: res.WordOps,
+			OpsPerInst: float64(res.WordOps) / float64(res.Insts),
+		}
+		return nil
+	})
+	return rows, err
+}
+
 // Table1Row describes one processor configuration column.
 type Table1Row struct {
-	Name   string
-	Values map[string]string
+	Name   string            `json:"name"`
+	Values map[string]string `json:"values"`
 }
 
 // Table1 reproduces the processor-configuration table for a given ISA.
@@ -255,13 +357,13 @@ func Table1(i ISA) []Table1Row {
 
 // Table2Entry mirrors the register-file comparison row.
 type Table2Entry struct {
-	ISA            string
-	MediaRegs      string
-	AccRegs        string
-	MediaPorts     string
-	AccPorts       string
-	SizeBytes      int
-	NormalizedArea float64
+	ISA            string  `json:"isa"`
+	MediaRegs      string  `json:"media_regs"`
+	AccRegs        string  `json:"acc_regs"`
+	MediaPorts     string  `json:"media_ports"`
+	AccPorts       string  `json:"acc_ports"`
+	SizeBytes      int     `json:"size_bytes"`
+	NormalizedArea float64 `json:"normalized_area"`
 }
 
 // Table2 reproduces the multimedia register-file comparison (4-way machine).
@@ -279,9 +381,9 @@ func Table2() []Table2Entry {
 
 // Table3Row describes one memory-model column (port configuration).
 type Table3Row struct {
-	Model  string
-	Width  int
-	Values map[string]string
+	Model  string            `json:"model"`
+	Width  int               `json:"width"`
+	Values map[string]string `json:"values"`
 }
 
 // Table3 reproduces the port configuration of the memory models.
@@ -327,10 +429,10 @@ func ISACounts() (mmx, mdmx, mom int) {
 // RegSweepRow is one point of the physical-register sensitivity ablation
 // (the "preliminary simulations" behind Table 2's file sizes).
 type RegSweepRow struct {
-	Kernel   string
-	MomPhys  int
-	Cycles   int64
-	Slowdown float64 // versus the largest file swept
+	Kernel   string  `json:"kernel"`
+	MomPhys  int     `json:"mom_phys"`
+	Cycles   int64   `json:"cycles"`
+	Slowdown float64 `json:"slowdown"` // versus the largest file swept
 }
 
 // RegisterSweep varies the number of physical matrix registers on the
@@ -372,11 +474,11 @@ func RegisterSweep(sc Scale, kernel string) ([]RegSweepRow, error) {
 // MSHR pool or the L1 banking shows which resources the streaming MOM
 // accesses actually need.
 type MemSweepRow struct {
-	App      string
-	MSHRs    int
-	Banks    int
-	Cycles   int64
-	Slowdown float64 // versus the Table 3 configuration
+	App      string  `json:"app"`
+	MSHRs    int     `json:"mshrs"`
+	Banks    int     `json:"banks"`
+	Cycles   int64   `json:"cycles"`
+	Slowdown float64 `json:"slowdown"` // versus the Table 3 configuration
 }
 
 // MemorySweep runs an application on the 4-way MOM multi-address machine

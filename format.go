@@ -147,6 +147,65 @@ func FormatTable3(rows []Table3Row) string {
 	return sb.String()
 }
 
+// FormatProfile renders the cycle-attribution study: one block per
+// kernel×memory, ISAs as rows, the stall taxonomy as columns (percent of
+// total cycles, which sum to 100 by construction).
+func FormatProfile(rows []ProfileRow) string {
+	var sb strings.Builder
+	sb.WriteString("Cycle attribution — % of cycles per stall bucket (buckets sum to Cycles)\n")
+	type group struct{ kernel, mem string }
+	var groups []group
+	seen := map[group]bool{}
+	for _, r := range rows {
+		g := group{r.Kernel, r.MemName}
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "\n%s / %s\n", g.kernel, g.mem)
+		fmt.Fprintf(&sb, "  %-6s %12s", "", "cycles")
+		for _, b := range (Profile{}).Buckets() {
+			fmt.Fprintf(&sb, " %9s", b.Name)
+		}
+		sb.WriteString("\n")
+		for _, i := range AllISAs {
+			for _, r := range rows {
+				if r.Kernel != g.kernel || r.MemName != g.mem || r.ISA != i {
+					continue
+				}
+				fmt.Fprintf(&sb, "  %-6s %12d", r.ISA, r.Cycles)
+				for _, b := range r.Profile.Buckets() {
+					fmt.Fprintf(&sb, " %8.1f%%", 100*float64(b.Cycles)/float64(r.Cycles))
+				}
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// FormatFetch renders the fetch-pressure comparison.
+func FormatFetch(rows []FetchRow) string {
+	var sb strings.Builder
+	sb.WriteString("Fetch pressure — word operations packed per dynamic instruction\n\n")
+	kernels := orderedKeys(rows, func(r FetchRow) string { return r.Kernel })
+	fmt.Fprintf(&sb, "  %-14s %8s %8s %8s %8s\n", "kernel", "Alpha", "MMX", "MDMX", "MOM")
+	for _, k := range kernels {
+		fmt.Fprintf(&sb, "  %-14s", k)
+		for _, i := range AllISAs {
+			for _, r := range rows {
+				if r.Kernel == k && r.ISA == i {
+					fmt.Fprintf(&sb, " %8.2f", r.OpsPerInst)
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
 // orderedKeys extracts unique keys preserving first-seen order.
 func orderedKeys[T any](rows []T, key func(T) string) []string {
 	seen := map[string]bool{}

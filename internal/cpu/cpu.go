@@ -20,6 +20,47 @@ type Result struct {
 	Stores      uint64
 	ByClass     [16]uint64 // graduated instructions per isa.Class
 	Mem         mem.Stats
+	Profile     Profile
+}
+
+// Profile attributes every simulated cycle to the machine structure that
+// bounded forward progress during it. The commit stage is in order, so the
+// simulated time is exactly the path of the commit frontier: whenever the
+// frontier advances past a cycle in which nothing graduated, that cycle was
+// lost to whichever constraint held back the instruction that eventually
+// advanced it. The buckets always sum to Result.Cycles — the identity every
+// profile consumer (and TestProfileAttributionIdentity) relies on.
+type Profile struct {
+	// Commit counts cycles in which at least one instruction graduated.
+	Commit int64
+	// Frontend counts cycles lost refilling the fetch/decode pipe: initial
+	// fill, taken-branch fetch breaks and BTB-miss bubbles.
+	Frontend int64
+	// Mispredict counts cycles lost to branch-mispredict redirects.
+	Mispredict int64
+	// RenameROB counts dispatch stalls on a full ROB, LSQ or exhausted
+	// physical (rename) registers.
+	RenameROB int64
+	// IssueQueue counts cycles waiting for an issue slot (issue-width
+	// contention among ready instructions).
+	IssueQueue int64
+	// FU counts cycles waiting for a functional unit or vector lane.
+	FU int64
+	// MemWait counts cycles waiting for load data (scalar or vector) to
+	// return from the memory system.
+	MemWait int64
+	// StoreCommit counts commit stalls draining stores into the memory
+	// system (write-buffer back-pressure at graduation).
+	StoreCommit int64
+	// DepLatency counts cycles serialised on data dependences and raw
+	// execution latency with no structural resource at fault.
+	DepLatency int64
+}
+
+// Total sums every bucket; it equals Result.Cycles for any completed run.
+func (p Profile) Total() int64 {
+	return p.Commit + p.Frontend + p.Mispredict + p.RenameROB +
+		p.IssueQueue + p.FU + p.MemWait + p.StoreCommit + p.DepLatency
 }
 
 // IPC returns graduated instructions per cycle.
@@ -353,6 +394,15 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 	fetchUsed := 0
 	var idx uint64
 
+	// Cycle-attribution state: profFrontier is the last cycle already
+	// accounted for (-1 before anything commits, so the telescoping sum of
+	// frontier advances is exactly lastCommit+1 == Cycles), and
+	// redirectCycle marks a fetch cycle installed by a mispredict redirect
+	// so the refill bubble is attributed to Mispredict, not Frontend.
+	prof := &res.Profile
+	profFrontier := int64(-1)
+	redirectCycle := int64(-1)
+
 	vecRate := cfg.MemPorts * cfg.MemPortLanes
 
 	for idx < maxInsts {
@@ -373,9 +423,14 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 
 		// ---- dispatch (rename + ROB/LSQ allocation) ----
 		earliest := f + int64(cfg.FrontDepth)
+		frontWait := earliest - lastDispatch // fetch arrived behind dispatch
+		if frontWait < 0 {
+			frontWait = 0
+		}
 		if earliest < lastDispatch {
 			earliest = lastDispatch
 		}
+		flowEarliest := earliest
 		if c := robRing[idx%uint64(cfg.ROBSize)]; c+1 > earliest {
 			earliest = c + 1
 		}
@@ -393,7 +448,9 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				}
 			}
 		}
+		structWait := earliest - flowEarliest // ROB/LSQ/rename back-pressure
 		dispatch := dispatchSlots.take(earliest)
+		frontWait += dispatch - earliest // dispatch-width overflow
 		lastDispatch = dispatch
 		issueSlots.advance(dispatch)
 
@@ -406,7 +463,11 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		}
 
 		// ---- issue + execute ----
+		// Alongside the timing, each arm records how long the instruction
+		// waited at each stage (fuWait: unit busy, issWait: no issue slot,
+		// memWait: load data outstanding) for the cycle attribution below.
 		var complete int64
+		var issWait, fuWait, memWait int64
 		lat := st.lat
 		switch st.class {
 		case isa.ClassNop:
@@ -417,30 +478,35 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			c := issueSlots.take(t0)
 			start := takeEither(intS, intC, c, 1)
 			complete = start + lat
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassIntComplex:
 			t0 := maxI64(ready, intC.minFree())
 			c := issueSlots.take(t0)
 			start := intC.takeAt(c, 1)
 			complete = start + lat
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassFPSimple:
 			t0 := maxI64(ready, minFreeEither(fpS, fpC))
 			c := issueSlots.take(t0)
 			start := takeEither(fpS, fpC, c, 1)
 			complete = start + lat
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassFPComplex:
 			t0 := maxI64(ready, fpC.minFree())
 			c := issueSlots.take(t0)
 			start := fpC.takeAt(c, 1)
 			complete = start + lat
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassMedSimple:
 			t0 := maxI64(ready, minFreeEither(medS, medC))
 			c := issueSlots.take(t0)
 			start := takeEither(medS, medC, c, 1)
 			complete = start + lat
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 			res.WordOps++
 
 		case isa.ClassMedComplex:
@@ -448,6 +514,7 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			c := issueSlots.take(t0)
 			start := medC.takeAt(c, 1)
 			complete = start + lat
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 			res.WordOps++
 
 		case isa.ClassMomSimple, isa.ClassMomComplex:
@@ -460,10 +527,12 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				t0 = maxI64(ready, minFreeEither(medS, medC))
 				c := issueSlots.take(t0)
 				start = takeEither(medS, medC, c, occ)
+				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			} else {
 				t0 = maxI64(ready, medC.minFree())
 				c := issueSlots.take(t0)
 				start = medC.takeAt(c, occ)
+				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			}
 			complete = start + occ - 1 + lat
 			res.WordOps += uint64(d.VL)
@@ -486,6 +555,8 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				}
 			}
 			complete = memDone
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
+			memWait = complete - agDone
 			res.WordOps++
 
 		case isa.ClassStore:
@@ -495,6 +566,7 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			start := ports.takeAt(c, 1)
 			complete = maxI64(start+1, ready)
 			stores.add(d.EA, d.EA+uint64(d.Size), complete)
+			fuWait, issWait = (t0-ready)+(start-c), c-t0
 			res.WordOps++
 
 		case isa.ClassMomLoad:
@@ -505,10 +577,12 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				t0 := maxI64(ready, ports.minFree())
 				c := issueSlots.take(t0)
 				start = ports.takeAll(c, occ)
+				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			} else {
 				t0 := maxI64(ready, ports.minFree())
 				c := issueSlots.take(t0)
 				start = ports.takeAt(c, 1)
+				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			}
 			lo, hi := vecRange(d.EA, d.Stride, d.NElem, d.Size)
 			memDone := memModel.LoadVector(start+1, d.EA, d.Stride, d.NElem, vecRate)
@@ -516,6 +590,9 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				memDone = fwd + 1
 			}
 			complete = memDone
+			if memWait = complete - (start + occ); memWait < 0 {
+				memWait = 0
+			}
 			res.WordOps += uint64(d.NElem)
 
 		case isa.ClassMomStore:
@@ -526,10 +603,12 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				t0 := maxI64(ready, ports.minFree())
 				c := issueSlots.take(t0)
 				start = ports.takeAll(c, occ)
+				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			} else {
 				t0 := maxI64(ready, ports.minFree())
 				c := issueSlots.take(t0)
 				start = ports.takeAt(c, 1)
+				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			}
 			complete = maxI64(start+occ, ready)
 			lo, hi := vecRange(d.EA, d.Stride, d.NElem, d.Size)
@@ -541,7 +620,8 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		}
 
 		// ---- commit (in order, width per cycle) ----
-		commit := commitSlots.take(maxI64(complete+1, lastCommit))
+		preCommit := commitSlots.take(maxI64(complete+1, lastCommit))
+		commit := preCommit
 		switch st.class {
 		case isa.ClassStore:
 			if acc := memModel.Store(commit, d.EA, d.Size); acc > commit {
@@ -552,6 +632,46 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				commit = commitSlots.take(acc)
 			}
 		}
+
+		// ---- cycle attribution ----
+		// The commit frontier advanced adv cycles while graduating this
+		// instruction: one is the useful commit cycle, any gap between the
+		// store-accept push and preCommit stalled on the write buffer, and
+		// the rest is charged to the stage this instruction waited on
+		// longest (ties go to the earlier pipeline stage in list order).
+		if adv := commit - profFrontier; adv > 0 {
+			prof.Commit++
+			execGap := preCommit - profFrontier - 1
+			if execGap < 0 {
+				execGap = 0
+			}
+			if storeGap := adv - 1 - execGap; storeGap > 0 {
+				prof.StoreCommit += storeGap
+			}
+			if execGap > 0 {
+				cause, best := &prof.DepLatency, ready-(dispatch+1)
+				if frontWait > best {
+					cause, best = &prof.Frontend, frontWait
+					if f == redirectCycle {
+						cause = &prof.Mispredict
+					}
+				}
+				if structWait > best {
+					cause, best = &prof.RenameROB, structWait
+				}
+				if issWait > best {
+					cause, best = &prof.IssueQueue, issWait
+				}
+				if fuWait > best {
+					cause, best = &prof.FU, fuWait
+				}
+				if memWait > best {
+					cause = &prof.MemWait
+				}
+				*cause += execGap
+			}
+		}
+		profFrontier = commit
 		lastCommit = commit
 		robRing[idx%uint64(cfg.ROBSize)] = commit
 		if isMem {
@@ -583,6 +703,7 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				r := complete + 1 + int64(cfg.MispredictPenalty)
 				if r > fetchCycle {
 					fetchCycle = r
+					redirectCycle = r
 				}
 				fetchUsed = 0
 			case d.Taken && btbHit:
@@ -601,6 +722,10 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 
 	res.Cycles = lastCommit + 1
 	res.Insts = idx
+	if idx == 0 {
+		// Nothing committed: the whole (degenerate) run was front-end time.
+		prof.Frontend = res.Cycles
+	}
 	res.Mem = memModel.Stats()
 	return res, src.Err()
 }

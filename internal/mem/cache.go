@@ -83,16 +83,20 @@ func (c *cacheArr) fill(addr uint64, dirty bool) (evicted uint64, wasDirty, wasV
 	return
 }
 
-// invalidate drops the line containing addr if present.
-func (c *cacheArr) invalidate(addr uint64) {
+// invalidate drops the line containing addr if present, reporting whether a
+// valid copy was actually removed.
+func (c *cacheArr) invalidate(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * c.ways
+	dropped := false
 	for w := 0; w < c.ways; w++ {
 		if c.valid[base+w] && c.tags[base+w] == tag {
 			c.valid[base+w] = false
 			c.dirty[base+w] = false
+			dropped = true
 		}
 	}
+	return dropped
 }
 
 func (c *cacheArr) reset() {

@@ -58,8 +58,14 @@ type dram struct {
 
 func newDRAM() *dram { return &dram{latency: 60, chanOcc: 20, bankOcc: 40} }
 
-func (d *dram) access(cycle int64, addr uint64) int64 {
+func (d *dram) access(cycle int64, addr uint64, st *Stats) int64 {
 	b := (addr >> 13) & 7
+	if w := d.chanFree - cycle; w > 0 {
+		st.DRAMChanBusy += uint64(w)
+	}
+	if w := d.banks[b] - cycle; w > 0 {
+		st.DRAMBankBusy += uint64(w)
+	}
 	start := maxI64(cycle, maxI64(d.chanFree, d.banks[b]))
 	d.chanFree = start + d.chanOcc
 	d.banks[b] = start + d.bankOcc
@@ -67,8 +73,8 @@ func (d *dram) access(cycle int64, addr uint64) int64 {
 }
 
 // writeback charges channel/bank occupancy without a latency result.
-func (d *dram) writeback(cycle int64, addr uint64) {
-	d.access(cycle, addr)
+func (d *dram) writeback(cycle int64, addr uint64, st *Stats) {
+	d.access(cycle, addr, st)
 }
 
 func (d *dram) reset() {
@@ -84,7 +90,6 @@ type level2 struct {
 	portFree int64
 	lat      int64
 	mem      *dram
-	stats    *Stats
 }
 
 func newLevel2() *level2 { return newLevel2WithMSHRs(8) }
@@ -102,17 +107,21 @@ func newLevel2WithMSHRs(mshrs int) *level2 {
 func (l *level2) access(cycle int64, addr uint64, store bool, st *Stats) int64 {
 	start := maxI64(cycle, l.portFree)
 	l.portFree = start + 1
+	st.L2Lookups++
 	if l.arr.lookup(addr, store) {
 		st.L2Hits++
 		return start + l.lat
 	}
 	st.L2Misses++
 	slot, mstart := l.mshr.take(start)
-	done := l.mem.access(mstart+l.lat, addr)
+	if mstart > start {
+		st.MSHRStalls++
+	}
+	done := l.mem.access(mstart+l.lat, addr, st)
 	l.mshr.set(slot, done)
 	evicted, wasDirty, wasValid := l.arr.fill(addr, store)
 	if wasValid && wasDirty {
-		l.mem.writeback(done, evicted)
+		l.mem.writeback(done, evicted, st)
 	}
 	return done
 }
@@ -227,12 +236,16 @@ func (h *Hierarchy) scalarLoad(cycle int64, addr uint64) int64 {
 		h.stats.BankConflicts++
 	}
 	h.l1Banks[b] = start + 1
+	h.stats.L1Lookups++
 	if h.l1.lookup(addr, false) {
 		h.stats.L1Hits++
 		return start + h.l1Lat
 	}
 	h.stats.L1Misses++
 	slot, mstart := h.l1MSHR.take(start)
+	if mstart > start {
+		h.stats.MSHRStalls++
+	}
 	done := h.l2.access(mstart+h.l1Lat, addr, false, &h.stats)
 	h.l1MSHR.set(slot, done)
 	h.l1.fill(addr, false) // write-through: never dirty
@@ -255,8 +268,23 @@ func (h *Hierarchy) Load(cycle int64, addr uint64, size int) int64 {
 // 8-deep write buffer draining into L2.
 func (h *Hierarchy) Store(cycle int64, addr uint64, size int) int64 {
 	h.stats.Stores++
+	return h.storeElem(cycle, addr)
+}
+
+// storeElem is one store element's trip through the write-through L1 and
+// the coalescing write buffer, without the Stores counter: Store charges it
+// once per scalar store, the multi-address vector path once per vector
+// store while streaming every element through here. The L1 probe counts a
+// hit or a miss either way (no-allocate: a miss never fills the line), so
+// L1Hits+L1Misses covers store lookups too.
+func (h *Hierarchy) storeElem(cycle int64, addr uint64) int64 {
+	h.stats.L1Lookups++
 	if h.l1.lookup(addr, false) {
 		h.stats.L1Hits++
+		h.stats.L1StoreHits++
+	} else {
+		h.stats.L1Misses++
+		h.stats.L1StoreMisses++
 	}
 	line := addr &^ (h.l2LineSz - 1)
 	// Coalesce with an in-flight buffer entry for the same L2 line.
@@ -269,6 +297,7 @@ func (h *Hierarchy) Store(cycle int64, addr uint64, size int) int64 {
 	if start > cycle {
 		h.stats.WriteBufStalls++
 	}
+	h.stats.WriteBufDrains++
 	done := h.l2.access(start, addr, true, &h.stats)
 	h.wb.set(slot, done)
 	h.wbLines[slot] = line
@@ -308,11 +337,14 @@ func (h *Hierarchy) maAccess(cycle int64, base uint64, stride int64, n, rate int
 	var done int64
 	for k := 0; k < n; k++ {
 		addr := base + uint64(int64(k)*stride)
+		// Elements stream at the port rate: k/rate is the port/bank
+		// occupancy charge, identical for coalesced and drained stores.
 		t := cycle + int64(k/rate)
 		var d int64
 		if store {
-			d = h.Store(t, addr, 8)
-			h.stats.Stores-- // counted as one vector store, not n scalars
+			// One VecStores event with n element probes; Stores counts only
+			// scalar stores (storeElem leaves it alone).
+			d = h.storeElem(t, addr)
 		} else {
 			d = h.scalarLoad(t, addr)
 			if (addr&(h.l1LineSz-1))+8 > h.l1LineSz {
@@ -358,14 +390,20 @@ func (h *Hierarchy) vcAccess(cycle int64, base uint64, stride int64, n int, stor
 			}
 			consumed[k] = true
 			left--
-			if store {
-				h.l1.invalidate(a)
+			if store && h.l1.invalidate(a) {
+				h.stats.L1VecInvals++
 			}
 			if a+8 > win+pairSz {
 				h.stats.Unaligned++
 				h.stats.LineAccesses++
 				dx := h.l2.access(start, win+pairSz, store, &h.stats)
 				d = maxI64(d, dx+(h.vcLat-h.l2.lat))
+				// The spilled bytes land in the line past the pair; a store
+				// must invalidate any stale L1 copy of that line too (same
+				// inclusion coherence as the in-window invalidate above).
+				if store && h.l1.invalidate(win+pairSz) {
+					h.stats.L1VecInvals++
+				}
 			}
 			return true
 		}

@@ -95,6 +95,104 @@ func TestStoreCoalescing(t *testing.T) {
 	}
 }
 
+func TestStoreMissCounting(t *testing.T) {
+	h := newHier(4, ModeConventional)
+	h.Store(0, 0x9000, 8) // cold: the L1 probe must record a store miss
+	st := h.Stats()
+	if st.L1Lookups != 1 || st.L1Misses != 1 || st.L1StoreMisses != 1 {
+		t.Errorf("cold store: lookups=%d misses=%d storeMisses=%d, want 1/1/1",
+			st.L1Lookups, st.L1Misses, st.L1StoreMisses)
+	}
+	// Write-through no-allocate: the miss must NOT have filled the line, so
+	// a load to it still misses.
+	h.Load(100, 0x9000, 8)
+	if got := h.Stats().L1Misses; got != 2 {
+		t.Errorf("store miss allocated the line (L1Misses=%d, want 2)", got)
+	}
+	// The load filled it; a store to the cached line is a store hit.
+	h.Store(1000, 0x9008, 8)
+	st = h.Stats()
+	if st.L1StoreHits != 1 {
+		t.Errorf("store to a cached line: L1StoreHits=%d, want 1", st.L1StoreHits)
+	}
+	if st.L1Hits+st.L1Misses != st.L1Lookups {
+		t.Errorf("lookup identity broken: %d+%d != %d", st.L1Hits, st.L1Misses, st.L1Lookups)
+	}
+}
+
+func TestVectorStoreElementAccounting(t *testing.T) {
+	h := newHier(4, ModeMultiAddress)
+	h.StoreVector(0, 0x3000, 64, 16, 2)
+	st := h.Stats()
+	if st.VecStores != 1 || st.VecElems != 16 {
+		t.Errorf("vector store events: %+v", st)
+	}
+	if st.Stores != 0 {
+		t.Errorf("a vector store must not count scalar Stores, got %d", st.Stores)
+	}
+	if st.L1Lookups != 16 {
+		t.Errorf("multi-address store must probe L1 once per element: %d probes", st.L1Lookups)
+	}
+	if st.L1Hits+st.L1Misses != st.L1Lookups {
+		t.Errorf("lookup identity broken: %d+%d != %d", st.L1Hits, st.L1Misses, st.L1Lookups)
+	}
+	if st.L1StoreHits+st.L1StoreMisses != st.L1Lookups {
+		t.Errorf("store components %d+%d must cover all %d probes",
+			st.L1StoreHits, st.L1StoreMisses, st.L1Lookups)
+	}
+}
+
+func TestVectorStorePairSpillInvalidatesL1(t *testing.T) {
+	// An element whose last byte spills past its aligned 256-byte line pair
+	// touches the next L2 line too; a store must invalidate any stale L1
+	// copy of that spilled line, or a later scalar load reads stale data.
+	for _, mode := range []VectorMode{ModeVectorCache, ModeCollapsing} {
+		h := newHier(4, mode)
+		h.Load(0, 0x4100, 8) // cache the line just past the pair [0x4000,0x4100)
+		if h.Stats().L1Misses != 1 {
+			t.Fatalf("%v: expected one cold miss", mode)
+		}
+		h.StoreVector(100, 0x40fc, 8, 1, 2) // spills 0x40fc..0x4103 into 0x4100
+		if h.Stats().Unaligned == 0 {
+			t.Fatalf("%v: spill element not detected as unaligned", mode)
+		}
+		if h.Stats().L1VecInvals == 0 {
+			t.Errorf("%v: spill store did not invalidate the stale L1 line", mode)
+		}
+		if d := h.Load(1000, 0x4100, 8); d == 1001 {
+			t.Errorf("%v: stale L1 line survived a spilling vector store", mode)
+		}
+	}
+}
+
+func TestMSHRStallCounting(t *testing.T) {
+	h := NewHierarchy(HierConfig{Width: 4, Mode: ModeConventional, MSHRs: 1})
+	// Two same-cycle misses to different lines in different banks: the
+	// second must queue on the single MSHR.
+	h.Load(0, 0x2000, 8)
+	h.Load(0, 0x2020, 8)
+	if h.Stats().MSHRStalls == 0 {
+		t.Error("second concurrent miss did not record an MSHR stall")
+	}
+}
+
+func TestWriteBufferDrainCoalescing(t *testing.T) {
+	h := newHier(4, ModeConventional)
+	h.Store(0, 0xa000, 8)
+	h.Store(1, 0xa008, 8) // same L2 line, in flight -> coalesced, no drain
+	st := h.Stats()
+	if st.Stores != 2 {
+		t.Errorf("Stores=%d, want 2", st.Stores)
+	}
+	if st.WriteBufDrains != 1 {
+		t.Errorf("coalesced burst drained %d times, want 1", st.WriteBufDrains)
+	}
+	h.Store(2, 0xa080, 8) // next L2 line -> its own drain
+	if got := h.Stats().WriteBufDrains; got != 2 {
+		t.Errorf("distinct-line store drained %d times total, want 2", got)
+	}
+}
+
 func TestUnalignedSplit(t *testing.T) {
 	h := newHier(4, ModeConventional)
 	h.Load(0, 0x201e, 8) // crosses a 32-byte line
@@ -194,17 +292,28 @@ func TestResetClearsState(t *testing.T) {
 }
 
 func TestDRAMBankAndChannelContention(t *testing.T) {
+	var st Stats
 	d := newDRAM()
-	first := d.access(0, 0)
-	second := d.access(0, 0) // same bank, same cycle
+	first := d.access(0, 0, &st)
+	second := d.access(0, 0, &st) // same bank, same cycle
 	if second <= first {
 		t.Error("same-bank DRAM accesses must serialise")
 	}
+	if st.DRAMBankBusy == 0 {
+		t.Error("same-bank serialisation must be counted as DRAMBankBusy cycles")
+	}
 	d2 := newDRAM()
-	a := d2.access(0, 0)
-	b := d2.access(0, 1<<13) // different bank, channel still shared
+	var st2 Stats
+	a := d2.access(0, 0, &st2)
+	b := d2.access(0, 1<<13, &st2) // different bank, channel still shared
 	if b <= a-d2.latency+d2.chanOcc-1 {
 		t.Log("channel occupancy serialisation weak (acceptable)")
+	}
+	if st2.DRAMChanBusy == 0 {
+		t.Error("shared-channel wait must be counted as DRAMChanBusy cycles")
+	}
+	if st2.DRAMBankBusy != 0 {
+		t.Errorf("different banks must not count bank-busy cycles, got %d", st2.DRAMBankBusy)
 	}
 }
 
@@ -252,6 +361,20 @@ func TestHierarchyRandomisedInvariants(t *testing.T) {
 						}
 					}
 					results = append(results, done)
+				}
+				// The counter identities must hold for any access mix.
+				st := h.Stats()
+				if st.L1Hits+st.L1Misses != st.L1Lookups {
+					t.Fatalf("%v/%d: L1 %d+%d != %d lookups", mode, width, st.L1Hits, st.L1Misses, st.L1Lookups)
+				}
+				if st.L2Hits+st.L2Misses != st.L2Lookups {
+					t.Fatalf("%v/%d: L2 %d+%d != %d lookups", mode, width, st.L2Hits, st.L2Misses, st.L2Lookups)
+				}
+				if st.L1StoreHits > st.L1Hits || st.L1StoreMisses > st.L1Misses {
+					t.Fatalf("%v/%d: store components exceed totals: %+v", mode, width, st)
+				}
+				if st.WriteBufDrains > st.Stores+st.VecElems {
+					t.Fatalf("%v/%d: %d drains exceed %d store elements", mode, width, st.WriteBufDrains, st.Stores+st.VecElems)
 				}
 				return results
 			}

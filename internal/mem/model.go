@@ -35,17 +35,39 @@ type Model interface {
 	Stats() Stats
 }
 
-// Stats aggregates memory-system event counts.
+// Stats aggregates memory-system event counts. Counter invariants (checked
+// by the test suites, cheap enough to assert after any run):
+//
+//	L1Hits + L1Misses == L1Lookups   (loads, stores and vector elements)
+//	L2Hits + L2Misses == L2Lookups
+//	L1StoreHits + L1StoreMisses <= L1Lookups
+//
+// Event counters never feed back into timing: two models that report
+// different statistics for the same access sequence are a bug, but fixing a
+// counter must never move a cycle.
 type Stats struct {
 	Loads, Stores       uint64
 	VecLoads, VecStores uint64
 	VecElems            uint64
-	L1Hits, L1Misses    uint64
-	L2Hits, L2Misses    uint64
-	LineAccesses        uint64 // vector-cache line(-pair) accesses
-	BankConflicts       uint64
-	WriteBufStalls      uint64
-	Unaligned           uint64
+
+	L1Lookups        uint64 // every L1 tag probe (loads, stores, vector elements)
+	L1Hits, L1Misses uint64
+	// Store components of the L1 probes above. L1 is write-through
+	// no-allocate: a store miss is counted but never fills the line.
+	L1StoreHits, L1StoreMisses uint64
+	L1VecInvals                uint64 // L1 lines invalidated by MOM stores (inclusion coherence)
+
+	L2Lookups        uint64
+	L2Hits, L2Misses uint64
+
+	LineAccesses   uint64 // vector-cache line(-pair) accesses
+	BankConflicts  uint64
+	MSHRStalls     uint64 // accesses delayed because every MSHR was in flight
+	WriteBufStalls uint64
+	WriteBufDrains uint64 // write-buffer entries drained into L2 (non-coalesced stores)
+	DRAMChanBusy   uint64 // cycles requests waited for the Rambus channel
+	DRAMBankBusy   uint64 // cycles requests waited for a busy DRAM bank
+	Unaligned      uint64
 }
 
 // Add accumulates other into s.
@@ -55,12 +77,21 @@ func (s *Stats) Add(o Stats) {
 	s.VecLoads += o.VecLoads
 	s.VecStores += o.VecStores
 	s.VecElems += o.VecElems
+	s.L1Lookups += o.L1Lookups
 	s.L1Hits += o.L1Hits
 	s.L1Misses += o.L1Misses
+	s.L1StoreHits += o.L1StoreHits
+	s.L1StoreMisses += o.L1StoreMisses
+	s.L1VecInvals += o.L1VecInvals
+	s.L2Lookups += o.L2Lookups
 	s.L2Hits += o.L2Hits
 	s.L2Misses += o.L2Misses
 	s.LineAccesses += o.LineAccesses
 	s.BankConflicts += o.BankConflicts
+	s.MSHRStalls += o.MSHRStalls
 	s.WriteBufStalls += o.WriteBufStalls
+	s.WriteBufDrains += o.WriteBufDrains
+	s.DRAMChanBusy += o.DRAMChanBusy
+	s.DRAMBankBusy += o.DRAMBankBusy
 	s.Unaligned += o.Unaligned
 }

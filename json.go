@@ -1,0 +1,31 @@
+package mom
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON exports of the experiment rows and single-run results. Every
+// momsim experiment can emit its rows through WriteExperimentJSON, so the
+// schema is uniform: one compact document per experiment with the
+// experiment name and the row list. Field names are fixed by the json
+// tags on the row types (snake_case) and ISA / CacheMode marshal by name,
+// so the output is stable across refactors of the Go-side enums.
+
+// experimentEnvelope is the uniform top-level JSON shape.
+type experimentEnvelope struct {
+	Experiment string `json:"experiment"`
+	Rows       any    `json:"rows"`
+}
+
+// WriteExperimentJSON emits one experiment's rows as a single-line JSON
+// document: {"experiment": name, "rows": [...]}.
+func WriteExperimentJSON(w io.Writer, name string, rows any) error {
+	return json.NewEncoder(w).Encode(experimentEnvelope{Experiment: name, Rows: rows})
+}
+
+// WriteResultJSON emits one timed run (a single kernel or application) as
+// a single-line JSON document.
+func WriteResultJSON(w io.Writer, r Result) error {
+	return json.NewEncoder(w).Encode(r)
+}

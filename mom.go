@@ -16,6 +16,7 @@
 package mom
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/apps"
@@ -42,6 +43,10 @@ const (
 var AllISAs = []ISA{Alpha, MMX, MDMX, MOM}
 
 func (i ISA) String() string { return i.ext().String() }
+
+// MarshalJSON encodes the ISA by name so the JSON schema is stable even if
+// the enum values are ever reordered.
+func (i ISA) MarshalJSON() ([]byte, error) { return json.Marshal(i.String()) }
 
 func (i ISA) ext() isa.Ext {
 	switch i {
@@ -79,6 +84,9 @@ const (
 )
 
 func (c CacheMode) String() string { return c.mode().String() }
+
+// MarshalJSON encodes the cache mode by name, like ISA.
+func (c CacheMode) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
 
 func (c CacheMode) mode() mem.VectorMode {
 	switch c {
@@ -123,36 +131,53 @@ func DetailedMemory(mode CacheMode) MemModel {
 	}
 }
 
-// MemStats is the public mirror of the memory-system statistics.
+// MemStats is the public mirror of the memory-system statistics. The
+// counters obey the invariants documented on mem.Stats (and enforced by
+// Result.CheckInvariants): L1Hits+L1Misses == L1Lookups across loads AND
+// stores, likewise for L2.
 type MemStats struct {
-	Loads, Stores       uint64
-	VecLoads, VecStores uint64
-	VecElems            uint64
-	L1Hits, L1Misses    uint64
-	L2Hits, L2Misses    uint64
-	LineAccesses        uint64
-	BankConflicts       uint64
-	WriteBufStalls      uint64
-	Unaligned           uint64
+	Loads          uint64 `json:"loads"`
+	Stores         uint64 `json:"stores"`
+	VecLoads       uint64 `json:"vec_loads"`
+	VecStores      uint64 `json:"vec_stores"`
+	VecElems       uint64 `json:"vec_elems"`
+	L1Lookups      uint64 `json:"l1_lookups"`
+	L1Hits         uint64 `json:"l1_hits"`
+	L1Misses       uint64 `json:"l1_misses"`
+	L1StoreHits    uint64 `json:"l1_store_hits"`
+	L1StoreMisses  uint64 `json:"l1_store_misses"`
+	L1VecInvals    uint64 `json:"l1_vec_invals"`
+	L2Lookups      uint64 `json:"l2_lookups"`
+	L2Hits         uint64 `json:"l2_hits"`
+	L2Misses       uint64 `json:"l2_misses"`
+	LineAccesses   uint64 `json:"line_accesses"`
+	BankConflicts  uint64 `json:"bank_conflicts"`
+	MSHRStalls     uint64 `json:"mshr_stalls"`
+	WriteBufStalls uint64 `json:"write_buf_stalls"`
+	WriteBufDrains uint64 `json:"write_buf_drains"`
+	DRAMChanBusy   uint64 `json:"dram_chan_busy"`
+	DRAMBankBusy   uint64 `json:"dram_bank_busy"`
+	Unaligned      uint64 `json:"unaligned"`
 }
 
 // Result reports one timed run.
 type Result struct {
-	Workload    string
-	ISA         ISA
-	Width       int
-	MemName     string
-	Cycles      int64
-	Insts       uint64
-	WordOps     uint64
-	Branches    uint64
-	Mispredicts uint64
-	Loads       uint64
-	Stores      uint64
+	Workload    string `json:"workload"`
+	ISA         ISA    `json:"isa"`
+	Width       int    `json:"width"`
+	MemName     string `json:"mem"`
+	Cycles      int64  `json:"cycles"`
+	Insts       uint64 `json:"insts"`
+	WordOps     uint64 `json:"word_ops"`
+	Branches    uint64 `json:"branches"`
+	Mispredicts uint64 `json:"mispredicts"`
+	Loads       uint64 `json:"loads"`
+	Stores      uint64 `json:"stores"`
 	// OpMix counts graduated instructions per operation class
 	// (e.g. "int", "vload", "vmed*").
-	OpMix map[string]uint64
-	Mem   MemStats
+	OpMix   map[string]uint64 `json:"op_mix"`
+	Mem     MemStats          `json:"mem_stats"`
+	Profile Profile           `json:"profile"`
 }
 
 // IPC returns graduated instructions per cycle.
@@ -186,13 +211,32 @@ func fromCPU(name string, i ISA, width int, memName string, c cpu.Result) Result
 		Mem: MemStats{
 			Loads: c.Mem.Loads, Stores: c.Mem.Stores,
 			VecLoads: c.Mem.VecLoads, VecStores: c.Mem.VecStores,
-			VecElems: c.Mem.VecElems,
-			L1Hits:   c.Mem.L1Hits, L1Misses: c.Mem.L1Misses,
-			L2Hits: c.Mem.L2Hits, L2Misses: c.Mem.L2Misses,
+			VecElems:  c.Mem.VecElems,
+			L1Lookups: c.Mem.L1Lookups,
+			L1Hits:    c.Mem.L1Hits, L1Misses: c.Mem.L1Misses,
+			L1StoreHits: c.Mem.L1StoreHits, L1StoreMisses: c.Mem.L1StoreMisses,
+			L1VecInvals: c.Mem.L1VecInvals,
+			L2Lookups:   c.Mem.L2Lookups,
+			L2Hits:      c.Mem.L2Hits, L2Misses: c.Mem.L2Misses,
 			LineAccesses:   c.Mem.LineAccesses,
 			BankConflicts:  c.Mem.BankConflicts,
+			MSHRStalls:     c.Mem.MSHRStalls,
 			WriteBufStalls: c.Mem.WriteBufStalls,
+			WriteBufDrains: c.Mem.WriteBufDrains,
+			DRAMChanBusy:   c.Mem.DRAMChanBusy,
+			DRAMBankBusy:   c.Mem.DRAMBankBusy,
 			Unaligned:      c.Mem.Unaligned,
+		},
+		Profile: Profile{
+			Commit:      c.Profile.Commit,
+			Frontend:    c.Profile.Frontend,
+			Mispredict:  c.Profile.Mispredict,
+			RenameROB:   c.Profile.RenameROB,
+			IssueQueue:  c.Profile.IssueQueue,
+			FU:          c.Profile.FU,
+			MemWait:     c.Profile.MemWait,
+			StoreCommit: c.Profile.StoreCommit,
+			DepLatency:  c.Profile.DepLatency,
 		},
 	}
 }

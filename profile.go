@@ -1,0 +1,79 @@
+package mom
+
+import "fmt"
+
+// Profile is the public cycle-attribution breakdown of a timed run: every
+// simulated cycle is classified into exactly one bucket of the stall
+// taxonomy, so the buckets always sum to Result.Cycles. See cpu.Profile for
+// how each cycle is attributed (the commit frontier walks forward and every
+// cycle it crosses is charged to the structure that held it back).
+type Profile struct {
+	Commit      int64 `json:"commit"`       // cycles with at least one graduation
+	Frontend    int64 `json:"frontend"`     // fetch/decode refill, BTB bubbles
+	Mispredict  int64 `json:"mispredict"`   // branch-mispredict redirects
+	RenameROB   int64 `json:"rename_rob"`   // ROB/LSQ/rename-register back-pressure
+	IssueQueue  int64 `json:"issue_queue"`  // issue-width contention
+	FU          int64 `json:"fu"`           // functional-unit / lane contention
+	MemWait     int64 `json:"mem_wait"`     // outstanding load data (scalar or vector)
+	StoreCommit int64 `json:"store_commit"` // commit stalled draining stores
+	DepLatency  int64 `json:"dep_latency"`  // data dependences / raw execution latency
+}
+
+// Total sums every bucket; it equals Result.Cycles for any run.
+func (p Profile) Total() int64 {
+	return p.Commit + p.Frontend + p.Mispredict + p.RenameROB +
+		p.IssueQueue + p.FU + p.MemWait + p.StoreCommit + p.DepLatency
+}
+
+// ProfileBucket is one named entry of the stall taxonomy.
+type ProfileBucket struct {
+	Name   string
+	Cycles int64
+}
+
+// Buckets returns the taxonomy in canonical display order.
+func (p Profile) Buckets() []ProfileBucket {
+	return []ProfileBucket{
+		{"commit", p.Commit},
+		{"frontend", p.Frontend},
+		{"mispredict", p.Mispredict},
+		{"rename/rob", p.RenameROB},
+		{"issue", p.IssueQueue},
+		{"fu", p.FU},
+		{"mem", p.MemWait},
+		{"store", p.StoreCommit},
+		{"dep/lat", p.DepLatency},
+	}
+}
+
+// CheckInvariants verifies the accounting identities that keep the profile
+// and the memory-event counters honest: the stall-attribution buckets sum
+// exactly to Cycles, every cache lookup is either a hit or a miss, and the
+// store components never exceed the totals. It returns the first violated
+// identity; experiment drivers call it on every run so a broken counter
+// fails loudly instead of skewing a figure.
+func (r Result) CheckInvariants() error {
+	if t := r.Profile.Total(); t != r.Cycles {
+		return fmt.Errorf("%s/%s/%d-way (%s): profile buckets sum to %d, want Cycles=%d",
+			r.Workload, r.ISA, r.Width, r.MemName, t, r.Cycles)
+	}
+	m := r.Mem
+	if m.L1Hits+m.L1Misses != m.L1Lookups {
+		return fmt.Errorf("%s/%s/%d-way (%s): L1 hits %d + misses %d != lookups %d",
+			r.Workload, r.ISA, r.Width, r.MemName, m.L1Hits, m.L1Misses, m.L1Lookups)
+	}
+	if m.L2Hits+m.L2Misses != m.L2Lookups {
+		return fmt.Errorf("%s/%s/%d-way (%s): L2 hits %d + misses %d != lookups %d",
+			r.Workload, r.ISA, r.Width, r.MemName, m.L2Hits, m.L2Misses, m.L2Lookups)
+	}
+	if m.L1StoreHits > m.L1Hits || m.L1StoreMisses > m.L1Misses {
+		return fmt.Errorf("%s/%s/%d-way (%s): store hit/miss components (%d/%d) exceed totals (%d/%d)",
+			r.Workload, r.ISA, r.Width, r.MemName,
+			m.L1StoreHits, m.L1StoreMisses, m.L1Hits, m.L1Misses)
+	}
+	if m.WriteBufDrains > m.Stores+m.VecElems {
+		return fmt.Errorf("%s/%s/%d-way (%s): %d write-buffer drains exceed %d store elements",
+			r.Workload, r.ISA, r.Width, r.MemName, m.WriteBufDrains, m.Stores+m.VecElems)
+	}
+	return nil
+}

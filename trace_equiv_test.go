@@ -47,6 +47,20 @@ func TestTraceReplayEquivalence(t *testing.T) {
 						t.Errorf("%d-way %s: replay diverges from live\nlive:   %+v\nreplay: %+v",
 							c.width, c.model.Name(), live, replay)
 					}
+					// The cycle-attribution profile must be deterministic
+					// too: DeepEqual above covers it, but diverging buckets
+					// deserve their own message, and both sides must satisfy
+					// the accounting identities.
+					if live.Profile != replay.Profile {
+						t.Errorf("%d-way %s: profile diverges\nlive:   %+v\nreplay: %+v",
+							c.width, c.model.Name(), live.Profile, replay.Profile)
+					}
+					if err := live.CheckInvariants(); err != nil {
+						t.Errorf("live invariants: %v", err)
+					}
+					if err := replay.CheckInvariants(); err != nil {
+						t.Errorf("replay invariants: %v", err)
+					}
 				}
 			})
 		}
@@ -77,6 +91,13 @@ func TestTraceReplayEquivalenceApps(t *testing.T) {
 				if !reflect.DeepEqual(live, replay) {
 					t.Errorf("%d-way %s: replay diverges from live\nlive:   %+v\nreplay: %+v",
 						c.width, c.model.Name(), live, replay)
+				}
+				if live.Profile != replay.Profile {
+					t.Errorf("%d-way %s: profile diverges\nlive:   %+v\nreplay: %+v",
+						c.width, c.model.Name(), live.Profile, replay.Profile)
+				}
+				if err := live.CheckInvariants(); err != nil {
+					t.Errorf("live invariants: %v", err)
 				}
 			}
 		})
