@@ -10,6 +10,7 @@
 //	momsim -exp fetch                 # fetch-pressure (ops per instruction)
 //	momsim -exp profile               # cycle-attribution breakdown
 //	momsim -exp profile -json         # same rows as machine-readable JSON
+//	momsim -exp hotspots              # per-PC hotspot listings (annotated disassembly)
 //	momsim -kernel motion1 -isa MOM -width 4   # one kernel run
 //	momsim -app mpeg2decode -isa MOM -width 8 -cache vector
 package main
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|isacount|all")
+		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|hotspots|isacount|all")
 		scale   = flag.String("scale", "test", "workload scale: test|bench")
 		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
 		width   = flag.Int("width", 4, "issue width: 1|2|4|8")
@@ -183,6 +184,18 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 			return mom.WriteProfileCSV(os.Stdout, rows)
 		}
 		fmt.Print(mom.FormatProfile(rows))
+	case "hotspots":
+		reps, err := mom.HotspotStudy(sc, width)
+		if err != nil {
+			return err
+		}
+		switch {
+		case asJSON:
+			return mom.WriteHotspotsJSON(os.Stdout, reps)
+		case asCSV:
+			return mom.WriteHotspotsCSV(os.Stdout, reps)
+		}
+		fmt.Print(mom.FormatHotspots(reps))
 	case "regsweep":
 		var all []mom.RegSweepRow
 		for _, k := range []string{"idct", "motion1"} {
@@ -234,7 +247,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		}
 		fmt.Printf("multimedia instructions: MMX %d, MDMX %d, MOM %d\n", mmx, mdmx, momN)
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7", "fetch", "profile"} {
+		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7", "fetch", "profile", "hotspots"} {
 			if err := runExperiment(e, sc, i, width, format); err != nil {
 				return err
 			}

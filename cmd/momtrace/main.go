@@ -6,6 +6,8 @@
 //	momtrace -kernel motion1 -isa MOM
 //	momtrace -app gsmencode -isa MOM -stats   # trace-encoding statistics
 //	momtrace -kernel idct -isa MOM -profile   # timed run + cycle attribution
+//	momtrace -kernel idct -isa MOM -hot       # per-PC hotspot listing
+//	momtrace -kernel idct -pipe t.json -konata t.kanata   # pipeline traces
 package main
 
 import (
@@ -32,25 +34,20 @@ func main() {
 		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
 		stats   = flag.Bool("stats", false, "record the trace and report encoding and capture/replay statistics")
 		profile = flag.Bool("profile", false, "also run the timing simulator (4-way, perfect memory) and report the cycle-attribution breakdown")
+		hot     = flag.Bool("hot", false, "also run the timing simulator and print the per-PC hotspot listing (annotated disassembly)")
+		pipe    = flag.String("pipe", "", "write a Chrome trace-event JSON pipeline trace (Perfetto) to this file")
+		konata  = flag.String("konata", "", "write a Kanata pipeline log (Konata viewer) to this file")
+		trStart = flag.Uint64("trace-start", 0, "first dynamic instruction the pipeline trace records")
+		trInsts = flag.Uint64("trace-insts", 10000, "dynamic instructions the pipeline trace records (0 = to end of run)")
 	)
 	flag.Parse()
 
-	var level mom.ISA
-	switch strings.ToLower(*isaStr) {
-	case "alpha":
-		level = mom.Alpha
-	case "mmx":
-		level = mom.MMX
-	case "mdmx":
-		level = mom.MDMX
-	case "mom":
-		level = mom.MOM
-	default:
-		fmt.Fprintf(os.Stderr, "momtrace: unknown ISA %q\n", *isaStr)
-		os.Exit(1)
+	level, err := checkFlags(*isaStr, *kernel, *app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace:", err)
+		os.Exit(2)
 	}
 	var p *isa.Program
-	var err error
 	if *app != "" {
 		p, err = mom.BuildApp(*app, level, mom.ScaleTest)
 	} else {
@@ -133,7 +130,7 @@ func main() {
 
 	fmt.Printf("%s: %d dynamic instructions, %d word-operations (%.2f per inst)\n",
 		p.Name, total, wordOps, float64(wordOps)/float64(total))
-	fmt.Printf("branches: %d (%.1f%% taken)\n\n", branches, 100*float64(taken)/float64(maxU(branches, 1)))
+	fmt.Printf("branches: %d (%.1f%% taken)\n\n", branches, 100*float64(taken)/float64(max(branches, 1)))
 
 	fmt.Println("operation mix:")
 	type kv struct {
@@ -196,11 +193,109 @@ func main() {
 			fmt.Printf("  %-10s %12d (%.1f%%)\n", b.Name, b.Cycles, 100*float64(b.Cycles)/float64(r.Cycles))
 		}
 	}
+
+	if *hot {
+		var rep mom.HotspotReport
+		if *app != "" {
+			rep, err = mom.AppHotspots(*app, level, 4, mom.PerfectMemory(1), mom.ScaleTest)
+		} else {
+			rep, err = mom.KernelHotspots(*kernel, level, 4, mom.PerfectMemory(1), mom.ScaleTest)
+		}
+		if err == nil {
+			err = rep.CheckInvariants()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(mom.FormatHotspots([]mom.HotspotReport{rep}))
+	}
+
+	if *pipe != "" || *konata != "" {
+		opt := mom.PipelineOptions{Start: *trStart, Count: *trInsts}
+		var files []*os.File
+		open := func(path string) *os.File {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momtrace:", err)
+				os.Exit(1)
+			}
+			files = append(files, f)
+			return f
+		}
+		if *konata != "" {
+			opt.Konata = open(*konata)
+		}
+		if *pipe != "" {
+			opt.Chrome = open(*pipe)
+		}
+		var exp mom.PipelineExport
+		if *app != "" {
+			exp, err = mom.ExportAppPipeline(*app, level, 4, mom.PerfectMemory(1), mom.ScaleTest, opt)
+		} else {
+			exp, err = mom.ExportKernelPipeline(*kernel, level, 4, mom.PerfectMemory(1), mom.ScaleTest, opt)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "momtrace:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("\npipeline trace: %d of %d instructions (window %d+%d)",
+			exp.Recorded, exp.Result.Insts, *trStart, *trInsts)
+		if *konata != "" {
+			fmt.Printf(" -> %s", *konata)
+		}
+		if *pipe != "" {
+			fmt.Printf(" -> %s", *pipe)
+		}
+		fmt.Println()
+	}
 }
 
-func maxU(a, b uint64) uint64 {
-	if a > b {
-		return a
+// checkFlags validates the -isa/-kernel/-app combination up front so a typo
+// fails with the list of valid names instead of a mid-run build error.
+func checkFlags(isaStr, kernel, app string) (mom.ISA, error) {
+	var level mom.ISA
+	switch strings.ToLower(isaStr) {
+	case "alpha":
+		level = mom.Alpha
+	case "mmx":
+		level = mom.MMX
+	case "mdmx":
+		level = mom.MDMX
+	case "mom":
+		level = mom.MOM
+	default:
+		return 0, fmt.Errorf("unknown ISA %q (valid: Alpha, MMX, MDMX, MOM)", isaStr)
 	}
-	return b
+	kernelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "kernel" {
+			kernelSet = true
+		}
+	})
+	if app != "" && kernelSet {
+		return 0, fmt.Errorf("-kernel and -app are mutually exclusive (kernels: %s; apps: %s)",
+			strings.Join(mom.KernelNames(), ", "), strings.Join(mom.AppNames(), ", "))
+	}
+	if app != "" {
+		for _, n := range mom.AppNames() {
+			if n == app {
+				return level, nil
+			}
+		}
+		return 0, fmt.Errorf("unknown app %q (valid: %s)", app, strings.Join(mom.AppNames(), ", "))
+	}
+	for _, n := range mom.KernelNames() {
+		if n == kernel {
+			return level, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kernel %q (valid: %s)", kernel, strings.Join(mom.KernelNames(), ", "))
 }

@@ -76,6 +76,39 @@ func csvBucketName(s string) string {
 	return string(out)
 }
 
+// WriteHotspotsCSV emits one row per workload×isa×static-instruction with
+// the full per-PC stall taxonomy and memory-event counts. The asm field is
+// quoted (disassembly contains commas).
+func WriteHotspotsCSV(w io.Writer, reps []HotspotReport) error {
+	header := "workload,isa,width,mem,pc,asm,count,cycles"
+	for _, b := range (Profile{}).Buckets() {
+		header += "," + csvBucketName(b.Name)
+	}
+	header += ",l1_misses,l2_misses,mshr_stalls,write_buf_stalls"
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		for _, r := range rep.Rows {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%d,%q,%d,%d",
+				rep.Workload, rep.ISA, rep.Width, rep.MemName,
+				r.PC, r.Asm, r.Count, r.Cycles); err != nil {
+				return err
+			}
+			for _, b := range r.Profile.Buckets() {
+				if _, err := fmt.Fprintf(w, ",%d", b.Cycles); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, ",%d,%d,%d,%d\n",
+				r.L1Misses, r.L2Misses, r.MSHRStalls, r.WriteBufStalls); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WriteFigure7CSV emits app,isa,cache,width,cycles,ipc,speedup rows.
 func WriteFigure7CSV(w io.Writer, rows []AppSpeedup) error {
 	if _, err := fmt.Fprintln(w, "app,isa,cache,width,cycles,ipc,speedup"); err != nil {

@@ -72,4 +72,19 @@ func main() {
 			fmt.Printf("  %-10s %6.1f%%\n", b.Name, 100*float64(b.Cycles)/float64(r.Cycles))
 		}
 	}
+
+	// The observability layer drills the same attribution down to single
+	// static instructions: which line of the kernel is the time going to?
+	rep, err := mom.KernelHotspots("motion1", mom.MOM, 4, mom.PerfectMemory(1), mom.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hottest instructions (per-PC attributed cycles):")
+	for _, row := range rep.Rows[:3] {
+		fmt.Printf("  pc %4d  %-34s %6.1f%% of cycles (%d runs)\n",
+			row.PC, row.Asm, 100*float64(row.Cycles)/float64(rep.Cycles), row.Count)
+	}
 }

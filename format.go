@@ -206,6 +206,46 @@ func FormatFetch(rows []FetchRow) string {
 	return sb.String()
 }
 
+// FormatHotspots renders per-PC hotspot reports as annotated disassembly
+// listings: one block per workload×ISA, every executed static instruction
+// with its dynamic count, attributed cycles (with percent of the run) and
+// dominant stall bucket, plus memory-event counts when present.
+func FormatHotspots(reps []HotspotReport) string {
+	var sb strings.Builder
+	sb.WriteString("Per-PC hotspots — attributed cycles per static instruction (rows sum to Cycles)\n")
+	for _, rep := range reps {
+		fmt.Fprintf(&sb, "\n%s / %s / %d-way / %s: %d cycles, %d insts, IPC %.3f\n",
+			rep.Workload, rep.ISA, rep.Width, rep.MemName, rep.Cycles, rep.Insts,
+			float64(rep.Insts)/float64(max(rep.Cycles, 1)))
+		fmt.Fprintf(&sb, "  %4s  %-40s %10s %12s %6s  %-10s %s\n",
+			"pc", "asm", "count", "cycles", "%", "bucket", "mem events")
+		for _, r := range rep.Rows {
+			name, cyc := dominantBucket(r.Profile)
+			memev := ""
+			if r.L1Misses+r.L2Misses+r.MSHRStalls+r.WriteBufStalls > 0 {
+				memev = fmt.Sprintf("L1m %d L2m %d mshr %d wbuf %d",
+					r.L1Misses, r.L2Misses, r.MSHRStalls, r.WriteBufStalls)
+			}
+			pct := 100 * float64(r.Cycles) / float64(max(rep.Cycles, 1))
+			fmt.Fprintf(&sb, "  %4d  %-40s %10d %12d %5.1f%%  %-10s %s\n",
+				r.PC, r.Asm, r.Count, r.Cycles, pct, fmt.Sprintf("%s %d", name, cyc), memev)
+		}
+	}
+	return sb.String()
+}
+
+// dominantBucket returns the largest bucket of a profile (display name and
+// cycles), preferring the earlier bucket in canonical order on ties.
+func dominantBucket(p Profile) (string, int64) {
+	best := ProfileBucket{Name: "commit"}
+	for _, b := range p.Buckets() {
+		if b.Cycles > best.Cycles {
+			best = b
+		}
+	}
+	return best.Name, best.Cycles
+}
+
 // orderedKeys extracts unique keys preserving first-seen order.
 func orderedKeys[T any](rows []T, key func(T) string) []string {
 	seen := map[string]bool{}

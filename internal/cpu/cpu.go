@@ -3,8 +3,10 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -298,9 +300,13 @@ const regKeySpace = 8 * 64
 func regKey(r isa.Reg) int { return int(r.Kind)<<6 | int(r.Idx) }
 
 // Sim runs programs on one processor configuration and memory model.
+// Obs, when non-nil, receives one obs.Event per dynamic instruction; a nil
+// observer is free (Run only assembles events when one is attached, and no
+// timing or counter depends on observation).
 type Sim struct {
 	Cfg Config
 	Mem mem.Model
+	Obs obs.Observer
 }
 
 // New creates a simulator from a configuration and a memory model.
@@ -358,6 +364,7 @@ func buildStatics(p *isa.Program) []staticInst {
 func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 	cfg := &s.Cfg
 	memModel := s.Mem
+	observer := s.Obs
 	statics := buildStatics(src.Program())
 
 	pred := newBimodal(cfg.BimodalSize)
@@ -404,6 +411,10 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 	redirectCycle := int64(-1)
 
 	vecRate := cfg.MemPorts * cfg.MemPortLanes
+
+	// Observer scratch, hoisted out of the loop: memBefore only holds a
+	// meaningful snapshot within one iteration, guarded by observer != nil.
+	var memBefore mem.Stats
 
 	for idx < maxInsts {
 		d, ok := src.Next()
@@ -465,53 +476,64 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		// ---- issue + execute ----
 		// Alongside the timing, each arm records how long the instruction
 		// waited at each stage (fuWait: unit busy, issWait: no issue slot,
-		// memWait: load data outstanding) for the cycle attribution below.
+		// memWait: load data outstanding) for the cycle attribution below,
+		// and the cycle it won an issue slot (issueAt) for the observer.
 		var complete int64
-		var issWait, fuWait, memWait int64
+		var issWait, fuWait, memWait, issueAt int64
+		if observer != nil && isMem {
+			memBefore = memModel.Stats()
+		}
 		lat := st.lat
 		switch st.class {
 		case isa.ClassNop:
 			complete = ready
+			issueAt = ready
 
 		case isa.ClassIntSimple, isa.ClassBranch, isa.ClassCtl:
-			t0 := maxI64(ready, minFreeEither(intS, intC))
+			t0 := max(ready, minFreeEither(intS, intC))
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := takeEither(intS, intC, c, 1)
 			complete = start + lat
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassIntComplex:
-			t0 := maxI64(ready, intC.minFree())
+			t0 := max(ready, intC.minFree())
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := intC.takeAt(c, 1)
 			complete = start + lat
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassFPSimple:
-			t0 := maxI64(ready, minFreeEither(fpS, fpC))
+			t0 := max(ready, minFreeEither(fpS, fpC))
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := takeEither(fpS, fpC, c, 1)
 			complete = start + lat
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassFPComplex:
-			t0 := maxI64(ready, fpC.minFree())
+			t0 := max(ready, fpC.minFree())
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := fpC.takeAt(c, 1)
 			complete = start + lat
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
 
 		case isa.ClassMedSimple:
-			t0 := maxI64(ready, minFreeEither(medS, medC))
+			t0 := max(ready, minFreeEither(medS, medC))
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := takeEither(medS, medC, c, 1)
 			complete = start + lat
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
 			res.WordOps++
 
 		case isa.ClassMedComplex:
-			t0 := maxI64(ready, medC.minFree())
+			t0 := max(ready, medC.minFree())
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := medC.takeAt(c, 1)
 			complete = start + lat
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
@@ -524,13 +546,15 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			occ := occupancy(d.VL, cfg.MedLanes)
 			var t0, start int64
 			if st.class == isa.ClassMomSimple {
-				t0 = maxI64(ready, minFreeEither(medS, medC))
+				t0 = max(ready, minFreeEither(medS, medC))
 				c := issueSlots.take(t0)
+				issueAt = c
 				start = takeEither(medS, medC, c, occ)
 				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			} else {
-				t0 = maxI64(ready, medC.minFree())
+				t0 = max(ready, medC.minFree())
 				c := issueSlots.take(t0)
+				issueAt = c
 				start = medC.takeAt(c, occ)
 				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			}
@@ -543,8 +567,9 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			if unaligned(d.EA, d.Size) {
 				occ = 2 // the port splits it into two aligned accesses
 			}
-			t0 := maxI64(ready, ports.minFree())
+			t0 := max(ready, ports.minFree())
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := ports.takeAt(c, occ)
 			agDone := start + occ
 			lo, hi := d.EA, d.EA+uint64(d.Size)
@@ -561,10 +586,11 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 
 		case isa.ClassStore:
 			res.Stores++
-			t0 := maxI64(ready, ports.minFree())
+			t0 := max(ready, ports.minFree())
 			c := issueSlots.take(t0)
+			issueAt = c
 			start := ports.takeAt(c, 1)
-			complete = maxI64(start+1, ready)
+			complete = max(start+1, ready)
 			stores.add(d.EA, d.EA+uint64(d.Size), complete)
 			fuWait, issWait = (t0-ready)+(start-c), c-t0
 			res.WordOps++
@@ -574,13 +600,15 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			occ := occupancy(d.NElem, vecRate)
 			var start int64
 			if memModel.VectorReservesAllPorts() {
-				t0 := maxI64(ready, ports.minFree())
+				t0 := max(ready, ports.minFree())
 				c := issueSlots.take(t0)
+				issueAt = c
 				start = ports.takeAll(c, occ)
 				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			} else {
-				t0 := maxI64(ready, ports.minFree())
+				t0 := max(ready, ports.minFree())
 				c := issueSlots.take(t0)
+				issueAt = c
 				start = ports.takeAt(c, 1)
 				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			}
@@ -600,17 +628,19 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			occ := occupancy(d.NElem, vecRate)
 			var start int64
 			if memModel.VectorReservesAllPorts() {
-				t0 := maxI64(ready, ports.minFree())
+				t0 := max(ready, ports.minFree())
 				c := issueSlots.take(t0)
+				issueAt = c
 				start = ports.takeAll(c, occ)
 				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			} else {
-				t0 := maxI64(ready, ports.minFree())
+				t0 := max(ready, ports.minFree())
 				c := issueSlots.take(t0)
+				issueAt = c
 				start = ports.takeAt(c, 1)
 				fuWait, issWait = (t0-ready)+(start-c), c-t0
 			}
-			complete = maxI64(start+occ, ready)
+			complete = max(start+occ, ready)
 			lo, hi := vecRange(d.EA, d.Stride, d.NElem, d.Size)
 			stores.add(lo, hi, complete)
 			res.WordOps += uint64(d.NElem)
@@ -620,7 +650,7 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		}
 
 		// ---- commit (in order, width per cycle) ----
-		preCommit := commitSlots.take(maxI64(complete+1, lastCommit))
+		preCommit := commitSlots.take(max(complete+1, lastCommit))
 		commit := preCommit
 		switch st.class {
 		case isa.ClassStore:
@@ -639,36 +669,49 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		// store-accept push and preCommit stalled on the write buffer, and
 		// the rest is charged to the stage this instruction waited on
 		// longest (ties go to the earlier pipeline stage in list order).
+		var evCommitted, evExecGap, evStoreGap int64
+		evBucket := obs.BucketDepLatency
 		if adv := commit - profFrontier; adv > 0 {
 			prof.Commit++
+			evCommitted = 1
 			execGap := preCommit - profFrontier - 1
 			if execGap < 0 {
 				execGap = 0
 			}
 			if storeGap := adv - 1 - execGap; storeGap > 0 {
 				prof.StoreCommit += storeGap
+				evStoreGap = storeGap
 			}
 			if execGap > 0 {
 				cause, best := &prof.DepLatency, ready-(dispatch+1)
+				bucket := obs.BucketDepLatency
 				if frontWait > best {
 					cause, best = &prof.Frontend, frontWait
+					bucket = obs.BucketFrontend
 					if f == redirectCycle {
 						cause = &prof.Mispredict
+						bucket = obs.BucketMispredict
 					}
 				}
 				if structWait > best {
 					cause, best = &prof.RenameROB, structWait
+					bucket = obs.BucketRenameROB
 				}
 				if issWait > best {
 					cause, best = &prof.IssueQueue, issWait
+					bucket = obs.BucketIssueQueue
 				}
 				if fuWait > best {
 					cause, best = &prof.FU, fuWait
+					bucket = obs.BucketFU
 				}
 				if memWait > best {
 					cause = &prof.MemWait
+					bucket = obs.BucketMemWait
 				}
 				*cause += execGap
+				evBucket = bucket
+				evExecGap = execGap
 			}
 		}
 		profFrontier = commit
@@ -684,6 +727,12 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 				ring[renameHead[st.dstKind]] = commit
 				renameHead[st.dstKind] = (renameHead[st.dstKind] + 1) % len(ring)
 			}
+		}
+
+		if observer != nil {
+			emitEvent(observer, memModel, &memBefore, idx, d, st, isMem,
+				f, dispatch, issueAt, complete, commit,
+				evCommitted, evBucket, evExecGap, evStoreGap)
 		}
 
 		// ---- branch resolution and fetch redirect ----
@@ -730,11 +779,27 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 	return res, src.Err()
 }
 
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
+// emitEvent assembles and publishes one instruction's observability event.
+// It is deliberately out-of-line (and must stay that way): keeping the
+// event assembly out of Run's loop body keeps the nil-observer fast path's
+// code layout untouched.
+//
+//go:noinline
+func emitEvent(observer obs.Observer, memModel mem.Model, memBefore *mem.Stats,
+	idx uint64, d emu.Dyn, st *staticInst, isMem bool,
+	f, dispatch, issueAt, complete, commit int64,
+	evCommitted int64, evBucket obs.Bucket, evExecGap, evStoreGap int64) {
+	ev := obs.Event{
+		Seq: idx, PC: d.SI, Class: st.class, VL: d.VL, Taken: d.Taken,
+		Fetch: f, Dispatch: dispatch, Issue: issueAt,
+		Complete: complete, Commit: commit,
+		Committed: evCommitted, Bucket: evBucket,
+		ExecGap: evExecGap, StoreGap: evStoreGap,
 	}
-	return b
+	if isMem {
+		ev.Mem = mem.Diff(*memBefore, memModel.Stats())
+	}
+	observer.Observe(&ev)
 }
 
 // occupancy returns how many cycles n elements occupy at rate per cycle.

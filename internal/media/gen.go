@@ -38,7 +38,7 @@ func GenFrame(w, h, t int, seed uint64) *Plane {
 	// Background gradient with gentle sinusoidal texture.
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			v := 64 + (x*48)/maxInt(w, 1) + (y*32)/maxInt(h, 1)
+			v := 64 + (x*48)/max(w, 1) + (y*32)/max(h, 1)
 			v += int(12 * math.Sin(float64(x)/9.0) * math.Cos(float64(y)/11.0))
 			p.Set(x, y, clamp8(v))
 		}
@@ -46,14 +46,14 @@ func GenFrame(w, h, t int, seed uint64) *Plane {
 	// Moving textured rectangles.
 	nObj := 4
 	for o := 0; o < nObj; o++ {
-		ow := minInt(12+rng.Intn(20), w)
-		oh := minInt(12+rng.Intn(20), h)
-		baseX := rng.Intn(maxInt(w-ow, 1))
-		baseY := rng.Intn(maxInt(h-oh, 1))
+		ow := min(12+rng.Intn(20), w)
+		oh := min(12+rng.Intn(20), h)
+		baseX := rng.Intn(max(w-ow, 1))
+		baseY := rng.Intn(max(h-oh, 1))
 		dx := rng.Intn(7) - 3
 		dy := rng.Intn(5) - 2
-		ox := mod(baseX+dx*t, maxInt(w-ow, 1))
-		oy := mod(baseY+dy*t, maxInt(h-oh, 1))
+		ox := mod(baseX+dx*t, max(w-ow, 1))
+		oy := mod(baseY+dy*t, max(h-oh, 1))
 		tone := 30 + rng.Intn(180)
 		txSeed := rng.Next()
 		tx := NewRNG(txSeed)
@@ -79,9 +79,9 @@ func GenRGB(w, h int, seed uint64) (r, g, b *Plane) {
 	rng := NewRNG(seed)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			fr := 100 + (x*120)/maxInt(w, 1)
-			fg := 80 + (y*130)/maxInt(h, 1)
-			fb := 60 + ((x+y)*90)/maxInt(w+h, 1)
+			fr := 100 + (x*120)/max(w, 1)
+			fg := 80 + (y*130)/max(h, 1)
+			fb := 60 + ((x+y)*90)/max(w+h, 1)
 			fr += int(20 * math.Sin(float64(x)/13))
 			fg += int(15 * math.Cos(float64(y)/7))
 			r.Set(x, y, clamp8(fr+rng.Intn(7)-3))
@@ -134,20 +134,6 @@ func clamp8(v int) byte {
 		return 255
 	}
 	return byte(v)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func mod(a, m int) int {

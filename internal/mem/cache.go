@@ -139,10 +139,3 @@ func (r *resource) reset() {
 		r.busy[i] = 0
 	}
 }
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

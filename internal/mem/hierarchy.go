@@ -66,7 +66,7 @@ func (d *dram) access(cycle int64, addr uint64, st *Stats) int64 {
 	if w := d.banks[b] - cycle; w > 0 {
 		st.DRAMBankBusy += uint64(w)
 	}
-	start := maxI64(cycle, maxI64(d.chanFree, d.banks[b]))
+	start := max(cycle, max(d.chanFree, d.banks[b]))
 	d.chanFree = start + d.chanOcc
 	d.banks[b] = start + d.bankOcc
 	return start + d.latency
@@ -105,7 +105,7 @@ func newLevel2WithMSHRs(mshrs int) *level2 {
 
 // access serves one line request; store marks the line dirty.
 func (l *level2) access(cycle int64, addr uint64, store bool, st *Stats) int64 {
-	start := maxI64(cycle, l.portFree)
+	start := max(cycle, l.portFree)
 	l.portFree = start + 1
 	st.L2Lookups++
 	if l.arr.lookup(addr, store) {
@@ -231,7 +231,7 @@ func (h *Hierarchy) VectorReservesAllPorts() bool {
 // scalarLoad runs one (aligned) element access through L1.
 func (h *Hierarchy) scalarLoad(cycle int64, addr uint64) int64 {
 	b := int(h.l1.line(addr)) % len(h.l1Banks)
-	start := maxI64(cycle, h.l1Banks[b])
+	start := max(cycle, h.l1Banks[b])
 	if start > cycle {
 		h.stats.BankConflicts++
 	}
@@ -259,7 +259,7 @@ func (h *Hierarchy) Load(cycle int64, addr uint64, size int) int64 {
 	if (addr&(h.l1LineSz-1))+uint64(size) > h.l1LineSz {
 		h.stats.Unaligned++
 		d2 := h.scalarLoad(cycle+1, addr+uint64(size))
-		done = maxI64(done, d2)
+		done = max(done, d2)
 	}
 	return done
 }
@@ -349,10 +349,10 @@ func (h *Hierarchy) maAccess(cycle int64, base uint64, stride int64, n, rate int
 			d = h.scalarLoad(t, addr)
 			if (addr&(h.l1LineSz-1))+8 > h.l1LineSz {
 				h.stats.Unaligned++
-				d = maxI64(d, h.scalarLoad(t+1, addr+8))
+				d = max(d, h.scalarLoad(t+1, addr+8))
 			}
 		}
-		done = maxI64(done, d)
+		done = max(done, d)
 	}
 	return done
 }
@@ -375,12 +375,12 @@ func (h *Hierarchy) vcAccess(cycle int64, base uint64, stride int64, n int, stor
 		addr0 := base + uint64(int64(first)*stride)
 		win := addr0 &^ (pairSz - 1)
 		h.stats.LineAccesses++
-		start := maxI64(cycle, h.vcPort)
+		start := max(cycle, h.vcPort)
 		h.vcPort = start + h.vcOcc
 		// Access the two lines in L2.
 		d1 := h.l2.access(start, win, store, &h.stats)
 		d2 := h.l2.access(start, win+h.l2LineSz, store, &h.stats)
-		d := maxI64(d1, d2) + (h.vcLat - h.l2.lat)
+		d := max(d1, d2) + (h.vcLat - h.l2.lat)
 		// Consume elements starting inside the window; an element whose
 		// last byte spills past the pair costs one extra line access.
 		consume := func(k int) bool {
@@ -397,7 +397,7 @@ func (h *Hierarchy) vcAccess(cycle int64, base uint64, stride int64, n int, stor
 				h.stats.Unaligned++
 				h.stats.LineAccesses++
 				dx := h.l2.access(start, win+pairSz, store, &h.stats)
-				d = maxI64(d, dx+(h.vcLat-h.l2.lat))
+				d = max(d, dx+(h.vcLat-h.l2.lat))
 				// The spilled bytes land in the line past the pair; a store
 				// must invalidate any stale L1 copy of that line too (same
 				// inclusion coherence as the in-window invalidate above).
@@ -424,7 +424,7 @@ func (h *Hierarchy) vcAccess(cycle int64, base uint64, stride int64, n int, stor
 				}
 			}
 		}
-		done = maxI64(done, d)
+		done = max(done, d)
 	}
 	return done
 }

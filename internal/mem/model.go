@@ -70,6 +70,29 @@ type Stats struct {
 	Unaligned      uint64
 }
 
+// Outcome summarises the memory-system events one dynamic instruction's
+// accesses triggered, for the instruction-level observability layer: the
+// CPU core snapshots Stats around an access and Diff extracts the delta.
+// Like the counters it derives from, an Outcome never feeds back into
+// timing.
+type Outcome struct {
+	L1Hits, L1Misses           uint64
+	L2Hits, L2Misses           uint64
+	MSHRStalls, WriteBufStalls uint64
+}
+
+// Diff returns the per-access outcome between two Stats snapshots.
+func Diff(before, after Stats) Outcome {
+	return Outcome{
+		L1Hits:         after.L1Hits - before.L1Hits,
+		L1Misses:       after.L1Misses - before.L1Misses,
+		L2Hits:         after.L2Hits - before.L2Hits,
+		L2Misses:       after.L2Misses - before.L2Misses,
+		MSHRStalls:     after.MSHRStalls - before.MSHRStalls,
+		WriteBufStalls: after.WriteBufStalls - before.WriteBufStalls,
+	}
+}
+
 // Add accumulates other into s.
 func (s *Stats) Add(o Stats) {
 	s.Loads += o.Loads

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// KonataWriter exports the pipeline lifetimes of a (windowed) slice of the
+// dynamic instruction stream in the Kanata log format (version 0004), the
+// input of the Konata pipeline viewer (also produced by gem5's O3PipeView
+// converters). Each instruction renders as four stages on lane 0:
+//
+//	F  fetch   -> dispatch   (front-end)
+//	D  dispatch -> issue     (rename/queue wait)
+//	X  issue   -> complete   (execute, including memory wait)
+//	C  complete -> commit    (waiting for in-order graduation)
+//
+// Events are buffered as they are observed and the log is assembled by
+// Flush, which interleaves the per-instruction records into one
+// cycle-ordered command stream.
+type KonataWriter struct {
+	w      io.Writer
+	start  uint64 // first dynamic instruction recorded
+	count  uint64 // instructions recorded (0 = unbounded)
+	disasm []string
+	recs   []konataRec
+}
+
+type konataRec struct {
+	seq                              uint64
+	pc                               int
+	fetch, dispatch, issue, complete int64
+	commit                           int64
+	detail                           string
+}
+
+// NewKonata returns a writer recording count instructions starting at
+// dynamic instruction start (count 0 records to the end of the run).
+// disasm supplies the per-PC label text; missing entries fall back to the
+// PC number.
+func NewKonata(w io.Writer, start, count uint64, disasm []string) *KonataWriter {
+	return &KonataWriter{w: w, start: start, count: count, disasm: disasm}
+}
+
+// Observe buffers one instruction if it falls inside the window.
+func (k *KonataWriter) Observe(ev *Event) {
+	if ev.Seq < k.start || (k.count > 0 && ev.Seq >= k.start+k.count) {
+		return
+	}
+	k.recs = append(k.recs, konataRec{
+		seq: ev.Seq, pc: ev.PC,
+		fetch: ev.Fetch, dispatch: ev.Dispatch, issue: ev.Issue,
+		complete: ev.Complete, commit: ev.Commit,
+		detail: fmt.Sprintf("bucket:%s exec:%d store:%d", ev.Bucket, ev.ExecGap, ev.StoreGap),
+	})
+}
+
+// Recorded returns the number of instructions buffered so far.
+func (k *KonataWriter) Recorded() int { return len(k.recs) }
+
+func (k *KonataWriter) label(pc int) string {
+	if pc >= 0 && pc < len(k.disasm) {
+		return k.disasm[pc]
+	}
+	return fmt.Sprintf("@%d", pc)
+}
+
+// konataCmd is one log line pinned to a cycle; ord keeps a stable
+// within-cycle order (ends before starts before retires is not required by
+// the format, but per-instruction command order must be preserved).
+type konataCmd struct {
+	cycle int64
+	sid   int
+	ord   int
+	text  string
+}
+
+// Flush assembles and writes the buffered window as a Kanata log.
+func (k *KonataWriter) Flush() error {
+	bw := bufio.NewWriter(k.w)
+	if _, err := fmt.Fprintf(bw, "Kanata\t0004\n"); err != nil {
+		return err
+	}
+	var cmds []konataCmd
+	for sid, r := range k.recs {
+		ord := 0
+		add := func(cycle int64, format string, args ...any) {
+			cmds = append(cmds, konataCmd{cycle, sid, ord, fmt.Sprintf(format, args...)})
+			ord++
+		}
+		add(r.fetch, "I\t%d\t%d\t0", sid, r.seq)
+		add(r.fetch, "L\t%d\t0\t%d: %s", sid, r.seq, k.label(r.pc))
+		add(r.fetch, "L\t%d\t1\tpc:%d %s", sid, r.pc, r.detail)
+		add(r.fetch, "S\t%d\t0\tF", sid)
+		add(r.dispatch, "E\t%d\t0\tF", sid)
+		add(r.dispatch, "S\t%d\t0\tD", sid)
+		add(r.issue, "E\t%d\t0\tD", sid)
+		add(r.issue, "S\t%d\t0\tX", sid)
+		add(r.complete, "E\t%d\t0\tX", sid)
+		add(r.complete, "S\t%d\t0\tC", sid)
+		add(r.commit, "E\t%d\t0\tC", sid)
+		add(r.commit, "R\t%d\t%d\t0", sid, sid)
+	}
+	sort.SliceStable(cmds, func(a, b int) bool {
+		if cmds[a].cycle != cmds[b].cycle {
+			return cmds[a].cycle < cmds[b].cycle
+		}
+		if cmds[a].sid != cmds[b].sid {
+			return cmds[a].sid < cmds[b].sid
+		}
+		return cmds[a].ord < cmds[b].ord
+	})
+	cur := int64(-1)
+	for i, c := range cmds {
+		if i == 0 {
+			if _, err := fmt.Fprintf(bw, "C=\t%d\n", c.cycle); err != nil {
+				return err
+			}
+			cur = c.cycle
+		} else if c.cycle > cur {
+			if _, err := fmt.Fprintf(bw, "C\t%d\n", c.cycle-cur); err != nil {
+				return err
+			}
+			cur = c.cycle
+		}
+		if _, err := fmt.Fprintln(bw, c.text); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// KonataStats summarises a parsed Kanata log (the format self-check).
+type KonataStats struct {
+	Insts   int   // instruction records (I lines)
+	Retired int   // retire records (R lines, type 0)
+	Labels  int   // label lines
+	Cycles  int64 // last cycle minus first cycle
+}
+
+// ParseKonata validates a Kanata log: header, known commands, numeric
+// fields, monotonic cycle stream, stages opened before they are closed and
+// every instruction retired. It is the round-trip check for KonataWriter
+// output (and accepts the common subset of the format generally).
+func ParseKonata(r io.Reader) (KonataStats, error) {
+	var st KonataStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return st, fmt.Errorf("konata: empty log")
+	}
+	if h := sc.Text(); h != "Kanata\t0004" {
+		return st, fmt.Errorf("konata: bad header %q", h)
+	}
+	var cur, first int64
+	haveCycle := false
+	open := map[string]string{} // sid -> currently open stage ("" = none)
+	retired := map[string]bool{}
+	line := 1
+	for sc.Scan() {
+		line++
+		f := strings.Split(sc.Text(), "\t")
+		fail := func(format string, args ...any) (KonataStats, error) {
+			return st, fmt.Errorf("konata: line %d: %s", line, fmt.Sprintf(format, args...))
+		}
+		num := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+		switch f[0] {
+		case "C=":
+			if len(f) != 2 {
+				return fail("C= wants 1 field")
+			}
+			n, err := num(f[1])
+			if err != nil {
+				return fail("bad cycle %q", f[1])
+			}
+			cur, first, haveCycle = n, n, true
+		case "C":
+			if len(f) != 2 {
+				return fail("C wants 1 field")
+			}
+			n, err := num(f[1])
+			if err != nil || n < 0 {
+				return fail("bad cycle delta %q", f[1])
+			}
+			cur += n
+		case "I":
+			if len(f) != 4 {
+				return fail("I wants 3 fields")
+			}
+			if _, ok := open[f[1]]; ok {
+				return fail("duplicate instruction id %s", f[1])
+			}
+			open[f[1]] = ""
+			st.Insts++
+		case "L":
+			if len(f) < 4 {
+				return fail("L wants 3+ fields")
+			}
+			if _, ok := open[f[1]]; !ok {
+				return fail("label for unknown id %s", f[1])
+			}
+			st.Labels++
+		case "S":
+			if len(f) != 4 {
+				return fail("S wants 3 fields")
+			}
+			stage, ok := open[f[1]]
+			if !ok {
+				return fail("stage start for unknown id %s", f[1])
+			}
+			if stage != "" {
+				return fail("id %s starts %s with %s still open", f[1], f[3], stage)
+			}
+			open[f[1]] = f[3]
+		case "E":
+			if len(f) != 4 {
+				return fail("E wants 3 fields")
+			}
+			stage, ok := open[f[1]]
+			if !ok {
+				return fail("stage end for unknown id %s", f[1])
+			}
+			if stage != f[3] {
+				return fail("id %s ends %s but %q is open", f[1], f[3], stage)
+			}
+			open[f[1]] = ""
+		case "R":
+			if len(f) != 4 {
+				return fail("R wants 3 fields")
+			}
+			if _, ok := open[f[1]]; !ok {
+				return fail("retire of unknown id %s", f[1])
+			}
+			if retired[f[1]] {
+				return fail("id %s retired twice", f[1])
+			}
+			retired[f[1]] = true
+			if f[3] == "0" {
+				st.Retired++
+			}
+		case "W": // dependency edges are legal but KonataWriter never emits them
+		default:
+			return fail("unknown command %q", f[0])
+		}
+		if !haveCycle && (f[0] == "I" || f[0] == "S" || f[0] == "E" || f[0] == "R") {
+			return fail("command before any C=")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	for id, stage := range open {
+		if stage != "" {
+			return st, fmt.Errorf("konata: id %s ends with stage %s open", id, stage)
+		}
+		if !retired[id] {
+			return st, fmt.Errorf("konata: id %s never retired", id)
+		}
+	}
+	st.Cycles = cur - first
+	return st, nil
+}

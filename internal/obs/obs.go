@@ -1,0 +1,132 @@
+// Package obs is the instruction-level observability layer of the timing
+// simulator. The CPU core publishes one Event per dynamic instruction —
+// its lifecycle timestamps through the pipeline, its commit-frontier stall
+// attribution, and the memory-system events its accesses triggered — to an
+// optional Observer. A nil observer costs nothing: the core only assembles
+// events when one is attached, so cycle counts and every reported counter
+// are bit-identical with observation on or off (the same contract the
+// capture/replay trace layer keeps: live and replayed runs publish
+// identical event streams).
+//
+// Three consumers ship with the package: Hotspot aggregates events into a
+// per-static-instruction (per-PC) profile whose attributed cycles sum
+// exactly to the run's cycle-attribution buckets; KonataWriter exports the
+// per-instruction pipeline lifetimes in the Kanata log format (loadable in
+// the Konata pipeline viewer); ChromeWriter exports them as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+package obs
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Bucket names one entry of the cycle-attribution stall taxonomy; the
+// values mirror cpu.Profile's fields in canonical display order.
+type Bucket uint8
+
+// The nine buckets of the stall taxonomy.
+const (
+	BucketCommit Bucket = iota
+	BucketFrontend
+	BucketMispredict
+	BucketRenameROB
+	BucketIssueQueue
+	BucketFU
+	BucketMemWait
+	BucketStoreCommit
+	BucketDepLatency
+)
+
+// NumBuckets is the number of stall-taxonomy buckets.
+const NumBuckets = int(BucketDepLatency) + 1
+
+var bucketNames = [NumBuckets]string{
+	"commit", "frontend", "mispredict", "rename/rob", "issue",
+	"fu", "mem", "store", "dep/lat",
+}
+
+func (b Bucket) String() string {
+	if int(b) < NumBuckets {
+		return bucketNames[b]
+	}
+	return "?"
+}
+
+// Event is one dynamic instruction's trip through the pipeline. The core
+// passes events by pointer and reuses the backing storage: observers that
+// retain an event past the Observe call must copy it.
+type Event struct {
+	Seq   uint64    // dynamic instruction number (0-based program order)
+	PC    int       // static instruction index
+	Class isa.Class // operation class
+	VL    int       // vector length governing the op (vector classes)
+	Taken bool      // branch outcome (branch class)
+
+	// Lifecycle timestamps (absolute cycles). Fetch <= Dispatch < Issue <=
+	// Complete < Commit always holds; Issue is the cycle the instruction won
+	// an issue slot (its operand-ready cycle for no-issue NOPs).
+	Fetch    int64
+	Dispatch int64
+	Issue    int64
+	Complete int64
+	Commit   int64
+
+	// Commit-frontier attribution: the exact cycles this instruction's
+	// graduation charged to the run profile. Committed is 1 when the commit
+	// frontier advanced (one useful commit cycle), StoreGap is the cycles
+	// charged to the store-drain bucket, and ExecGap is the cycles charged
+	// to Bucket. Summing Committed+ExecGap+StoreGap over a run's events,
+	// bucket by bucket, reproduces the run profile exactly.
+	Committed int64
+	Bucket    Bucket
+	ExecGap   int64
+	StoreGap  int64
+
+	// Mem is the memory-system outcome of this instruction's accesses
+	// (zero for non-memory instructions and perfect memories).
+	Mem mem.Outcome
+}
+
+// Observer consumes the per-dynamic-instruction event stream of a run.
+type Observer interface {
+	// Observe is called once per dynamic instruction, in program (commit)
+	// order. The event pointer is only valid for the duration of the call.
+	Observe(ev *Event)
+}
+
+// multi fans one event stream out to several observers.
+type multi struct{ obs []Observer }
+
+func (m *multi) Observe(ev *Event) {
+	for _, o := range m.obs {
+		o.Observe(ev)
+	}
+}
+
+// Multi combines observers into one; nil entries are dropped, and a single
+// surviving observer is returned unwrapped.
+func Multi(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multi{obs: live}
+}
+
+// Recorder retains every event it observes (the equivalence tests compare
+// live and replayed runs event-for-event through it).
+type Recorder struct {
+	Events []Event
+}
+
+// Observe appends a copy of the event.
+func (r *Recorder) Observe(ev *Event) { r.Events = append(r.Events, *ev) }

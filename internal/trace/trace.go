@@ -8,7 +8,10 @@
 //
 // The timing model consumes the Source interface, which both a live
 // emulator (Live) and a recorded trace (Reader) implement, so correctness
-// never depends on a trace being available.
+// never depends on a trace being available. The equivalence extends to the
+// observability layer: a timing run publishes the identical obs.Event
+// stream whether it is fed live or from a recording (enforced by
+// TestTraceReplayEventEquivalence in the root package).
 package trace
 
 import (

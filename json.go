@@ -29,3 +29,10 @@ func WriteExperimentJSON(w io.Writer, name string, rows any) error {
 func WriteResultJSON(w io.Writer, r Result) error {
 	return json.NewEncoder(w).Encode(r)
 }
+
+// WriteHotspotsJSON emits per-PC hotspot reports in the experiment
+// envelope ({"experiment":"hotspots","rows":[...]}); each row is one
+// HotspotReport whose per-PC profiles sum to the report profile.
+func WriteHotspotsJSON(w io.Writer, reps []HotspotReport) error {
+	return WriteExperimentJSON(w, "hotspots", reps)
+}

@@ -13,6 +13,10 @@
 //   - Figure5, LatencyStudy, Table1, Table2, Table3, Figure7 regenerate the
 //     paper's artifacts.
 //   - BuildKernel exposes the generated programs for inspection.
+//   - KernelHotspots / AppHotspots / HotspotStudy attribute a run's cycles
+//     to single static instructions, and ExportKernelPipeline /
+//     ExportAppPipeline cut per-instruction pipeline traces (Konata /
+//     Perfetto formats) from the same event stream.
 package mom
 
 import (
