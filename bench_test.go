@@ -8,6 +8,7 @@ package mom
 // `cmd/momsim -scale bench` runs the full-size versions.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -18,7 +19,7 @@ func BenchmarkFigure5(b *testing.B) {
 	var rows []KernelSpeedup
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = Figure5(ScaleTest)
+		rows, err = Figure5(context.Background(), ScaleTest)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkLatencyStudy(b *testing.B) {
 	var rows []LatencyRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = LatencyStudy(ScaleTest, 4)
+		rows, err = LatencyStudy(context.Background(), ScaleTest, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkFigure7(b *testing.B) {
 	var rows []AppSpeedup
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = Figure7(ScaleTest)
+		rows, err = Figure7(context.Background(), ScaleTest)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,100 @@
+// Command momserver serves the paper's experiments as a concurrent job
+// service with a persistent content-addressed result store. Submit a job,
+// poll it, fetch its canonical JSON document; identical requests are
+// served from the store byte-for-byte.
+//
+//	momserver -addr :8344 -store ./momstore &
+//	curl -s -X POST localhost:8344/v1/jobs -d '{"exp":"fig5","scale":"test"}'
+//	curl -s localhost:8344/v1/jobs/j00000001          # poll state
+//	curl -s localhost:8344/v1/jobs/j00000001/result   # the fig5 document
+//	curl -s localhost:8344/metrics                    # Prometheus text
+//
+// SIGINT/SIGTERM drain the service: new submissions get 503, accepted
+// jobs finish (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8344", "listen address")
+		storeDir   = flag.String("store", "momstore", "result store directory (empty: no store, recompute always)")
+		storeBytes = flag.Int64("store-bytes", 256<<20, "result store size bound in bytes (<=0: unbounded)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job workers")
+		queueCap   = flag.Int("queue", 64, "admission queue capacity (full queue answers 429)")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job deadline")
+		maxTimeout = flag.Duration("max-timeout", time.Hour, "upper clamp on requested per-job deadlines")
+		drain      = flag.Duration("drain", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+	log.SetPrefix("momserver: ")
+	log.SetFlags(log.LstdFlags)
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := st.Stats()
+		log.Printf("store %s: %d entries, %.1f MB (bound %.1f MB)",
+			*storeDir, s.Entries, float64(s.Bytes)/(1<<20), float64(*storeBytes)/(1<<20))
+		cfg.Store = st
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queueCap)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case got := <-sig:
+		log.Printf("%v: draining (up to %v)", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop accepting HTTP first, then wait for the worker pool to
+		// finish every accepted job.
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		if cfg.Store != nil {
+			s := cfg.Store.Stats()
+			fmt.Printf("store: %d entries, %.1f MB, %d hits, %d misses, %d evictions\n",
+				s.Entries, float64(s.Bytes)/(1<<20), s.Hits, s.Misses, s.Evictions)
+		}
+		log.Print("drained cleanly")
+	}
+}

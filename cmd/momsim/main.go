@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	mom "repro"
@@ -42,17 +45,32 @@ func main() {
 	)
 	flag.Parse()
 
+	// An interrupt (Ctrl-C / SIGTERM) cancels the experiment context:
+	// par.For stops submitting work and the run exits promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sc := mom.ScaleTest
 	if *scale == "bench" {
 		sc = mom.ScaleBench
 	}
-	i, err := parseISA(*isaStr)
+	i, err := mom.ParseISA(*isaStr)
 	if err != nil {
 		fatal(err)
 	}
-	m, err := parseMem(*cache)
+	m, err := mom.ParseMemModel(*cache)
 	if err != nil {
 		fatal(err)
+	}
+	if *exp != "" {
+		// Validate every requested experiment up front, so a typo in a
+		// comma-separated list fails with the valid names instead of
+		// after the earlier experiments have already run.
+		for _, e := range strings.Split(*exp, ",") {
+			if err := checkExp(e); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	outFormat := *format
 	if *asJSON {
@@ -92,7 +110,7 @@ func main() {
 	case *exp != "":
 		for _, e := range strings.Split(*exp, ",") {
 			before := mom.ReadTraceStats()
-			if err := runExperiment(e, sc, i, *width, outFormat); err != nil {
+			if err := runExperiment(ctx, e, sc, i, *width, outFormat); err != nil {
 				fatal(err)
 			}
 			if *verbose {
@@ -105,12 +123,12 @@ func main() {
 	}
 }
 
-func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string) error {
+func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, width int, format string) error {
 	asJSON := format == "json"
 	asCSV := format == "csv"
 	switch exp {
 	case "fig5":
-		rows, err := mom.Figure5(sc)
+		rows, err := mom.Figure5(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -122,7 +140,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		}
 		fmt.Print(mom.FormatFigure5(rows))
 	case "latency":
-		rows, err := mom.LatencyStudy(sc, 4)
+		rows, err := mom.LatencyStudy(ctx, sc, 4)
 		if err != nil {
 			return err
 		}
@@ -134,7 +152,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		}
 		fmt.Print(mom.FormatLatency(rows))
 	case "fig7":
-		rows, err := mom.Figure7(sc)
+		rows, err := mom.Figure7(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -164,7 +182,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		}
 		fmt.Print(mom.FormatTable3(rows))
 	case "fetch":
-		rows, err := mom.FetchPressure(sc)
+		rows, err := mom.FetchPressure(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -173,7 +191,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		}
 		fmt.Print(mom.FormatFetch(rows))
 	case "profile":
-		rows, err := mom.ProfileStudy(sc, width)
+		rows, err := mom.ProfileStudy(ctx, sc, width)
 		if err != nil {
 			return err
 		}
@@ -185,7 +203,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		}
 		fmt.Print(mom.FormatProfile(rows))
 	case "hotspots":
-		reps, err := mom.HotspotStudy(sc, width)
+		reps, err := mom.HotspotStudy(ctx, sc, width)
 		if err != nil {
 			return err
 		}
@@ -199,7 +217,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 	case "regsweep":
 		var all []mom.RegSweepRow
 		for _, k := range []string{"idct", "motion1"} {
-			rows, err := mom.RegisterSweep(sc, k)
+			rows, err := mom.RegisterSweep(ctx, sc, k)
 			if err != nil {
 				return err
 			}
@@ -220,7 +238,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 	case "memsweep":
 		var all []mom.MemSweepRow
 		for _, app := range []string{"mpeg2decode", "jpegdecode"} {
-			rows, err := mom.MemorySweep(sc, app)
+			rows, err := mom.MemorySweep(ctx, sc, app)
 			if err != nil {
 				return err
 			}
@@ -248,7 +266,7 @@ func runExperiment(exp string, sc mom.Scale, i mom.ISA, width int, format string
 		fmt.Printf("multimedia instructions: MMX %d, MDMX %d, MOM %d\n", mmx, mdmx, momN)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7", "fetch", "profile", "hotspots"} {
-			if err := runExperiment(e, sc, i, width, format); err != nil {
+			if err := runExperiment(ctx, e, sc, i, width, format); err != nil {
 				return err
 			}
 			if !asJSON {
@@ -322,36 +340,24 @@ func emitResult(r mom.Result, format string) {
 	fmt.Println()
 }
 
-func parseISA(s string) (mom.ISA, error) {
-	switch strings.ToLower(s) {
-	case "alpha":
-		return mom.Alpha, nil
-	case "mmx":
-		return mom.MMX, nil
-	case "mdmx":
-		return mom.MDMX, nil
-	case "mom":
-		return mom.MOM, nil
-	}
-	return 0, fmt.Errorf("unknown ISA %q", s)
+// cliExps are the experiment names runExperiment accepts: the canonical
+// mom.ExpNames batch drivers plus the CLI-only tables and the "all"
+// shorthand ("kernel"/"app" single points use -kernel/-app instead).
+var cliExps = []string{
+	"fig5", "latency", "fig7", "table1", "table2", "table3",
+	"fetch", "profile", "hotspots", "regsweep", "memsweep", "isacount", "all",
 }
 
-func parseMem(s string) (mom.MemModel, error) {
-	switch s {
-	case "perfect":
-		return mom.PerfectMemory(1), nil
-	case "perfect50":
-		return mom.PerfectMemory(50), nil
-	case "conv":
-		return mom.DetailedMemory(mom.Conventional), nil
-	case "multi":
-		return mom.DetailedMemory(mom.MultiAddress), nil
-	case "vector":
-		return mom.DetailedMemory(mom.VectorCache), nil
-	case "collapsing":
-		return mom.DetailedMemory(mom.CollapsingBuffer), nil
+// checkExp validates one -exp name up front, so a typo fails with the
+// list of valid names (mirroring the -isa/-kernel/-app validation of
+// momtrace) instead of after earlier experiments in the list have run.
+func checkExp(e string) error {
+	for _, v := range cliExps {
+		if e == v {
+			return nil
+		}
 	}
-	return mom.MemModel{}, fmt.Errorf("unknown memory model %q", s)
+	return fmt.Errorf("unknown experiment %q (valid: %s)", e, strings.Join(cliExps, ", "))
 }
 
 func fatal(err error) {

@@ -261,18 +261,9 @@ func main() {
 // checkFlags validates the -isa/-kernel/-app combination up front so a typo
 // fails with the list of valid names instead of a mid-run build error.
 func checkFlags(isaStr, kernel, app string) (mom.ISA, error) {
-	var level mom.ISA
-	switch strings.ToLower(isaStr) {
-	case "alpha":
-		level = mom.Alpha
-	case "mmx":
-		level = mom.MMX
-	case "mdmx":
-		level = mom.MDMX
-	case "mom":
-		level = mom.MOM
-	default:
-		return 0, fmt.Errorf("unknown ISA %q (valid: Alpha, MMX, MDMX, MOM)", isaStr)
+	level, err := mom.ParseISA(isaStr)
+	if err != nil {
+		return 0, err
 	}
 	kernelSet := false
 	flag.Visit(func(f *flag.Flag) {

@@ -1,6 +1,7 @@
 package mom
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -36,9 +37,9 @@ type KernelSpeedup struct {
 // Figure5 reruns the kernel-level study: every kernel on every ISA at every
 // issue width, with the idealised 1-cycle memory, reporting speed-ups
 // relative to the 1-way Alpha machine.
-func Figure5(sc Scale) ([]KernelSpeedup, error) {
+func Figure5(ctx context.Context, sc Scale) ([]KernelSpeedup, error) {
 	names := KernelNames()
-	warmTraces(false, names, AllISAs, sc)
+	warmTraces(ctx, false, names, AllISAs, sc)
 	type job struct {
 		kernel string
 		isa    ISA
@@ -53,7 +54,7 @@ func Figure5(sc Scale) ([]KernelSpeedup, error) {
 		}
 	}
 	rows := make([]KernelSpeedup, len(jobs))
-	err := par.For(len(jobs), func(idx int) error {
+	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
 		res, err := runKernelCached(j.kernel, j.isa, j.width, PerfectMemory(1), sc)
 		if err != nil {
@@ -96,9 +97,9 @@ type LatencyRow struct {
 // LatencyStudy reruns the kernels with the memory latency raised from 1 to
 // 50 cycles (the streaming-reference experiment); the paper reports
 // slow-downs of 3-9x for Alpha, 4-8x for MMX/MDMX and only 2-4x for MOM.
-func LatencyStudy(sc Scale, width int) ([]LatencyRow, error) {
+func LatencyStudy(ctx context.Context, sc Scale, width int) ([]LatencyRow, error) {
 	names := KernelNames()
-	warmTraces(false, names, AllISAs, sc)
+	warmTraces(ctx, false, names, AllISAs, sc)
 	var jobs []struct {
 		kernel string
 		isa    ISA
@@ -112,7 +113,7 @@ func LatencyStudy(sc Scale, width int) ([]LatencyRow, error) {
 		}
 	}
 	rows := make([]LatencyRow, len(jobs))
-	err := par.For(len(jobs), func(idx int) error {
+	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
 		r1, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(1), sc)
 		if err != nil {
@@ -166,7 +167,7 @@ type AppSpeedup struct {
 // Figure7 reruns the program-level study: the five applications on the five
 // ISA/cache configurations at 4- and 8-way issue with the detailed memory
 // hierarchy.
-func Figure7(sc Scale) ([]AppSpeedup, error) {
+func Figure7(ctx context.Context, sc Scale) ([]AppSpeedup, error) {
 	names := AppNames()
 	isas := map[ISA]bool{}
 	for _, cfg := range Figure7Configs {
@@ -178,7 +179,7 @@ func Figure7(sc Scale) ([]AppSpeedup, error) {
 			uniq = append(uniq, i)
 		}
 	}
-	warmTraces(true, names, uniq, sc)
+	warmTraces(ctx, true, names, uniq, sc)
 	widths := []int{4, 8}
 	type job struct {
 		app   string
@@ -194,7 +195,7 @@ func Figure7(sc Scale) ([]AppSpeedup, error) {
 		}
 	}
 	rows := make([]AppSpeedup, len(jobs))
-	err := par.For(len(jobs), func(idx int) error {
+	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
 		res, err := runAppCached(j.app, j.cfg.ISA, j.width, DetailedMemory(j.cfg.Cache), sc)
 		if err != nil {
@@ -245,9 +246,9 @@ type ProfileRow struct {
 // the attribution identity (buckets sum to Cycles) and the memory counter
 // invariants before being returned, so a broken counter fails the study
 // rather than skewing it.
-func ProfileStudy(sc Scale, width int) ([]ProfileRow, error) {
+func ProfileStudy(ctx context.Context, sc Scale, width int) ([]ProfileRow, error) {
 	names := KernelNames()
-	warmTraces(false, names, AllISAs, sc)
+	warmTraces(ctx, false, names, AllISAs, sc)
 	mems := []MemModel{PerfectMemory(1), PerfectMemory(50)}
 	type job struct {
 		kernel string
@@ -263,7 +264,7 @@ func ProfileStudy(sc Scale, width int) ([]ProfileRow, error) {
 		}
 	}
 	rows := make([]ProfileRow, len(jobs))
-	err := par.For(len(jobs), func(idx int) error {
+	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
 		res, err := runKernelCached(j.kernel, j.isa, width, j.mem, sc)
 		if err != nil {
@@ -294,9 +295,9 @@ type FetchRow struct {
 // FetchPressure reports dynamic instruction counts and word-operations per
 // instruction for every kernel and ISA — the paper's "MOM packs an order of
 // magnitude more operations per instruction" argument.
-func FetchPressure(sc Scale) ([]FetchRow, error) {
+func FetchPressure(ctx context.Context, sc Scale) ([]FetchRow, error) {
 	names := KernelNames()
-	warmTraces(false, names, AllISAs, sc)
+	warmTraces(ctx, false, names, AllISAs, sc)
 	var jobs []struct {
 		kernel string
 		isa    ISA
@@ -310,7 +311,7 @@ func FetchPressure(sc Scale) ([]FetchRow, error) {
 		}
 	}
 	rows := make([]FetchRow, len(jobs))
-	err := par.For(len(jobs), func(idx int) error {
+	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
 		res, err := runKernelCached(j.kernel, j.isa, 4, PerfectMemory(1), sc)
 		if err != nil {
@@ -438,7 +439,7 @@ type RegSweepRow struct {
 // RegisterSweep varies the number of physical matrix registers on the
 // 4-way MOM machine and reports the cycle cost, showing performance
 // saturating around the paper's choice of 20.
-func RegisterSweep(sc Scale, kernel string) ([]RegSweepRow, error) {
+func RegisterSweep(ctx context.Context, sc Scale, kernel string) ([]RegSweepRow, error) {
 	k, err := kernels.ByName(kernel, kernels.Scale(sc))
 	if err != nil {
 		return nil, err
@@ -448,7 +449,7 @@ func RegisterSweep(sc Scale, kernel string) ([]RegSweepRow, error) {
 	tr := cachedTrace(traceKey{name: kernel, isa: MOM, scale: sc})
 	sizes := []int{17, 18, 20, 24, 32}
 	rows := make([]RegSweepRow, len(sizes))
-	err = par.For(len(sizes), func(i int) error {
+	err = par.For(ctx, len(sizes), func(i int) error {
 		cfg := cpu.NewConfig(4, isa.ExtMOM)
 		cfg.MomPhys = sizes[i]
 		res, err := runConfig(cfg, mem.NewPerfect(1), tr, func() *emu.Machine {
@@ -483,7 +484,7 @@ type MemSweepRow struct {
 
 // MemorySweep runs an application on the 4-way MOM multi-address machine
 // with reduced MSHR counts and bank counts.
-func MemorySweep(sc Scale, app string) ([]MemSweepRow, error) {
+func MemorySweep(ctx context.Context, sc Scale, app string) ([]MemSweepRow, error) {
 	type variant struct{ mshrs, banks int }
 	variants := []variant{
 		{8, 4}, // Table 3 baseline
@@ -499,7 +500,7 @@ func MemorySweep(sc Scale, app string) ([]MemSweepRow, error) {
 	}
 	tr := cachedTrace(traceKey{app: true, name: app, isa: MOM, scale: sc})
 	rows := make([]MemSweepRow, len(variants))
-	err = par.For(len(variants), func(i int) error {
+	err = par.For(ctx, len(variants), func(i int) error {
 		v := variants[i]
 		model := mem.NewHierarchy(mem.HierConfig{
 			Width: 4, Mode: mem.ModeMultiAddress, MSHRs: v.mshrs, L1Banks: v.banks,

@@ -1,6 +1,7 @@
 package mom
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -184,9 +185,9 @@ func AppHotspots(app string, i ISA, width int, m MemModel, sc Scale) (HotspotRep
 // HotspotStudy profiles every kernel at every ISA level on the given issue
 // width with perfect memory (the machine of the kernel study), checking the
 // attribution invariants of every report.
-func HotspotStudy(sc Scale, width int) ([]HotspotReport, error) {
+func HotspotStudy(ctx context.Context, sc Scale, width int) ([]HotspotReport, error) {
 	names := KernelNames()
-	warmTraces(false, names, AllISAs, sc)
+	warmTraces(ctx, false, names, AllISAs, sc)
 	type job struct {
 		name string
 		isa  ISA
@@ -198,7 +199,7 @@ func HotspotStudy(sc Scale, width int) ([]HotspotReport, error) {
 		}
 	}
 	out := make([]HotspotReport, len(jobs))
-	err := par.For(len(jobs), func(idx int) error {
+	err := par.For(ctx, len(jobs), func(idx int) error {
 		rep, err := KernelHotspots(jobs[idx].name, jobs[idx].isa, width, PerfectMemory(1), sc)
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,15 +11,18 @@ import (
 
 // For runs fn(i) for i in [0,n) on up to GOMAXPROCS workers. The first
 // error stops submission of further work: jobs already started finish, but
-// no new job begins once any job has failed. The returned error is the
-// failure with the lowest index among the jobs that ran.
-func For(n int, fn func(i int) error) error {
+// no new job begins once any job has failed. Cancelling ctx likewise stops
+// submission (and makes already-queued jobs drain without running), so a
+// caller holding a deadline can abandon a sweep mid-flight. The returned
+// error is the failure with the lowest index among the jobs that ran, or
+// ctx.Err() when the context ended the sweep without any job failing.
+func For(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	var (
 		wg     sync.WaitGroup
@@ -31,7 +35,7 @@ func For(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue // drain without running
 				}
 				if err := fn(i); err != nil {
@@ -41,11 +45,17 @@ func For(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+submit:
 	for i := 0; i < n; i++ {
 		if failed.Load() {
 			break
 		}
-		next <- i
+		select {
+		case <-done:
+			break submit
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -54,5 +64,5 @@ func For(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

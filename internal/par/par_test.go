@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestForRunsAll(t *testing.T) {
 	var ran atomic.Int64
-	if err := For(100, func(i int) error {
+	if err := For(context.Background(), 100, func(i int) error {
 		ran.Add(1)
 		return nil
 	}); err != nil {
@@ -21,14 +22,14 @@ func TestForRunsAll(t *testing.T) {
 }
 
 func TestForZeroJobs(t *testing.T) {
-	if err := For(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := For(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestForReturnsError(t *testing.T) {
 	boom := errors.New("boom")
-	err := For(8, func(i int) error {
+	err := For(context.Background(), 8, func(i int) error {
 		if i == 3 {
 			return boom
 		}
@@ -44,7 +45,7 @@ func TestForReturnsError(t *testing.T) {
 func TestForStopsAfterError(t *testing.T) {
 	const n = 10_000
 	var ran atomic.Int64
-	err := For(n, func(i int) error {
+	err := For(context.Background(), n, func(i int) error {
 		if i == 0 {
 			return errors.New("early failure")
 		}
@@ -57,5 +58,72 @@ func TestForStopsAfterError(t *testing.T) {
 	}
 	if got := ran.Load(); got > n/2 {
 		t.Fatalf("%d jobs ran after the failure; submission did not stop", got)
+	}
+}
+
+// TestForStopsOnCancel: cancelling the context mid-sweep must stop
+// submission — a hung or abandoned experiment can be walked away from.
+func TestForStopsOnCancel(t *testing.T) {
+	const n = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := For(ctx, n, func(i int) error {
+		if ran.Add(1) == 1 {
+			cancel() // first job to run aborts the sweep
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > n/2 {
+		t.Fatalf("%d jobs ran after cancellation; submission did not stop", got)
+	}
+}
+
+// TestForPreCancelled: a context that is already dead runs nothing.
+func TestForPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := For(ctx, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context, want 0", got)
+	}
+}
+
+// TestForDeadline: an expired deadline reports DeadlineExceeded, the error
+// the job service maps to the cancelled state.
+func TestForDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := For(ctx, 10, func(i int) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestForJobErrorBeatsCancel: when a job fails and the context is then
+// cancelled, the job error is still the one reported.
+func TestForJobErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := For(ctx, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
 	}
 }

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	mom "repro"
+)
+
+// Prometheus text-format metrics, hand-rolled: the repository vendors no
+// dependencies, and the exposition format for counters, gauges and
+// histograms is small enough to emit directly. Everything cheap to
+// recompute (jobs by state, store and trace-cache stats) is sampled at
+// scrape time; only the per-experiment latency histograms accumulate.
+
+// histBounds are the upper bounds (seconds) of the job-duration
+// histogram: experiment runs span ~5ms kernel points to minutes-long
+// bench-scale sweeps.
+var histBounds = []float64{0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 15, 60, 300, 900}
+
+type histogram struct {
+	counts []uint64 // one per bound, +Inf bucket last
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(histBounds)+1)
+	}
+	i := sort.SearchFloat64s(histBounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+type metrics struct {
+	mu        sync.Mutex
+	durations map[string]*histogram // by experiment name
+	finished  map[string]uint64     // completed jobs by terminal state
+}
+
+func (m *metrics) init() {
+	m.durations = map[string]*histogram{}
+	m.finished = map[string]uint64{}
+}
+
+// observe records one finished job (any terminal state).
+func (m *metrics) observe(exp, state string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished[state]++
+	h := m.durations[exp]
+	if h == nil {
+		h = &histogram{}
+		m.durations[exp] = h
+	}
+	h.observe(d.Seconds())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.writeMetrics(w)
+}
+
+// writeMetrics emits the full exposition: job lifecycle, admission queue,
+// result store, trace cache, and per-experiment latency histograms.
+func (s *Server) writeMetrics(w io.Writer) {
+	// Jobs by current state (gauge over the retained records).
+	byState := map[string]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.state]++
+	}
+	queueLen := len(s.queue)
+	s.mu.Unlock()
+	fmt.Fprintln(w, "# HELP momserved_jobs Retained job records by lifecycle state.")
+	fmt.Fprintln(w, "# TYPE momserved_jobs gauge")
+	for _, st := range States {
+		fmt.Fprintf(w, "momserved_jobs{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintln(w, "# HELP momserved_queue_depth Jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE momserved_queue_depth gauge")
+	fmt.Fprintf(w, "momserved_queue_depth %d\n", queueLen)
+	fmt.Fprintln(w, "# HELP momserved_queue_capacity Admission queue capacity.")
+	fmt.Fprintln(w, "# TYPE momserved_queue_capacity gauge")
+	fmt.Fprintf(w, "momserved_queue_capacity %d\n", s.cfg.QueueCap)
+	fmt.Fprintln(w, "# HELP momserved_workers Worker pool size.")
+	fmt.Fprintln(w, "# TYPE momserved_workers gauge")
+	fmt.Fprintf(w, "momserved_workers %d\n", s.cfg.Workers)
+
+	// Completed jobs by terminal state (counter).
+	s.metrics.mu.Lock()
+	fmt.Fprintln(w, "# HELP momserved_jobs_finished_total Jobs finished by terminal state.")
+	fmt.Fprintln(w, "# TYPE momserved_jobs_finished_total counter")
+	for _, st := range []string{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "momserved_jobs_finished_total{state=%q} %d\n", st, s.metrics.finished[st])
+	}
+	// Per-experiment latency histograms.
+	exps := make([]string, 0, len(s.metrics.durations))
+	for e := range s.metrics.durations {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	fmt.Fprintln(w, "# HELP momserved_job_duration_seconds Wall-clock of executed jobs (store hits excluded).")
+	fmt.Fprintln(w, "# TYPE momserved_job_duration_seconds histogram")
+	for _, e := range exps {
+		h := s.metrics.durations[e]
+		var cum uint64
+		for i, b := range histBounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "momserved_job_duration_seconds_bucket{exp=%q,le=%q} %d\n", e, trimFloat(b), cum)
+		}
+		fmt.Fprintf(w, "momserved_job_duration_seconds_bucket{exp=%q,le=\"+Inf\"} %d\n", e, h.total)
+		fmt.Fprintf(w, "momserved_job_duration_seconds_sum{exp=%q} %g\n", e, h.sum)
+		fmt.Fprintf(w, "momserved_job_duration_seconds_count{exp=%q} %d\n", e, h.total)
+	}
+	s.metrics.mu.Unlock()
+
+	// Result store.
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		fmt.Fprintln(w, "# HELP momserved_store_hits_total Result-store lookups served from disk.")
+		fmt.Fprintln(w, "# TYPE momserved_store_hits_total counter")
+		fmt.Fprintf(w, "momserved_store_hits_total %d\n", st.Hits)
+		fmt.Fprintln(w, "# HELP momserved_store_misses_total Result-store lookups that missed.")
+		fmt.Fprintln(w, "# TYPE momserved_store_misses_total counter")
+		fmt.Fprintf(w, "momserved_store_misses_total %d\n", st.Misses)
+		fmt.Fprintln(w, "# HELP momserved_store_evictions_total Entries evicted by the size bound.")
+		fmt.Fprintln(w, "# TYPE momserved_store_evictions_total counter")
+		fmt.Fprintf(w, "momserved_store_evictions_total %d\n", st.Evictions)
+		fmt.Fprintln(w, "# HELP momserved_store_entries Entries currently stored.")
+		fmt.Fprintln(w, "# TYPE momserved_store_entries gauge")
+		fmt.Fprintf(w, "momserved_store_entries %d\n", st.Entries)
+		fmt.Fprintln(w, "# HELP momserved_store_bytes On-disk bytes currently stored.")
+		fmt.Fprintln(w, "# TYPE momserved_store_bytes gauge")
+		fmt.Fprintf(w, "momserved_store_bytes %d\n", st.Bytes)
+	}
+
+	// Trace cache (the capture-once/replay-many layer every driver uses).
+	ts := mom.ReadTraceStats()
+	fmt.Fprintln(w, "# HELP momserved_trace_captures_total Workload traces recorded.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_captures_total counter")
+	fmt.Fprintf(w, "momserved_trace_captures_total %d\n", ts.Captures)
+	fmt.Fprintln(w, "# HELP momserved_trace_replays_total Timing runs fed from a recorded trace.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_replays_total counter")
+	fmt.Fprintf(w, "momserved_trace_replays_total %d\n", ts.Replays)
+	fmt.Fprintln(w, "# HELP momserved_trace_live_runs_total Timing runs that fell back to live emulation.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_live_runs_total counter")
+	fmt.Fprintf(w, "momserved_trace_live_runs_total %d\n", ts.LiveRuns)
+	fmt.Fprintln(w, "# HELP momserved_trace_capture_seconds_total Wall-clock spent capturing traces.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_capture_seconds_total counter")
+	fmt.Fprintf(w, "momserved_trace_capture_seconds_total %g\n", ts.CaptureTime.Seconds())
+	fmt.Fprintln(w, "# HELP momserved_trace_replay_seconds_total Wall-clock spent in trace-fed timing runs.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_replay_seconds_total counter")
+	fmt.Fprintf(w, "momserved_trace_replay_seconds_total %g\n", ts.ReplayTime.Seconds())
+	fmt.Fprintln(w, "# HELP momserved_trace_cached_traces Traces currently held in memory.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_cached_traces gauge")
+	fmt.Fprintf(w, "momserved_trace_cached_traces %d\n", ts.CachedTraces)
+	fmt.Fprintln(w, "# HELP momserved_trace_cached_bytes Trace bytes currently held in memory.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_cached_bytes gauge")
+	fmt.Fprintf(w, "momserved_trace_cached_bytes %d\n", ts.CachedBytes)
+}
+
+// trimFloat formats a bucket bound the way Prometheus clients do (no
+// trailing zeros).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

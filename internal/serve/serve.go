@@ -1,0 +1,445 @@
+// Package serve is the momserver job service: an HTTP front end that runs
+// experiment requests (mom.JobRequest) on a bounded worker pool and
+// memoises their canonical result documents in a content-addressed store.
+//
+// The design mirrors the paper's batch methodology as a long-running
+// service: a design-space exploration asks for many overlapping
+// (experiment, configuration, workload) points, most of which have been
+// computed before, so every submission is first looked up by its
+// canonical SHA-256 key (schema version + normalised request) and only
+// misses consume a worker. Admission control is a fixed-capacity queue —
+// a full queue answers 429 with Retry-After rather than buffering
+// unboundedly — and every job runs under a per-job deadline with
+// cooperative cancellation threaded through the experiment drivers down
+// to par.For.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	mom "repro"
+	"repro/internal/store"
+)
+
+// Job lifecycle states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// States lists the lifecycle states in order (for metrics).
+var States = []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+
+// Runner executes one normalised request and returns its canonical result
+// document. Tests substitute stubs; production uses mom.RunJobRequest.
+type Runner func(ctx context.Context, req mom.JobRequest) ([]byte, error)
+
+// Config parameterises a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	Workers        int           // worker goroutines (default GOMAXPROCS)
+	QueueCap       int           // admission queue capacity (default 64)
+	Store          *store.Store  // optional result store (nil: recompute always)
+	DefaultTimeout time.Duration // per-job deadline when the request names none (default 10m)
+	MaxTimeout     time.Duration // upper clamp on requested deadlines (default 1h)
+	MaxJobs        int           // retained job records; oldest finished are pruned (default 4096)
+	Runner         Runner        // job executor (default mom.RunJobRequest)
+}
+
+type job struct {
+	id        string
+	key       string
+	req       mom.JobRequest
+	timeout   time.Duration
+	state     string
+	err       string
+	result    []byte
+	fromStore bool
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // set while running
+	done      chan struct{}      // closed on any terminal state
+}
+
+// Server is the job service. It implements http.Handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *job
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	nextID   int
+	jobs     map[string]*job
+	order    []string // job ids oldest-first, for pruning and listing
+
+	metrics metrics
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = time.Hour
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = mom.RunJobRequest
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueCap),
+		jobs:  map[string]*job{},
+	}
+	s.metrics.init()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the service: no new submissions are admitted (503), the
+// workers finish every job already accepted — running and queued — and
+// then exit. It returns ctx.Err() if the drain outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// submitBody is the POST /v1/jobs payload: the request fields flattened,
+// plus an optional execution deadline. The deadline is intentionally NOT
+// part of the store key — it describes how long the caller will wait, not
+// what is computed.
+type submitBody struct {
+	mom.JobRequest
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var body submitBody
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req, err := body.JobRequest.Normalized()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	key, err := req.Key()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if body.TimeoutMS > 0 {
+		timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	// Store hit: the job is born done, no worker consumed.
+	if s.cfg.Store != nil {
+		if val, ok := s.cfg.Store.Get(key); ok {
+			now := time.Now()
+			j := &job{
+				key: key, req: req, timeout: timeout,
+				state: StateDone, result: val, fromStore: true,
+				created: now, started: now, finished: now,
+				done: make(chan struct{}),
+			}
+			close(j.done)
+			s.mu.Lock()
+			s.register(j)
+			s.mu.Unlock()
+			s.writeJob(w, http.StatusOK, j)
+			return
+		}
+	}
+
+	j := &job{
+		key: key, req: req, timeout: timeout,
+		state: StateQueued, created: time.Now(),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.register(j)
+	default:
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueCap)
+		return
+	}
+	s.mu.Unlock()
+	s.writeJob(w, http.StatusAccepted, j)
+}
+
+// register assigns an id, indexes the job and prunes old finished
+// records. Caller holds s.mu.
+func (s *Server) register(j *job) {
+	s.nextID++
+	j.id = fmt.Sprintf("j%08d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.jobs) > s.cfg.MaxJobs {
+		pruned := false
+		for i, id := range s.order {
+			if old, ok := s.jobs[id]; ok && terminal(old.state) {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			break // everything live; keep the records
+		}
+	}
+}
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	docs := make([]jobDoc, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			docs = append(docs, s.doc(j))
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.writeJob(w, http.StatusOK, j)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	state, result, fromStore, errMsg := j.state, j.result, j.fromStore, j.err
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		if fromStore {
+			w.Header().Set("X-Momserved-Store", "hit")
+		} else {
+			w.Header().Set("X-Momserved-Store", "miss")
+		}
+		w.Write(result)
+	case StateFailed:
+		httpError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	default:
+		httpError(w, http.StatusConflict, "job is %s; poll /v1/jobs/%s until done", state, j.id)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// The worker that eventually drains it will see the terminal
+		// state and skip it.
+		j.state = StateCancelled
+		j.err = "cancelled before start"
+		j.finished = time.Now()
+		close(j.done)
+	case StateRunning:
+		j.cancel() // worker finalises the state when the runner returns
+	}
+	s.mu.Unlock()
+	s.writeJob(w, http.StatusOK, j)
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	defer cancel()
+
+	out, err := s.cfg.Runner(ctx, j.req)
+	ctxErr := ctx.Err()
+
+	// Persist before the job becomes observable as done, so a client that
+	// polls done and immediately re-submits is guaranteed the store hit.
+	// Best effort: a failed write only costs a future recompute.
+	if err == nil && ctxErr == nil && s.cfg.Store != nil {
+		_ = s.cfg.Store.Put(j.key, out)
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil && ctxErr == nil:
+		j.state = StateDone
+		j.result = out
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctxErr != nil:
+		j.state = StateCancelled
+		reason := ctxErr
+		if reason == nil {
+			reason = err
+		}
+		j.err = reason.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	state := j.state
+	dur := j.finished.Sub(j.started)
+	s.mu.Unlock()
+	close(j.done)
+
+	s.metrics.observe(j.req.Exp, state, dur)
+}
+
+// jobDoc is the public JSON shape of a job record.
+type jobDoc struct {
+	ID        string         `json:"id"`
+	State     string         `json:"state"`
+	Request   mom.JobRequest `json:"request"`
+	Key       string         `json:"key"`
+	FromStore bool           `json:"from_store"`
+	Error     string         `json:"error,omitempty"`
+	Created   time.Time      `json:"created"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	ResultURL string         `json:"result_url,omitempty"`
+}
+
+// doc snapshots a job. Caller holds s.mu.
+func (s *Server) doc(j *job) jobDoc {
+	d := jobDoc{
+		ID: j.id, State: j.state, Request: j.req, Key: j.key,
+		FromStore: j.fromStore, Error: j.err, Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		d.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		d.Finished = &t
+	}
+	if j.state == StateDone {
+		d.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return d
+}
+
+func (s *Server) writeJob(w http.ResponseWriter, code int, j *job) {
+	s.mu.Lock()
+	d := s.doc(j)
+	s.mu.Unlock()
+	writeJSON(w, code, d)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	writeJSON(w, code, map[string]string{"error": strings.TrimSpace(msg)})
+}

@@ -1,0 +1,301 @@
+// Package store is a disk-backed, content-addressed result store: values
+// are byte blobs keyed by a caller-computed SHA-256 (the canonical hash of
+// an experiment request — see mom.JobRequest.Key), written atomically and
+// bounded by an LRU size budget.
+//
+// The store is an optimisation, never a source of truth: any damaged,
+// truncated or unreadable entry reads as a miss (and is removed), so the
+// worst failure mode is recomputing a result. Writes go through a
+// temp-file + rename, so a crash can never leave a half-written value
+// under a valid key.
+package store
+
+import (
+	"bufio"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fileMagic heads every entry file; the trailing 1 is the on-disk format
+// version (independent of the value schema, which is part of the key).
+const fileMagic = "momstore 1"
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	Hits      uint64 // Get found a valid entry
+	Misses    uint64 // Get found nothing (or a corrupt entry)
+	Puts      uint64 // values written
+	Evictions uint64 // entries removed by the LRU bound
+	Entries   int    // entries currently held
+	Bytes     int64  // on-disk bytes currently held (headers included)
+}
+
+type entry struct {
+	key  string
+	size int64
+	elem *list.Element // position in the recency list
+}
+
+// Store is a size-bounded content-addressed blob store rooted at one
+// directory. It is safe for concurrent use.
+type Store struct {
+	dir string
+	max int64 // payload-byte budget; <= 0 means unbounded
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	stats   Stats
+}
+
+// Open loads (or creates) a store rooted at dir, bounded to maxBytes on
+// disk (<= 0 disables the bound). Existing entries are indexed
+// without reading their payloads; their LRU order is rebuilt from file
+// modification times, which Get refreshes, so recency survives restarts.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		max:     maxBytes,
+		entries: map[string]*entry{},
+		lru:     list.New(),
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var have []found
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if !validKey(name) {
+			if strings.HasPrefix(name, "tmp-") {
+				os.Remove(path) // leftover from an interrupted Put
+			}
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent eviction; skip
+		}
+		have = append(have, found{key: name, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	// Oldest first, so the most recently touched entries end up at the
+	// front of the LRU list.
+	sort.Slice(have, func(i, j int) bool { return have[i].mtime.Before(have[j].mtime) })
+	for _, f := range have {
+		e := &entry{key: f.key, size: f.size}
+		e.elem = s.lru.PushFront(e)
+		s.entries[f.key] = e
+		s.bytes += f.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// validKey reports whether key is a lowercase hex SHA-256 digest.
+func validKey(key string) bool {
+	if len(key) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(key)
+	return err == nil && strings.ToLower(key) == key
+}
+
+// path returns the entry file for a key, sharded by the first two hex
+// digits so no single directory grows unbounded.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Get returns the stored value for key. Any failure — absent entry,
+// truncated file, checksum mismatch — is a miss; damaged entries are
+// removed so they are not re-verified on every lookup.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	val, err := readEntry(s.path(key))
+	if err != nil {
+		s.removeDamaged(key)
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	// Refresh the mtime (best effort) so LRU order survives a restart.
+	now := time.Now()
+	_ = os.Chtimes(s.path(key), now, now)
+	s.count(func(st *Stats) { st.Hits++ })
+	return val, true
+}
+
+// Put stores val under key, atomically (write to a temp file in the same
+// directory, fsync, rename) and then evicts least-recently-used entries
+// until the store fits its budget. Re-putting an existing key refreshes
+// its value and recency.
+func (s *Store) Put(key string, val []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	sum := sha256.Sum256(val)
+	if _, err := fmt.Fprintf(tmp, "%s %s %d\n", fileMagic, hex.EncodeToString(sum[:]), len(val)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	info, err := os.Stat(tmp.Name())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes += info.Size() - e.size
+		e.size = info.Size()
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: key, size: info.Size()}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.bytes += info.Size()
+	}
+	s.stats.Puts++
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// evictLocked drops least-recently-used entries until the byte budget is
+// met. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.max <= 0 {
+		return
+	}
+	for s.bytes > s.max {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.bytes -= e.size
+		s.stats.Evictions++
+		os.Remove(s.path(e.key))
+	}
+}
+
+// removeDamaged drops a key whose file failed verification.
+func (s *Store) removeDamaged(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.Remove(e.elem)
+		delete(s.entries, key)
+		s.bytes -= e.size
+	}
+	os.Remove(s.path(key))
+}
+
+// Stats returns a snapshot of the counters and current occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// readEntry reads and verifies one entry file: header line, declared
+// length, payload checksum. Any mismatch is an error (the caller treats
+// it as a miss).
+func readEntry(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	var wantHex string
+	var n int
+	if _, err := fmt.Sscanf(header, fileMagic+" %64s %d\n", &wantHex, &n); err != nil {
+		return nil, fmt.Errorf("store: bad header in %s: %w", path, err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("store: bad length in %s", path)
+	}
+	val := make([]byte, n)
+	if _, err := io.ReadFull(r, val); err != nil {
+		return nil, fmt.Errorf("store: truncated %s: %w", path, err)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("store: trailing bytes in %s", path)
+	}
+	sum := sha256.Sum256(val)
+	if hex.EncodeToString(sum[:]) != wantHex {
+		return nil, fmt.Errorf("store: checksum mismatch in %s", path)
+	}
+	return val, nil
+}

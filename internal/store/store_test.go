@@ -1,0 +1,222 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func key(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func open(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	val := []byte(`{"schema":1,"experiment":"fig5","rows":[]}` + "\n")
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key("a"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key("a"))
+	if !ok || string(got) != string(val) {
+		t.Fatalf("got %q ok=%v, want the stored value", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 put / 1 entry", st)
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if err := s.Put("not-a-hash", []byte("x")); err == nil {
+		t.Fatal("Put accepted an invalid key")
+	}
+	if _, ok := s.Get("../escape"); ok {
+		t.Fatal("Get accepted an invalid key")
+	}
+}
+
+// TestReopenPersists: values survive process restarts, including their
+// recency order.
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	if err := s.Put(key("a"), []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("b"), []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0)
+	got, ok := s2.Get(key("a"))
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("after reopen: got %q ok=%v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 2 {
+		t.Fatalf("after reopen: %d entries, want 2", st.Entries)
+	}
+}
+
+// TestCorruptionIsAMiss: a truncated or tampered file must read as a miss
+// (and be dropped), never as an error or a wrong value.
+func TestCorruptionIsAMiss(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		damage func(path string) error
+	}{
+		{"truncated", func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, b[:len(b)-3], 0o644)
+		}},
+		{"flipped-byte", func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			b[len(b)-1] ^= 0xff
+			return os.WriteFile(p, b, 0o644)
+		}},
+		{"emptied", func(p string) error {
+			return os.WriteFile(p, nil, 0o644)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, 0)
+			k := key("victim")
+			if err := s.Put(k, []byte("precious result bytes")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.damage(filepath.Join(dir, k[:2], k)); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s.Get(k); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", v)
+			}
+			if st := s.Stats(); st.Entries != 0 {
+				t.Fatalf("corrupt entry not dropped: %+v", st)
+			}
+			// The key is writable again afterwards.
+			if err := s.Put(k, []byte("fresh")); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := s.Get(k); !ok || string(v) != "fresh" {
+				t.Fatalf("re-put after corruption: got %q ok=%v", v, ok)
+			}
+		})
+	}
+}
+
+// TestEvictionOrder: the size bound evicts least-recently-used first, and
+// a Get refreshes recency.
+func TestEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is header (~77B) + 100B payload; budget fits ~3 entries.
+	s := open(t, dir, 560)
+	val := make([]byte, 100)
+	keys := []string{key("k0"), key("k1"), key("k2")}
+	for _, k := range keys {
+		if err := s.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("setup: %+v, want 3 entries and no evictions", st)
+	}
+	// Touch k0 so k1 becomes the LRU entry, then overflow.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("k0 missing before overflow")
+	}
+	if err := s.Put(key("k3"), val); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("after overflow: %+v, want exactly 1 eviction", st)
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("k1 survived: eviction was not least-recently-used")
+	}
+	for _, k := range []string{keys[0], keys[2], key("k3")} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted out of order", k)
+		}
+	}
+}
+
+// TestOversizedValueEvicted: a single value larger than the whole budget
+// is admitted and immediately evicted — the store never exceeds its bound.
+func TestOversizedValueEvicted(t *testing.T) {
+	s := open(t, t.TempDir(), 64)
+	if err := s.Put(key("big"), make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Bytes > 64 || st.Entries != 0 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+}
+
+// TestOpenCleansTempFiles: leftovers from an interrupted Put are removed
+// and never indexed.
+func TestOpenCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(sub, "tmp-12345")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, 0)
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("temp file indexed: %+v", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file not cleaned: %v", err)
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines; the race
+// detector owns the assertions.
+func TestConcurrentAccess(t *testing.T) {
+	s := open(t, t.TempDir(), 2048)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("k%d", (g+i)%16))
+				if i%3 == 0 {
+					_ = s.Put(k, []byte(fmt.Sprintf("value %d.%d", g, i)))
+				} else {
+					s.Get(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s.Stats()
+}

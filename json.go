@@ -7,32 +7,51 @@ import (
 
 // JSON exports of the experiment rows and single-run results. Every
 // momsim experiment can emit its rows through WriteExperimentJSON, so the
-// schema is uniform: one compact document per experiment with the
-// experiment name and the row list. Field names are fixed by the json
-// tags on the row types (snake_case) and ISA / CacheMode marshal by name,
-// so the output is stable across refactors of the Go-side enums.
+// schema is uniform: one compact document per experiment with the schema
+// version, the experiment name and the row list. The encoding is
+// canonical — struct fields appear in declaration order, map keys are
+// sorted by encoding/json, and ISA / CacheMode marshal by name — so the
+// same rows always produce the same bytes. The job service relies on
+// this: the documents are stored content-addressed under a key that
+// includes SchemaVersion, and byte-identical replay of a stored document
+// must be indistinguishable from a fresh run.
+
+// SchemaVersion is the version of the JSON document schema emitted by
+// WriteExperimentJSON / WriteResultJSON. Bump it on any change to the
+// envelope or row encodings; the bump flows into every JobRequest key, so
+// stale store entries are never served across a schema change.
+const SchemaVersion = 1
 
 // experimentEnvelope is the uniform top-level JSON shape.
 type experimentEnvelope struct {
+	Schema     int    `json:"schema"`
 	Experiment string `json:"experiment"`
 	Rows       any    `json:"rows"`
 }
 
+// resultEnvelope flattens a single-run Result under the same schema
+// header ({"schema":1,"workload":...}).
+type resultEnvelope struct {
+	Schema int `json:"schema"`
+	Result
+}
+
 // WriteExperimentJSON emits one experiment's rows as a single-line JSON
-// document: {"experiment": name, "rows": [...]}.
+// document: {"schema": v, "experiment": name, "rows": [...]}.
 func WriteExperimentJSON(w io.Writer, name string, rows any) error {
-	return json.NewEncoder(w).Encode(experimentEnvelope{Experiment: name, Rows: rows})
+	return json.NewEncoder(w).Encode(experimentEnvelope{Schema: SchemaVersion, Experiment: name, Rows: rows})
 }
 
 // WriteResultJSON emits one timed run (a single kernel or application) as
-// a single-line JSON document.
+// a single-line JSON document with the schema version alongside the
+// Result fields.
 func WriteResultJSON(w io.Writer, r Result) error {
-	return json.NewEncoder(w).Encode(r)
+	return json.NewEncoder(w).Encode(resultEnvelope{Schema: SchemaVersion, Result: r})
 }
 
 // WriteHotspotsJSON emits per-PC hotspot reports in the experiment
-// envelope ({"experiment":"hotspots","rows":[...]}); each row is one
-// HotspotReport whose per-PC profiles sum to the report profile.
+// envelope ({"schema":v,"experiment":"hotspots","rows":[...]}); each row
+// is one HotspotReport whose per-PC profiles sum to the report profile.
 func WriteHotspotsJSON(w io.Writer, reps []HotspotReport) error {
 	return WriteExperimentJSON(w, "hotspots", reps)
 }

@@ -1,6 +1,7 @@
 package mom
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -33,7 +34,7 @@ func TestEveryWorkloadVerifies(t *testing.T) {
 
 // TestFigure5Shape checks the qualitative claims of the kernel study.
 func TestFigure5Shape(t *testing.T) {
-	rows, err := Figure5(ScaleTest)
+	rows, err := Figure5(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFigure5Shape(t *testing.T) {
 // memory latency better than the packed ISAs and scalar code on the
 // streaming kernels.
 func TestLatencyToleranceShape(t *testing.T) {
-	rows, err := LatencyStudy(ScaleTest, 4)
+	rows, err := LatencyStudy(context.Background(), ScaleTest, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestLatencyToleranceShape(t *testing.T) {
 
 // TestFigure7Shape checks the program-level claims.
 func TestFigure7Shape(t *testing.T) {
-	rows, err := Figure7(ScaleTest)
+	rows, err := Figure7(context.Background(), ScaleTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestRunKernelErrors(t *testing.T) {
 // performance must saturate at (or before) the paper's 20 physical matrix
 // registers and degrade below it.
 func TestRegisterSweepSaturates(t *testing.T) {
-	rows, err := RegisterSweep(ScaleTest, "idct")
+	rows, err := RegisterSweep(context.Background(), ScaleTest, "idct")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,291 @@
+package mom
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// This file defines the canonical request form of every experiment the
+// package can run — the unit of work of the momserver job service and the
+// identity under which internal/store caches results. A JobRequest is
+// normalised (defaults filled, irrelevant fields cleared, names
+// canonicalised) and then hashed, so two requests that mean the same
+// computation always produce the same SHA-256 key and, because every
+// driver is deterministic and the JSON encoding is canonical (struct
+// fields in declaration order, map keys sorted by encoding/json), the
+// same stored bytes.
+
+// ExpNames lists the runnable experiments in a stable order: the batch
+// drivers first, then the two single-point runs.
+var ExpNames = []string{
+	"fig5", "fig7", "latency", "profile", "fetch", "hotspots",
+	"regsweep", "memsweep", "kernel", "app",
+}
+
+// JobRequest identifies one experiment computation. Exp selects the
+// driver; the remaining fields parameterise it. Fields an experiment does
+// not consume are cleared by Normalized so they cannot split the store key
+// space.
+type JobRequest struct {
+	Exp    string `json:"exp"`              // one of ExpNames
+	Scale  string `json:"scale,omitempty"`  // "test" (default) or "bench"
+	Width  int    `json:"width,omitempty"`  // latency/profile/hotspots/kernel/app (default 4)
+	ISA    string `json:"isa,omitempty"`    // kernel/app (default "MOM")
+	Mem    string `json:"mem,omitempty"`    // kernel/app: perfect|perfect50|conv|multi|vector|collapsing (default "perfect")
+	Kernel string `json:"kernel,omitempty"` // regsweep/kernel
+	App    string `json:"app,omitempty"`    // memsweep/app
+}
+
+// requestKeyDoc is the hashed document: the request plus the schema
+// version, so a change to the result encoding retires every stored entry.
+type requestKeyDoc struct {
+	Schema int `json:"schema"`
+	JobRequest
+}
+
+// ParseISA resolves an ISA name case-insensitively.
+func ParseISA(s string) (ISA, error) {
+	switch strings.ToLower(s) {
+	case "alpha":
+		return Alpha, nil
+	case "mmx":
+		return MMX, nil
+	case "mdmx":
+		return MDMX, nil
+	case "mom":
+		return MOM, nil
+	}
+	return 0, fmt.Errorf("unknown ISA %q (valid: Alpha, MMX, MDMX, MOM)", s)
+}
+
+// MemModelNames lists the memory-model selectors accepted by
+// ParseMemModel, in a stable order.
+var MemModelNames = []string{"perfect", "perfect50", "conv", "multi", "vector", "collapsing"}
+
+// ParseMemModel resolves a memory-model selector (the -cache vocabulary of
+// cmd/momsim).
+func ParseMemModel(s string) (MemModel, error) {
+	switch s {
+	case "perfect":
+		return PerfectMemory(1), nil
+	case "perfect50":
+		return PerfectMemory(50), nil
+	case "conv":
+		return DetailedMemory(Conventional), nil
+	case "multi":
+		return DetailedMemory(MultiAddress), nil
+	case "vector":
+		return DetailedMemory(VectorCache), nil
+	case "collapsing":
+		return DetailedMemory(CollapsingBuffer), nil
+	}
+	return MemModel{}, fmt.Errorf("unknown memory model %q (valid: %s)", s, strings.Join(MemModelNames, ", "))
+}
+
+func parseScale(s string) (Scale, error) {
+	switch s {
+	case "", "test":
+		return ScaleTest, nil
+	case "bench":
+		return ScaleBench, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (valid: test, bench)", s)
+}
+
+func validName(kind, name string, valid []string) error {
+	for _, n := range valid {
+		if n == name {
+			return nil
+		}
+	}
+	if name == "" {
+		return fmt.Errorf("missing %s (valid: %s)", kind, strings.Join(valid, ", "))
+	}
+	return fmt.Errorf("unknown %s %q (valid: %s)", kind, name, strings.Join(valid, ", "))
+}
+
+// Normalized validates the request and returns its canonical form:
+// defaults filled in, names canonicalised (ISA case, scale), and every
+// field the experiment does not consume cleared. The canonical form is
+// what Key hashes, so e.g. {"exp":"fig5","width":8} and {"exp":"fig5"}
+// are the same computation and the same store entry.
+func (r JobRequest) Normalized() (JobRequest, error) {
+	n := JobRequest{Exp: r.Exp}
+	sc, err := parseScale(r.Scale)
+	if err != nil {
+		return n, err
+	}
+	n.Scale = "test"
+	if sc == ScaleBench {
+		n.Scale = "bench"
+	}
+	width := func() error {
+		n.Width = r.Width
+		if n.Width == 0 {
+			n.Width = 4
+		}
+		switch n.Width {
+		case 1, 2, 4, 8:
+			return nil
+		}
+		return fmt.Errorf("invalid width %d (valid: 1, 2, 4, 8)", n.Width)
+	}
+	point := func(kind string) error {
+		if err := width(); err != nil {
+			return err
+		}
+		i := r.ISA
+		if i == "" {
+			i = "MOM"
+		}
+		level, err := ParseISA(i)
+		if err != nil {
+			return err
+		}
+		n.ISA = level.String()
+		m := r.Mem
+		if m == "" {
+			m = "perfect"
+		}
+		if _, err := ParseMemModel(m); err != nil {
+			return err
+		}
+		n.Mem = m
+		if kind == "kernel" {
+			n.Kernel = r.Kernel
+			return validName("kernel", n.Kernel, KernelNames())
+		}
+		n.App = r.App
+		return validName("app", n.App, AppNames())
+	}
+	switch r.Exp {
+	case "fig5", "fig7", "fetch":
+		// scale only
+	case "latency", "profile", "hotspots":
+		if err := width(); err != nil {
+			return n, err
+		}
+	case "regsweep":
+		n.Kernel = r.Kernel
+		if err := validName("kernel", n.Kernel, KernelNames()); err != nil {
+			return n, err
+		}
+	case "memsweep":
+		n.App = r.App
+		if err := validName("app", n.App, AppNames()); err != nil {
+			return n, err
+		}
+	case "kernel":
+		if err := point("kernel"); err != nil {
+			return n, err
+		}
+	case "app":
+		if err := point("app"); err != nil {
+			return n, err
+		}
+	default:
+		return n, fmt.Errorf("unknown experiment %q (valid: %s)", r.Exp, strings.Join(ExpNames, ", "))
+	}
+	return n, nil
+}
+
+// CanonicalJSON returns the deterministic byte encoding of the normalised
+// request prefixed with the schema version — the store's hashing preimage.
+func (r JobRequest) CanonicalJSON() ([]byte, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(requestKeyDoc{Schema: SchemaVersion, JobRequest: n})
+}
+
+// Key returns the content-addressed store key of the request: the
+// lowercase hex SHA-256 of CanonicalJSON.
+func (r JobRequest) Key() (string, error) {
+	b, err := r.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RunJobRequest executes one request and returns the canonical result
+// document — the same single-line JSON the momsim -json paths emit, which
+// is what the job service stores and serves. The context cancels the
+// parallel drivers between sub-runs (see par.For); identical requests
+// yield byte-identical documents.
+func RunJobRequest(ctx context.Context, req JobRequest) ([]byte, error) {
+	n, err := req.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	sc, _ := parseScale(n.Scale)
+	var buf bytes.Buffer
+	write := func(rows any, err error) ([]byte, error) {
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteExperimentJSON(&buf, n.Exp, rows); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	switch n.Exp {
+	case "fig5":
+		rows, err := Figure5(ctx, sc)
+		return write(rows, err)
+	case "fig7":
+		rows, err := Figure7(ctx, sc)
+		return write(rows, err)
+	case "latency":
+		rows, err := LatencyStudy(ctx, sc, n.Width)
+		return write(rows, err)
+	case "profile":
+		rows, err := ProfileStudy(ctx, sc, n.Width)
+		return write(rows, err)
+	case "fetch":
+		rows, err := FetchPressure(ctx, sc)
+		return write(rows, err)
+	case "hotspots":
+		reps, err := HotspotStudy(ctx, sc, n.Width)
+		return write(reps, err)
+	case "regsweep":
+		rows, err := RegisterSweep(ctx, sc, n.Kernel)
+		return write(rows, err)
+	case "memsweep":
+		rows, err := MemorySweep(ctx, sc, n.App)
+		return write(rows, err)
+	case "kernel", "app":
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		level, _ := ParseISA(n.ISA)
+		m, _ := ParseMemModel(n.Mem)
+		var res Result
+		if n.Exp == "kernel" {
+			res, err = RunKernel(n.Kernel, level, n.Width, m, sc)
+		} else {
+			res, err = RunApp(n.App, level, n.Width, m, sc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := res.CheckInvariants(); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := WriteResultJSON(&buf, res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", n.Exp)
+}

@@ -1,6 +1,7 @@
 package mom
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -203,7 +204,7 @@ func runConfig(cfg cpu.Config, model mem.Model, tr *trace.Trace, mk func() *emu.
 // before the replay fan-out, so no replay worker blocks behind a capture
 // another configuration also needs. Capture failures are not errors here —
 // the affected runs simply fall back to live emulation.
-func warmTraces(app bool, names []string, isas []ISA, sc Scale) {
+func warmTraces(ctx context.Context, app bool, names []string, isas []ISA, sc Scale) {
 	type wk struct {
 		name string
 		isa  ISA
@@ -214,7 +215,7 @@ func warmTraces(app bool, names []string, isas []ISA, sc Scale) {
 			jobs = append(jobs, wk{n, i})
 		}
 	}
-	_ = par.For(len(jobs), func(idx int) error {
+	_ = par.For(ctx, len(jobs), func(idx int) error {
 		cachedTrace(traceKey{app: app, name: jobs[idx].name, isa: jobs[idx].isa, scale: sc})
 		return nil
 	})
