@@ -144,6 +144,35 @@ func BenchmarkFigure7Apps(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7AppsSampled is BenchmarkFigure7Apps under the default
+// sampling regime: the trace is captured once outside the timed region
+// (sampling only pays off against a recording) and each iteration
+// fast-forwards between detailed windows. Compare simcycles here against
+// the exact benchmark to see the estimate quality next to the speedup.
+func BenchmarkFigure7AppsSampled(b *testing.B) {
+	for _, a := range AppNames() {
+		for _, cfg := range Figure7Configs {
+			a, cfg := a, cfg
+			b.Run(fmt.Sprintf("%s/%s", a, cfg), func(b *testing.B) {
+				key := traceKey{app: true, name: a, isa: cfg.ISA, scale: ScaleTest}
+				if cachedTrace(key) == nil {
+					b.Fatal("capture failed")
+				}
+				b.ResetTimer()
+				var est int64
+				for n := 0; n < b.N; n++ {
+					r, ok, err := runTraced(key, 4, DetailedMemory(cfg.Cache), DefaultSampleSpec)
+					if err != nil || !ok {
+						b.Fatalf("sampled replay: ok=%v err=%v", ok, err)
+					}
+					est = r.Sampled.EstCycles
+				}
+				b.ReportMetric(float64(est), "simcycles")
+			})
+		}
+	}
+}
+
 // BenchmarkSimThroughput measures raw simulator speed — host-side dynamic
 // instructions simulated per second — on a representative kernel, comparing
 // the live interleaved emulate-and-time path against replay from a recorded
@@ -170,7 +199,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 		b.ResetTimer()
 		var insts uint64
 		for n := 0; n < b.N; n++ {
-			r, ok, err := runTraced(key, 4, PerfectMemory(1))
+			r, ok, err := runTraced(key, 4, PerfectMemory(1), SampleSpec{})
 			if err != nil || !ok {
 				b.Fatalf("replay: ok=%v err=%v", ok, err)
 			}

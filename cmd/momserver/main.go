@@ -5,9 +5,15 @@
 //
 //	momserver -addr :8344 -store ./momstore &
 //	curl -s -X POST localhost:8344/v1/jobs -d '{"exp":"fig5","scale":"test"}'
+//	curl -s -X POST localhost:8344/v1/jobs \
+//	    -d '{"exp":"fig7","sample_period":1501,"sample_warmup":100,"sample_interval":150}'
 //	curl -s localhost:8344/v1/jobs/j00000001          # poll state
-//	curl -s localhost:8344/v1/jobs/j00000001/result   # the fig5 document
+//	curl -s localhost:8344/v1/jobs/j00000001/result   # the fig7 document
 //	curl -s localhost:8344/metrics                    # Prometheus text
+//
+// Sampled and exact requests normalise to different content-address keys,
+// so their stored documents never collide; /metrics splits admitted jobs
+// by experiment and mode (momserved_jobs_submitted_total).
 //
 // SIGINT/SIGTERM drain the service: new submissions get 503, accepted
 // jobs finish (bounded by -drain), then the process exits.

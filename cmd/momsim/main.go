@@ -38,6 +38,7 @@ func main() {
 		kernel  = flag.String("kernel", "", "run a single kernel")
 		app     = flag.String("app", "", "run a single application")
 		cache   = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
+		sample  = flag.String("sample", "", "sampled simulation as period:warmup:interval dynamic instructions (fig7|profile|hotspots or single -kernel/-app runs); empty = exact")
 		verify  = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
 		format  = flag.String("format", "table", "experiment output format: table|csv|json")
 		asJSON  = flag.Bool("json", false, "emit JSON (shorthand for -format json; also applies to single runs)")
@@ -61,6 +62,13 @@ func main() {
 	m, err := mom.ParseMemModel(*cache)
 	if err != nil {
 		fatal(err)
+	}
+	sp, err := mom.ParseSampleSpec(*sample)
+	if err != nil {
+		fatal(err)
+	}
+	if sp.Enabled() && *verify {
+		fatal(fmt.Errorf("-sample cannot be combined with -verify (verification is bit-exact by definition)"))
 	}
 	if *exp != "" {
 		// Validate every requested experiment up front, so a typo in a
@@ -96,13 +104,13 @@ func main() {
 			}
 		}
 	case *kernel != "":
-		res, err := mom.RunKernel(*kernel, i, *width, m, sc)
+		res, err := mom.RunKernelSampled(*kernel, i, *width, m, sc, sp)
 		if err != nil {
 			fatal(err)
 		}
 		emitResult(res, outFormat)
 	case *app != "":
-		res, err := mom.RunApp(*app, i, *width, m, sc)
+		res, err := mom.RunAppSampled(*app, i, *width, m, sc, sp)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,7 +118,7 @@ func main() {
 	case *exp != "":
 		for _, e := range strings.Split(*exp, ",") {
 			before := mom.ReadTraceStats()
-			if err := runExperiment(ctx, e, sc, i, *width, outFormat); err != nil {
+			if err := runExperiment(ctx, e, sc, i, *width, sp, outFormat); err != nil {
 				fatal(err)
 			}
 			if *verbose {
@@ -123,9 +131,17 @@ func main() {
 	}
 }
 
-func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, width int, format string) error {
+func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, width int, sp mom.SampleSpec, format string) error {
 	asJSON := format == "json"
 	asCSV := format == "csv"
+	switch exp {
+	case "fig7", "profile", "hotspots":
+		// the sampled-capable drivers; handled below
+	default:
+		if sp.Enabled() {
+			return fmt.Errorf("experiment %q does not support -sample (valid: fig7, profile, hotspots)", exp)
+		}
+	}
 	switch exp {
 	case "fig5":
 		rows, err := mom.Figure5(ctx, sc)
@@ -152,7 +168,7 @@ func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, wid
 		}
 		fmt.Print(mom.FormatLatency(rows))
 	case "fig7":
-		rows, err := mom.Figure7(ctx, sc)
+		rows, err := mom.Figure7Sampled(ctx, sc, sp)
 		if err != nil {
 			return err
 		}
@@ -191,7 +207,7 @@ func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, wid
 		}
 		fmt.Print(mom.FormatFetch(rows))
 	case "profile":
-		rows, err := mom.ProfileStudy(ctx, sc, width)
+		rows, err := mom.ProfileStudySampled(ctx, sc, width, sp)
 		if err != nil {
 			return err
 		}
@@ -203,7 +219,7 @@ func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, wid
 		}
 		fmt.Print(mom.FormatProfile(rows))
 	case "hotspots":
-		reps, err := mom.HotspotStudy(ctx, sc, width)
+		reps, err := mom.HotspotStudySampled(ctx, sc, width, sp)
 		if err != nil {
 			return err
 		}
@@ -266,7 +282,7 @@ func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, wid
 		fmt.Printf("multimedia instructions: MMX %d, MDMX %d, MOM %d\n", mmx, mdmx, momN)
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "isacount", "fig5", "latency", "fig7", "fetch", "profile", "hotspots"} {
-			if err := runExperiment(ctx, e, sc, i, width, format); err != nil {
+			if err := runExperiment(ctx, e, sc, i, width, sp, format); err != nil {
 				return err
 			}
 			if !asJSON {
@@ -310,6 +326,11 @@ func emitResult(r mom.Result, format string) {
 	fmt.Printf("  cycles        %12d\n", r.Cycles)
 	fmt.Printf("  instructions  %12d\n", r.Insts)
 	fmt.Printf("  IPC           %12.3f\n", r.IPC())
+	if s := r.Sampled; s != nil {
+		fmt.Printf("  sampled       %12d windows of %d insts (period %d, warmup %d): %.1f%% coverage, IPC %.3f ± %.3f, est. %d cycles over %d insts\n",
+			s.Intervals, s.Interval, s.Period, s.Warmup,
+			100*s.Coverage, s.IPCMean, s.IPCStdErr, s.EstCycles, s.TotalInsts)
+	}
 	fmt.Printf("  word-ops      %12d (%.2f per cycle)\n", r.WordOps, r.OPC())
 	fmt.Printf("  branches      %12d (%d mispredicted)\n", r.Branches, r.Mispredicts)
 	fmt.Printf("  loads/stores  %12d / %d\n", r.Loads, r.Stores)

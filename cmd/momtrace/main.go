@@ -92,6 +92,20 @@ func main() {
 			replayT.Round(time.Microsecond),
 			float64(tr.Records())/replayT.Seconds()/1e6,
 			captureT.Seconds()/replayT.Seconds())
+
+		// Skip-drain: fast-forward over the whole trace without
+		// reconstructing records — the cursor a sampled run uses to jump
+		// between detailed windows. The Pos/Skipped counters confirm the
+		// cursor accounts for every record it passed.
+		t0 = time.Now()
+		sr := tr.Reader()
+		skipped := sr.Skip(tr.Records())
+		skipT := time.Since(t0)
+		fmt.Printf("  skip drain    %12v (%.1f Minsts/s, %.1fx replay; pos %d, skipped %d)\n",
+			skipT.Round(time.Microsecond),
+			float64(skipped)/max(skipT.Seconds(), 1e-9)/1e6,
+			replayT.Seconds()/max(skipT.Seconds(), 1e-9),
+			sr.Pos(), sr.Skipped())
 		fmt.Println()
 		src = tr.Reader()
 	}

@@ -56,7 +56,7 @@ func Figure5(ctx context.Context, sc Scale) ([]KernelSpeedup, error) {
 	rows := make([]KernelSpeedup, len(jobs))
 	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
-		res, err := runKernelCached(j.kernel, j.isa, j.width, PerfectMemory(1), sc)
+		res, err := runKernelCached(j.kernel, j.isa, j.width, PerfectMemory(1), sc, SampleSpec{})
 		if err != nil {
 			return err
 		}
@@ -115,11 +115,11 @@ func LatencyStudy(ctx context.Context, sc Scale, width int) ([]LatencyRow, error
 	rows := make([]LatencyRow, len(jobs))
 	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
-		r1, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(1), sc)
+		r1, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(1), sc, SampleSpec{})
 		if err != nil {
 			return err
 		}
-		r50, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(50), sc)
+		r50, err := runKernelCached(j.kernel, j.isa, width, PerfectMemory(50), sc, SampleSpec{})
 		if err != nil {
 			return err
 		}
@@ -153,21 +153,35 @@ var Figure7Configs = []AppConfig{
 	{MOM, CollapsingBuffer},
 }
 
-// AppSpeedup is one bar of Figure 7.
+// AppSpeedup is one bar of Figure 7. For sampled runs Cycles is the
+// whole-run estimate at the sampled IPC (so speed-up ratios stay
+// comparable) and Sampled carries coverage and error bounds.
 type AppSpeedup struct {
-	App     string    `json:"app"`
-	Config  AppConfig `json:"config"`
-	Width   int       `json:"width"`
-	Cycles  int64     `json:"cycles"`
-	Insts   uint64    `json:"insts"`
-	IPC     float64   `json:"ipc"`
-	Speedup float64   `json:"speedup"` // versus Alpha/conventional at the same width
+	App     string       `json:"app"`
+	Config  AppConfig    `json:"config"`
+	Width   int          `json:"width"`
+	Cycles  int64        `json:"cycles"`
+	Insts   uint64       `json:"insts"`
+	IPC     float64      `json:"ipc"`
+	Speedup float64      `json:"speedup"` // versus Alpha/conventional at the same width
+	Sampled *SampledInfo `json:"sampled,omitempty"`
 }
 
 // Figure7 reruns the program-level study: the five applications on the five
 // ISA/cache configurations at 4- and 8-way issue with the detailed memory
 // hierarchy.
 func Figure7(ctx context.Context, sc Scale) ([]AppSpeedup, error) {
+	return Figure7Sampled(ctx, sc, SampleSpec{})
+}
+
+// Figure7Sampled is Figure7 under a sampling regime: every app×config×width
+// point runs sampled (detailed windows + functional fast-forward over the
+// recorded trace), turning the slowest experiment into an interactive one.
+// A disabled spec is bit-identical to Figure7.
+func Figure7Sampled(ctx context.Context, sc Scale, sp SampleSpec) ([]AppSpeedup, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	names := AppNames()
 	isas := map[ISA]bool{}
 	for _, cfg := range Figure7Configs {
@@ -197,13 +211,18 @@ func Figure7(ctx context.Context, sc Scale) ([]AppSpeedup, error) {
 	rows := make([]AppSpeedup, len(jobs))
 	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
-		res, err := runAppCached(j.app, j.cfg.ISA, j.width, DetailedMemory(j.cfg.Cache), sc)
+		res, err := runAppCached(j.app, j.cfg.ISA, j.width, DetailedMemory(j.cfg.Cache), sc, sp)
 		if err != nil {
 			return err
 		}
+		insts := res.Insts
+		if res.Sampled != nil {
+			insts = res.Sampled.TotalInsts
+		}
 		rows[idx] = AppSpeedup{
 			App: j.app, Config: j.cfg, Width: j.width,
-			Cycles: res.Cycles, Insts: res.Insts, IPC: res.IPC(),
+			Cycles: estOrExactCycles(res), Insts: insts, IPC: res.IPC(),
+			Sampled: res.Sampled,
 		}
 		return nil
 	})
@@ -227,14 +246,15 @@ func Figure7(ctx context.Context, sc Scale) ([]AppSpeedup, error) {
 // ProfileRow is one kernel×ISA×memory cycle-attribution breakdown of the
 // profiling study.
 type ProfileRow struct {
-	Kernel  string   `json:"kernel"`
-	ISA     ISA      `json:"isa"`
-	Width   int      `json:"width"`
-	MemName string   `json:"mem"`
-	Cycles  int64    `json:"cycles"`
-	IPC     float64  `json:"ipc"`
-	Profile Profile  `json:"profile"`
-	Mem     MemStats `json:"mem_stats"`
+	Kernel  string       `json:"kernel"`
+	ISA     ISA          `json:"isa"`
+	Width   int          `json:"width"`
+	MemName string       `json:"mem"`
+	Cycles  int64        `json:"cycles"`
+	IPC     float64      `json:"ipc"`
+	Profile Profile      `json:"profile"`
+	Mem     MemStats     `json:"mem_stats"`
+	Sampled *SampledInfo `json:"sampled,omitempty"`
 }
 
 // ProfileStudy is the cycle-attribution companion to the Section 4.1
@@ -247,6 +267,17 @@ type ProfileRow struct {
 // invariants before being returned, so a broken counter fails the study
 // rather than skewing it.
 func ProfileStudy(ctx context.Context, sc Scale, width int) ([]ProfileRow, error) {
+	return ProfileStudySampled(ctx, sc, width, SampleSpec{})
+}
+
+// ProfileStudySampled is ProfileStudy under a sampling regime; the rows'
+// profiles then cover the measured intervals only, but every attribution
+// and counter invariant still holds (and is still checked). A disabled
+// spec is bit-identical to ProfileStudy.
+func ProfileStudySampled(ctx context.Context, sc Scale, width int, sp SampleSpec) ([]ProfileRow, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	names := KernelNames()
 	warmTraces(ctx, false, names, AllISAs, sc)
 	mems := []MemModel{PerfectMemory(1), PerfectMemory(50)}
@@ -266,7 +297,7 @@ func ProfileStudy(ctx context.Context, sc Scale, width int) ([]ProfileRow, error
 	rows := make([]ProfileRow, len(jobs))
 	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
-		res, err := runKernelCached(j.kernel, j.isa, width, j.mem, sc)
+		res, err := runKernelCached(j.kernel, j.isa, width, j.mem, sc, sp)
 		if err != nil {
 			return err
 		}
@@ -276,6 +307,7 @@ func ProfileStudy(ctx context.Context, sc Scale, width int) ([]ProfileRow, error
 		rows[idx] = ProfileRow{
 			Kernel: j.kernel, ISA: j.isa, Width: width, MemName: j.mem.Name(),
 			Cycles: res.Cycles, IPC: res.IPC(), Profile: res.Profile, Mem: res.Mem,
+			Sampled: res.Sampled,
 		}
 		return nil
 	})
@@ -313,7 +345,7 @@ func FetchPressure(ctx context.Context, sc Scale) ([]FetchRow, error) {
 	rows := make([]FetchRow, len(jobs))
 	err := par.For(ctx, len(jobs), func(idx int) error {
 		j := jobs[idx]
-		res, err := runKernelCached(j.kernel, j.isa, 4, PerfectMemory(1), sc)
+		res, err := runKernelCached(j.kernel, j.isa, 4, PerfectMemory(1), sc, SampleSpec{})
 		if err != nil {
 			return err
 		}

@@ -44,6 +44,7 @@ type HotspotReport struct {
 	Insts    uint64       `json:"insts"`
 	Profile  Profile      `json:"profile"`
 	Rows     []HotspotRow `json:"rows"`
+	Sampled  *SampledInfo `json:"sampled,omitempty"`
 }
 
 // CheckInvariants verifies the exactness of the per-PC attribution: row
@@ -84,7 +85,10 @@ func (h HotspotReport) CheckInvariants() error {
 // runObserved times one workload with an observer attached to the pipeline,
 // replaying the cached trace when one is available and falling back to live
 // emulation otherwise (both paths publish identical event streams).
-func runObserved(app bool, name string, i ISA, width int, m MemModel, sc Scale, o obs.Observer) (Result, error) {
+// Under a sampling regime the observer sees measured-interval instructions
+// only, so per-PC aggregations still sum exactly to the (measured-interval)
+// run profile.
+func runObserved(app bool, name string, i ISA, width int, m MemModel, sc Scale, sp SampleSpec, o obs.Observer) (Result, error) {
 	key := traceKey{app: app, name: name, isa: i, scale: sc}
 	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
 	sim.Obs = o
@@ -110,7 +114,7 @@ func runObserved(app bool, name string, i ISA, width int, m MemModel, sc Scale, 
 		}
 		src = trace.NewLive(mk)
 	}
-	res, err := sim.Run(src, maxDynInsts)
+	res, err := sim.RunSampled(src, maxDynInsts, sp.cpu())
 	if err != nil {
 		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", name, i, width, err)
 	}
@@ -119,7 +123,7 @@ func runObserved(app bool, name string, i ISA, width int, m MemModel, sc Scale, 
 
 // hotspotReport times one workload with a Hotspot aggregator attached and
 // assembles the per-PC report, rows sorted by attributed cycles (then PC).
-func hotspotReport(app bool, name string, i ISA, width int, m MemModel, sc Scale) (HotspotReport, error) {
+func hotspotReport(app bool, name string, i ISA, width int, m MemModel, sc Scale, sp SampleSpec) (HotspotReport, error) {
 	var p *isa.Program
 	var err error
 	if app {
@@ -131,13 +135,13 @@ func hotspotReport(app bool, name string, i ISA, width int, m MemModel, sc Scale
 		return HotspotReport{}, err
 	}
 	hot := obs.NewHotspot(len(p.Insts))
-	res, err := runObserved(app, name, i, width, m, sc, hot)
+	res, err := runObserved(app, name, i, width, m, sc, sp, hot)
 	if err != nil {
 		return HotspotReport{}, err
 	}
 	rep := HotspotReport{
 		Workload: res.Workload, ISA: res.ISA, Width: res.Width, MemName: res.MemName,
-		Cycles: res.Cycles, Insts: res.Insts, Profile: res.Profile,
+		Cycles: res.Cycles, Insts: res.Insts, Profile: res.Profile, Sampled: res.Sampled,
 	}
 	for pc := 0; pc < hot.Statics(); pc++ {
 		n := hot.Count(pc)
@@ -174,18 +178,37 @@ func hotspotReport(app bool, name string, i ISA, width int, m MemModel, sc Scale
 
 // KernelHotspots profiles one kernel per static instruction.
 func KernelHotspots(kernel string, i ISA, width int, m MemModel, sc Scale) (HotspotReport, error) {
-	return hotspotReport(false, kernel, i, width, m, sc)
+	return hotspotReport(false, kernel, i, width, m, sc, SampleSpec{})
 }
 
 // AppHotspots profiles one application per static instruction.
 func AppHotspots(app string, i ISA, width int, m MemModel, sc Scale) (HotspotReport, error) {
-	return hotspotReport(true, app, i, width, m, sc)
+	return hotspotReport(true, app, i, width, m, sc, SampleSpec{})
+}
+
+// AppHotspotsSampled profiles an application under a sampling regime: the
+// per-PC buckets cover (and sum exactly to) the measured intervals.
+func AppHotspotsSampled(app string, i ISA, width int, m MemModel, sc Scale, sp SampleSpec) (HotspotReport, error) {
+	if err := sp.Validate(); err != nil {
+		return HotspotReport{}, err
+	}
+	return hotspotReport(true, app, i, width, m, sc, sp)
 }
 
 // HotspotStudy profiles every kernel at every ISA level on the given issue
 // width with perfect memory (the machine of the kernel study), checking the
 // attribution invariants of every report.
 func HotspotStudy(ctx context.Context, sc Scale, width int) ([]HotspotReport, error) {
+	return HotspotStudySampled(ctx, sc, width, SampleSpec{})
+}
+
+// HotspotStudySampled is HotspotStudy under a sampling regime; every
+// report's attribution invariants are still checked exactly. A disabled
+// spec is bit-identical to HotspotStudy.
+func HotspotStudySampled(ctx context.Context, sc Scale, width int, sp SampleSpec) ([]HotspotReport, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	names := KernelNames()
 	warmTraces(ctx, false, names, AllISAs, sc)
 	type job struct {
@@ -200,7 +223,7 @@ func HotspotStudy(ctx context.Context, sc Scale, width int) ([]HotspotReport, er
 	}
 	out := make([]HotspotReport, len(jobs))
 	err := par.For(ctx, len(jobs), func(idx int) error {
-		rep, err := KernelHotspots(jobs[idx].name, jobs[idx].isa, width, PerfectMemory(1), sc)
+		rep, err := hotspotReport(false, jobs[idx].name, jobs[idx].isa, width, PerfectMemory(1), sc, sp)
 		if err != nil {
 			return err
 		}

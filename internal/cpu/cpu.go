@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -23,6 +24,12 @@ type Result struct {
 	ByClass     [16]uint64 // graduated instructions per isa.Class
 	Mem         mem.Stats
 	Profile     Profile
+	// Sampled is non-nil only for RunSampled runs; it describes the sampling
+	// regime and the statistical quality of the estimate. For sampled runs
+	// Cycles/Insts/WordOps/Profile cover the measured intervals only (so IPC
+	// and the attribution identity stay exact), while Mem covers every
+	// detailed-simulated access including warmup prefixes.
+	Sampled *Sampled
 }
 
 // Profile attributes every simulated cycle to the machine structure that
@@ -356,59 +363,211 @@ func buildStatics(p *isa.Program) []staticInst {
 	return sts
 }
 
-// Run consumes a dynamic instruction stream to completion (or maxInsts
-// dynamic instructions, whichever comes first) under the timing model and
-// returns the result. The source may be a live emulator (trace.NewLive) or
-// a recorded trace reader — both produce identical results; a fresh source
-// must be supplied for a fresh run.
-func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
-	cfg := &s.Cfg
-	memModel := s.Mem
-	observer := s.Obs
-	statics := buildStatics(src.Program())
+// runState holds every piece of per-run mutable timing state. Pooling it
+// (statePool) lets repeated runs — and the per-window restarts of sampled
+// runs — reuse all allocations: after the first run of a given
+// configuration, Run allocates only the statics table.
+type runState struct {
+	pred    *bimodal
+	targets *btb
 
-	pred := newBimodal(cfg.BimodalSize)
-	targets := newBTB(cfg.BTBEntries)
+	intS, intC *pool
+	fpS, fpC   *pool
+	medS, medC *pool
+	ports      *pool
 
-	intS, intC := newPool(cfg.IntSimple), newPool(cfg.IntComplex)
-	fpS, fpC := newPool(cfg.FPSimple), newPool(cfg.FPComplex)
-	medS, medC := newPool(cfg.MedSimple), newPool(cfg.MedComplex)
-	ports := newPool(cfg.MemPorts)
+	dispatchSlots slots
+	commitSlots   slots
+	issueSlots    *wideSlots
 
-	dispatchSlots := slots{width: cfg.Width}
-	commitSlots := slots{width: cfg.Width}
-	issueSlots := newWideSlots(cfg.Width)
+	robRing []int64
+	lsqRing []int64
+	lsqHead int
 
-	robRing := make([]int64, cfg.ROBSize)
-	lsqRing := make([]int64, cfg.LSQSize)
-	lsqHead := 0
+	renameRing [8][]int64
+	renameHead [8]int
 
-	// Rename: ring of commit times per register kind, sized by the number of
-	// in-flight destination writes the physical file allows.
-	var renameRing [8][]int64
-	var renameHead [8]int
-	for k := isa.RegKind(0); k < 8; k++ {
-		if n := cfg.inFlight(k); n > 0 {
-			renameRing[k] = make([]int64, n)
-		}
-	}
+	lastWriter [regKeySpace]int64
+	stores     *storeWindow
 
-	var lastWriter [regKeySpace]int64
-	stores := newStoreWindow(cfg.LSQSize)
-
-	var res Result
-	var fetchCycle, lastDispatch, lastCommit int64
-	fetchUsed := 0
-	var idx uint64
+	// Span cursors: runSpan loads these into locals on entry and stores
+	// them back on exit, so a run can be split across several spans.
+	fetchCycle, lastDispatch, lastCommit int64
+	fetchUsed                            int
+	idx                                  uint64
 
 	// Cycle-attribution state: profFrontier is the last cycle already
 	// accounted for (-1 before anything commits, so the telescoping sum of
 	// frontier advances is exactly lastCommit+1 == Cycles), and
 	// redirectCycle marks a fetch cycle installed by a mispredict redirect
 	// so the refill bubble is attributed to Mispredict, not Frontend.
+	profFrontier, redirectCycle int64
+
+	// ev is the observer event scratch; observers that retain an event past
+	// the Observe call must copy it (the obs contract), so reusing one
+	// backing struct per state is safe and keeps the hot loop allocation-free.
+	ev obs.Event
+}
+
+var statePool sync.Pool
+
+// acquireState returns a runState sized and reset for cfg, reusing pooled
+// allocations when the sizes match.
+func acquireState(cfg *Config) *runState {
+	rs, _ := statePool.Get().(*runState)
+	if rs == nil {
+		rs = &runState{}
+	}
+	rs.ensure(cfg)
+	return rs
+}
+
+func releaseState(rs *runState) { statePool.Put(rs) }
+
+// ensurePool resizes (or clears) a functional-unit pool in place.
+func ensurePool(pp **pool, n int) {
+	if p := *pp; p != nil && len(p.busy) == n {
+		clear(p.busy)
+		return
+	}
+	*pp = newPool(n)
+}
+
+// ensureRing resizes (or clears) an int64 ring; n <= 0 yields nil, which the
+// rename path tests for (a nil ring means unlimited in-flight writes).
+func ensureRing(r []int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	if len(r) != n {
+		return make([]int64, n)
+	}
+	clear(r)
+	return r
+}
+
+// reset re-anchors the issue window at base, clearing every cell but keeping
+// any grown capacity.
+func (s *wideSlots) reset(base int64) {
+	clear(s.used)
+	s.base = base
+}
+
+// reset clears the in-flight store window.
+func (w *storeWindow) reset() {
+	clear(w.lo)
+	clear(w.hi)
+	clear(w.ready)
+	w.head = 0
+}
+
+// ensure makes the state match cfg's structure sizes and resets everything
+// to run-start values (identical to a freshly allocated state).
+func (rs *runState) ensure(cfg *Config) {
+	if rs.pred != nil && len(rs.pred.ctr) == cfg.BimodalSize {
+		for i := range rs.pred.ctr {
+			rs.pred.ctr[i] = 1
+		}
+	} else {
+		rs.pred = newBimodal(cfg.BimodalSize)
+	}
+	if rs.targets != nil && len(rs.targets.tag) == cfg.BTBEntries {
+		for i := range rs.targets.tag {
+			rs.targets.tag[i] = -1
+		}
+	} else {
+		rs.targets = newBTB(cfg.BTBEntries)
+	}
+
+	ensurePool(&rs.intS, cfg.IntSimple)
+	ensurePool(&rs.intC, cfg.IntComplex)
+	ensurePool(&rs.fpS, cfg.FPSimple)
+	ensurePool(&rs.fpC, cfg.FPComplex)
+	ensurePool(&rs.medS, cfg.MedSimple)
+	ensurePool(&rs.medC, cfg.MedComplex)
+	ensurePool(&rs.ports, cfg.MemPorts)
+
+	rs.dispatchSlots = slots{width: cfg.Width}
+	rs.commitSlots = slots{width: cfg.Width}
+	if rs.issueSlots != nil && rs.issueSlots.width == int32(cfg.Width) {
+		rs.issueSlots.reset(0)
+	} else {
+		rs.issueSlots = newWideSlots(cfg.Width)
+	}
+
+	rs.robRing = ensureRing(rs.robRing, cfg.ROBSize)
+	rs.lsqRing = ensureRing(rs.lsqRing, cfg.LSQSize)
+	rs.lsqHead = 0
+	for k := isa.RegKind(0); k < 8; k++ {
+		rs.renameRing[k] = ensureRing(rs.renameRing[k], cfg.inFlight(k))
+		rs.renameHead[k] = 0
+	}
+	clear(rs.lastWriter[:])
+	if rs.stores != nil && len(rs.stores.lo) == cfg.LSQSize {
+		rs.stores.reset()
+	} else {
+		rs.stores = newStoreWindow(cfg.LSQSize)
+	}
+
+	rs.fetchCycle, rs.lastDispatch, rs.lastCommit = 0, 0, 0
+	rs.fetchUsed = 0
+	rs.idx = 0
+	rs.profFrontier, rs.redirectCycle = -1, -1
+}
+
+// Run consumes a dynamic instruction stream to completion (or maxInsts
+// dynamic instructions, whichever comes first) under the timing model and
+// returns the result. The source may be a live emulator (trace.NewLive) or
+// a recorded trace reader — both produce identical results; a fresh source
+// must be supplied for a fresh run.
+func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
+	statics := buildStatics(src.Program())
+	rs := acquireState(&s.Cfg)
+	defer releaseState(rs)
+
+	var res Result
+	if _, err := s.runSpan(rs, src, statics, &res, maxInsts, s.Obs); err != nil {
+		return res, err
+	}
+
+	res.Cycles = rs.lastCommit + 1
+	res.Insts = rs.idx
+	if rs.idx == 0 {
+		// Nothing committed: the whole (degenerate) run was front-end time.
+		res.Profile.Frontend = res.Cycles
+	}
+	res.Mem = s.Mem.Stats()
+	return res, src.Err()
+}
+
+// runSpan advances the detailed pipeline until rs.idx reaches limit, the
+// stream ends (more == false) or the source faults. Counters and profile
+// buckets accumulate into res; Cycles/Insts/Mem finalisation is the
+// caller's job, which is what lets Run and the sampled-window controller
+// share the exact same loop.
+func (s *Sim) runSpan(rs *runState, src trace.Source, statics []staticInst, res *Result, limit uint64, observer obs.Observer) (more bool, err error) {
+	cfg := &s.Cfg
+	memModel := s.Mem
+
+	pred, targets := rs.pred, rs.targets
+	intS, intC := rs.intS, rs.intC
+	fpS, fpC := rs.fpS, rs.fpC
+	medS, medC := rs.medS, rs.medC
+	ports := rs.ports
+	dispatchSlots, commitSlots := &rs.dispatchSlots, &rs.commitSlots
+	issueSlots := rs.issueSlots
+	robRing, lsqRing := rs.robRing, rs.lsqRing
+	lsqHead := rs.lsqHead
+	renameRing := &rs.renameRing
+	renameHead := &rs.renameHead
+	lastWriter := &rs.lastWriter
+	stores := rs.stores
+
+	fetchCycle, lastDispatch, lastCommit := rs.fetchCycle, rs.lastDispatch, rs.lastCommit
+	fetchUsed := rs.fetchUsed
+	idx := rs.idx
 	prof := &res.Profile
-	profFrontier := int64(-1)
-	redirectCycle := int64(-1)
+	profFrontier, redirectCycle := rs.profFrontier, rs.redirectCycle
 
 	vecRate := cfg.MemPorts * cfg.MemPortLanes
 
@@ -416,9 +575,12 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 	// meaningful snapshot within one iteration, guarded by observer != nil.
 	var memBefore mem.Stats
 
-	for idx < maxInsts {
+	more = true
+loop:
+	for idx < limit {
 		d, ok := src.Next()
 		if !ok {
+			more = false
 			break
 		}
 		st := &statics[d.SI]
@@ -646,7 +808,8 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 			res.WordOps += uint64(d.NElem)
 
 		default:
-			return res, fmt.Errorf("cpu: unhandled class %v", st.class)
+			err = fmt.Errorf("cpu: unhandled class %v", st.class)
+			break loop
 		}
 
 		// ---- commit (in order, width per cycle) ----
@@ -730,7 +893,7 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		}
 
 		if observer != nil {
-			emitEvent(observer, memModel, &memBefore, idx, d, st, isMem,
+			emitEvent(observer, memModel, &memBefore, &rs.ev, idx, d, st, isMem,
 				f, dispatch, issueAt, complete, commit,
 				evCommitted, evBucket, evExecGap, evStoreGap)
 		}
@@ -769,14 +932,12 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 		idx++
 	}
 
-	res.Cycles = lastCommit + 1
-	res.Insts = idx
-	if idx == 0 {
-		// Nothing committed: the whole (degenerate) run was front-end time.
-		prof.Frontend = res.Cycles
-	}
-	res.Mem = memModel.Stats()
-	return res, src.Err()
+	rs.lsqHead = lsqHead
+	rs.fetchCycle, rs.lastDispatch, rs.lastCommit = fetchCycle, lastDispatch, lastCommit
+	rs.fetchUsed = fetchUsed
+	rs.idx = idx
+	rs.profFrontier, rs.redirectCycle = profFrontier, redirectCycle
+	return more, err
 }
 
 // emitEvent assembles and publishes one instruction's observability event.
@@ -784,12 +945,16 @@ func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
 // event assembly out of Run's loop body keeps the nil-observer fast path's
 // code layout untouched.
 //
+// The event struct is written through a caller-owned scratch pointer (the
+// obs contract lets the core reuse backing storage), so the observed path
+// allocates nothing per instruction either.
+//
 //go:noinline
 func emitEvent(observer obs.Observer, memModel mem.Model, memBefore *mem.Stats,
-	idx uint64, d emu.Dyn, st *staticInst, isMem bool,
+	ev *obs.Event, idx uint64, d emu.Dyn, st *staticInst, isMem bool,
 	f, dispatch, issueAt, complete, commit int64,
 	evCommitted int64, evBucket obs.Bucket, evExecGap, evStoreGap int64) {
-	ev := obs.Event{
+	*ev = obs.Event{
 		Seq: idx, PC: d.SI, Class: st.class, VL: d.VL, Taken: d.Taken,
 		Fetch: f, Dispatch: dispatch, Issue: issueAt,
 		Complete: complete, Commit: commit,
@@ -799,7 +964,7 @@ func emitEvent(observer obs.Observer, memModel mem.Model, memBefore *mem.Stats,
 	if isMem {
 		ev.Mem = mem.Diff(*memBefore, memModel.Stats())
 	}
-	observer.Observe(&ev)
+	observer.Observe(ev)
 }
 
 // occupancy returns how many cycles n elements occupy at rate per cycle.

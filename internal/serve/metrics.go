@@ -38,15 +38,34 @@ func (h *histogram) observe(seconds float64) {
 	h.total++
 }
 
+// modeKey labels the submission counter: one experiment in one simulation
+// mode ("sampled" when the request carries a sample interval, "exact"
+// otherwise).
+type modeKey struct{ exp, mode string }
+
 type metrics struct {
 	mu        sync.Mutex
 	durations map[string]*histogram // by experiment name
 	finished  map[string]uint64     // completed jobs by terminal state
+	submitted map[modeKey]uint64    // admitted jobs by experiment and mode
 }
 
 func (m *metrics) init() {
 	m.durations = map[string]*histogram{}
 	m.finished = map[string]uint64{}
+	m.submitted = map[modeKey]uint64{}
+}
+
+// submit records one admitted job (store hits included — the mode split is
+// about what callers ask for, not what ran).
+func (m *metrics) submit(exp string, sampled bool) {
+	mode := "exact"
+	if sampled {
+		mode = "sampled"
+	}
+	m.mu.Lock()
+	m.submitted[modeKey{exp, mode}]++
+	m.mu.Unlock()
 }
 
 // observe records one finished job (any terminal state).
@@ -99,6 +118,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE momserved_jobs_finished_total counter")
 	for _, st := range []string{StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "momserved_jobs_finished_total{state=%q} %d\n", st, s.metrics.finished[st])
+	}
+	// Admitted jobs by experiment and simulation mode (sampled vs exact).
+	modes := make([]modeKey, 0, len(s.metrics.submitted))
+	for k := range s.metrics.submitted {
+		modes = append(modes, k)
+	}
+	sort.Slice(modes, func(i, j int) bool {
+		if modes[i].exp != modes[j].exp {
+			return modes[i].exp < modes[j].exp
+		}
+		return modes[i].mode < modes[j].mode
+	})
+	fmt.Fprintln(w, "# HELP momserved_jobs_submitted_total Admitted jobs by experiment and simulation mode.")
+	fmt.Fprintln(w, "# TYPE momserved_jobs_submitted_total counter")
+	for _, k := range modes {
+		fmt.Fprintf(w, "momserved_jobs_submitted_total{exp=%q,mode=%q} %d\n", k.exp, k.mode, s.metrics.submitted[k])
 	}
 	// Per-experiment latency histograms.
 	exps := make([]string, 0, len(s.metrics.durations))

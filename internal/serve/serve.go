@@ -184,6 +184,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
 	}
+	s.metrics.submit(req.Exp, req.Sample().Enabled())
 	timeout := s.cfg.DefaultTimeout
 	if body.TimeoutMS > 0 {
 		timeout = time.Duration(body.TimeoutMS) * time.Millisecond

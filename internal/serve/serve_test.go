@@ -164,6 +164,41 @@ func TestEquivalentRequestsShareAKey(t *testing.T) {
 	}
 }
 
+// TestSampledRequestsKeyAndCounter: sampling parameters are part of the
+// normalised request, so a sampled fig7 never aliases the exact store
+// entry, and /metrics splits admitted jobs by experiment and mode.
+func TestSampledRequestsKeyAndCounter(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), 0)
+	block := make(chan struct{})
+	close(block)
+	srv := New(Config{Workers: 1, QueueCap: 8, Store: st, Runner: stubRunner(block)})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	exact, _ := post(t, ts, `{"exp":"fig7"}`)
+	sampled, _ := post(t, ts, `{"exp":"fig7","sample_period":1501,"sample_warmup":100,"sample_interval":150}`)
+	if exact.Key == sampled.Key {
+		t.Fatalf("sampled fig7 shares key %s with the exact request", exact.Key)
+	}
+	again, _ := post(t, ts, `{"exp":"fig7","sample_period":1501,"sample_warmup":100,"sample_interval":150}`)
+	if again.Key != sampled.Key {
+		t.Fatalf("identical sampled requests got distinct keys %s vs %s", sampled.Key, again.Key)
+	}
+
+	// An inconsistent spec must be refused at submission.
+	if _, resp := post(t, ts, `{"exp":"fig7","sample_period":100,"sample_interval":150}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid sample spec: status %d, want 400", resp.StatusCode)
+	}
+
+	if n := metricValue(t, ts, `momserved_jobs_submitted_total{exp="fig7",mode="exact"}`); n != 1 {
+		t.Fatalf("exact fig7 submissions %v, want 1", n)
+	}
+	if n := metricValue(t, ts, `momserved_jobs_submitted_total{exp="fig7",mode="sampled"}`); n != 2 {
+		t.Fatalf("sampled fig7 submissions %v, want 2", n)
+	}
+}
+
 // stubRunner returns a Runner that blocks until release is closed (or the
 // job context ends) and then emits a fixed document.
 func stubRunner(release <-chan struct{}) Runner {

@@ -208,11 +208,13 @@ func (t *Trace) Reader() *Reader { return &Reader{t: t} }
 
 // Reader replays a recorded trace as a Source.
 type Reader struct {
-	t    *Trace
-	ci   int // chunk index
-	ri   int // record index within chunk
-	eaI  int // cursor into chunk.ea
-	strI int // cursor into chunk.stride
+	t       *Trace
+	ci      int    // chunk index
+	ri      int    // record index within chunk
+	eaI     int    // cursor into chunk.ea
+	strI    int    // cursor into chunk.stride
+	pos     uint64 // records consumed (Next + Skip)
+	skipped uint64 // records consumed by Skip only
 }
 
 // Program returns the traced program.
@@ -220,6 +222,108 @@ func (r *Reader) Program() *isa.Program { return r.t.prog }
 
 // Err always returns nil: only complete, fault-free runs are recorded.
 func (r *Reader) Err() error { return nil }
+
+// Pos returns how many records have been consumed so far, whether by Next
+// or by Skip.
+func (r *Reader) Pos() uint64 { return r.pos }
+
+// Skipped returns how many of the consumed records were fast-forwarded by
+// Skip or WarmNext rather than reconstructed by Next — the span of the
+// trace the consumer never timed (momtrace -stats reports it; it is zero
+// for full replays).
+func (r *Reader) Skipped() uint64 { return r.skipped }
+
+// Skip advances the cursor past up to n records without reconstructing
+// them, returning how many were actually skipped (fewer than n only at end
+// of stream). Chunk tails are skipped in O(1); a record inside a partially
+// consumed span costs one static-table lookup to keep the ea/stride
+// cursors aligned for the next reconstructed record.
+func (r *Reader) Skip(n uint64) uint64 {
+	var done uint64
+	for done < n && r.ci < len(r.t.chunks) {
+		c := &r.t.chunks[r.ci]
+		remaining := uint64(len(c.si) - r.ri)
+		left := n - done
+		if remaining <= left {
+			done += remaining
+			r.ci++
+			r.ri, r.eaI, r.strI = 0, 0, 0
+			continue
+		}
+		static := r.t.static
+		for i := uint64(0); i < left; i++ {
+			s := &static[c.si[r.ri]]
+			r.ri++
+			if s.mem != memNone {
+				r.eaI++
+				if s.mem == memVector {
+					r.strI++
+				}
+			}
+		}
+		done += left
+	}
+	r.pos += done
+	r.skipped += done
+	return done
+}
+
+// WarmSink receives the warming-relevant content of fast-forwarded records
+// (see Reader.WarmNext): branch outcomes for predictor/BTB training and
+// memory footprints for cache-tag touches. ALU records carry no long-lived
+// state and are never delivered.
+type WarmSink interface {
+	// WarmBranch reports a branch record: its static index and outcome.
+	WarmBranch(si int, taken bool)
+	// WarmScalar reports a scalar memory record.
+	WarmScalar(ea uint64, size int, store bool)
+	// WarmVector reports a vector memory record (nelem = vector length).
+	WarmVector(ea uint64, stride int64, nelem int, store bool)
+}
+
+// WarmNext advances up to n records, feeding each branch and memory record
+// to sink and discarding the rest after a single static-table class check —
+// the fast-forward cursor of sampled simulation. Like Skip, the consumed
+// records count as skipped: they were never reconstructed for timing. It
+// returns how many records were consumed (fewer than n only at end of
+// stream).
+func (r *Reader) WarmNext(n uint64, sink WarmSink) uint64 {
+	var done uint64
+	static := r.t.static
+	for done < n {
+		if r.ci >= len(r.t.chunks) {
+			break
+		}
+		c := &r.t.chunks[r.ci]
+		if r.ri >= len(c.si) {
+			r.ci++
+			r.ri, r.eaI, r.strI = 0, 0, 0
+			continue
+		}
+		take := min(n-done, uint64(len(c.si)-r.ri))
+		for k := uint64(0); k < take; k++ {
+			si := c.si[r.ri]
+			s := &static[si]
+			switch {
+			case s.mem == memScalar:
+				sink.WarmScalar(c.ea[r.eaI], int(s.size), s.class == isa.ClassStore)
+				r.eaI++
+			case s.mem == memVector:
+				vl := int(c.meta[r.ri] &^ metaTaken)
+				sink.WarmVector(c.ea[r.eaI], c.stride[r.strI], vl, s.class == isa.ClassMomStore)
+				r.eaI++
+				r.strI++
+			case s.class == isa.ClassBranch:
+				sink.WarmBranch(int(si), c.meta[r.ri]&metaTaken != 0)
+			}
+			r.ri++
+		}
+		done += take
+	}
+	r.pos += done
+	r.skipped += done
+	return done
+}
 
 // Next reconstructs the next dynamic instruction from the trace.
 func (r *Reader) Next() (emu.Dyn, bool) {
@@ -237,6 +341,7 @@ func (r *Reader) Next() (emu.Dyn, bool) {
 	si := c.si[r.ri]
 	meta := c.meta[r.ri]
 	r.ri++
+	r.pos++
 	s := &r.t.static[si]
 	d := emu.Dyn{
 		SI:    int(si),

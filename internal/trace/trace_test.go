@@ -113,3 +113,147 @@ func TestCaptureStepBudget(t *testing.T) {
 		t.Fatal("expected step-budget error")
 	}
 }
+
+// TestSkipMatchesNext: Skip(n) must land the cursor exactly where n Next
+// calls would — including the ea/stride columns — for every offset class
+// (mid-chunk, chunk boundary, past the end), and the Pos/Skipped counters
+// must account for every record.
+func TestSkipMatchesNext(t *testing.T) {
+	k, err := kernels.ByName("idct", kernels.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := k.Build(isa.ExtMOM)
+	tr, err := Capture(emu.New(p), testMaxSteps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.Records()
+	for _, skip := range []uint64{0, 1, 7, n / 3, n - 1, n, n + 100} {
+		skip := skip
+		ref := tr.Reader()
+		for i := uint64(0); i < skip; i++ {
+			ref.Next()
+		}
+		r := tr.Reader()
+		want := skip
+		if want > n {
+			want = n
+		}
+		if got := r.Skip(skip); got != want {
+			t.Fatalf("Skip(%d) skipped %d records, want %d", skip, got, want)
+		}
+		if r.Pos() != want || r.Skipped() != want {
+			t.Fatalf("Skip(%d): pos %d skipped %d, want both %d", skip, r.Pos(), r.Skipped(), want)
+		}
+		for {
+			want, okW := ref.Next()
+			got, okG := r.Next()
+			if okW != okG {
+				t.Fatalf("after Skip(%d): ref ok=%v, skip-reader ok=%v", skip, okW, okG)
+			}
+			if !okW {
+				break
+			}
+			if got != want {
+				t.Fatalf("after Skip(%d): %+v != %+v", skip, got, want)
+			}
+		}
+		if r.Pos() != n {
+			t.Fatalf("after draining: pos %d, want %d", r.Pos(), n)
+		}
+		if r.Skipped() != want {
+			t.Fatalf("after draining: skipped %d, want %d", r.Skipped(), want)
+		}
+	}
+}
+
+// warmRec is one record delivered to a recording WarmSink.
+type warmRec struct {
+	kind   string
+	si     int
+	taken  bool
+	ea     uint64
+	size   int
+	stride int64
+	nelem  int
+	store  bool
+}
+
+type recordingSink struct{ recs []warmRec }
+
+func (s *recordingSink) WarmBranch(si int, taken bool) {
+	s.recs = append(s.recs, warmRec{kind: "branch", si: si, taken: taken})
+}
+func (s *recordingSink) WarmScalar(ea uint64, size int, store bool) {
+	s.recs = append(s.recs, warmRec{kind: "scalar", ea: ea, size: size, store: store})
+}
+func (s *recordingSink) WarmVector(ea uint64, stride int64, nelem int, store bool) {
+	s.recs = append(s.recs, warmRec{kind: "vector", ea: ea, stride: stride, nelem: nelem, store: store})
+}
+
+// TestWarmNextMatchesNext: the bulk fast-forward must deliver exactly the
+// branch and memory records Next would reconstruct, in order, with the
+// same payloads, and leave the cursor where Next would.
+func TestWarmNextMatchesNext(t *testing.T) {
+	k, err := kernels.ByName("motion1", kernels.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Capture(emu.New(k.Build(isa.ExtMOM)), testMaxSteps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.Records()
+	span := n / 2
+
+	// Reference: reconstruct the first span records through Next.
+	var want []warmRec
+	ref := tr.Reader()
+	for i := uint64(0); i < span; i++ {
+		d, ok := ref.Next()
+		if !ok {
+			t.Fatal("short stream")
+		}
+		switch d.Class {
+		case isa.ClassBranch:
+			want = append(want, warmRec{kind: "branch", si: d.SI, taken: d.Taken})
+		case isa.ClassLoad, isa.ClassStore:
+			want = append(want, warmRec{kind: "scalar", ea: d.EA, size: d.Size, store: d.Class == isa.ClassStore})
+		case isa.ClassMomLoad, isa.ClassMomStore:
+			want = append(want, warmRec{kind: "vector", ea: d.EA, stride: d.Stride, nelem: d.VL, store: d.Class == isa.ClassMomStore})
+		}
+	}
+
+	sink := &recordingSink{}
+	r := tr.Reader()
+	if got := r.WarmNext(span, sink); got != span {
+		t.Fatalf("WarmNext(%d) consumed %d", span, got)
+	}
+	if r.Pos() != span || r.Skipped() != span {
+		t.Fatalf("pos %d skipped %d, want both %d", r.Pos(), r.Skipped(), span)
+	}
+	if len(sink.recs) != len(want) {
+		t.Fatalf("sink saw %d warm records, want %d", len(sink.recs), len(want))
+	}
+	for i := range want {
+		if sink.recs[i] != want[i] {
+			t.Fatalf("warm record %d: %+v != %+v", i, sink.recs[i], want[i])
+		}
+	}
+
+	// The reader must resume exactly where Next left the reference cursor.
+	for {
+		want, okW := ref.Next()
+		got, okG := r.Next()
+		if okW != okG {
+			t.Fatalf("resume: ref ok=%v, warm-reader ok=%v", okW, okG)
+		}
+		if !okW {
+			break
+		}
+		if got != want {
+			t.Fatalf("resume: %+v != %+v", got, want)
+		}
+	}
+}

@@ -20,7 +20,11 @@ import (
 // WriteExperimentJSON / WriteResultJSON. Bump it on any change to the
 // envelope or row encodings; the bump flows into every JobRequest key, so
 // stale store entries are never served across a schema change.
-const SchemaVersion = 1
+//
+// Version 2 added the optional "sampled" block to Result and the
+// experiment rows (absent in exact mode) plus the sample_* request
+// parameters.
+const SchemaVersion = 2
 
 // experimentEnvelope is the uniform top-level JSON shape.
 type experimentEnvelope struct {

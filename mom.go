@@ -182,6 +182,12 @@ type Result struct {
 	OpMix   map[string]uint64 `json:"op_mix"`
 	Mem     MemStats          `json:"mem_stats"`
 	Profile Profile           `json:"profile"`
+	// Sampled is non-nil only for sampled runs (RunKernelSampled /
+	// RunAppSampled and the sampled experiment drivers). Cycles, Insts and
+	// Profile then cover the measured intervals only — the attribution
+	// identity Profile.Total() == Cycles still holds and IPC() is the
+	// sampled estimate — while Sampled carries coverage and error bounds.
+	Sampled *SampledInfo `json:"sampled,omitempty"`
 }
 
 // IPC returns graduated instructions per cycle.
@@ -212,6 +218,7 @@ func fromCPU(name string, i ISA, width int, memName string, c cpu.Result) Result
 		Cycles: c.Cycles, Insts: c.Insts, WordOps: c.WordOps,
 		Branches: c.Branches, Mispredicts: c.Mispredicts,
 		Loads: c.Loads, Stores: c.Stores, OpMix: mix,
+		Sampled: sampledInfo(c.Sampled, c.Cycles, c.Insts),
 		Mem: MemStats{
 			Loads: c.Mem.Loads, Stores: c.Mem.Stores,
 			VecLoads: c.Mem.VecLoads, VecStores: c.Mem.VecStores,

@@ -56,7 +56,7 @@ func exportPipeline(app bool, name string, i ISA, width int, m MemModel, sc Scal
 		cw = obs.NewChrome(opt.Chrome, opt.Start, opt.Count, disasm)
 		observers = append(observers, cw)
 	}
-	res, err := runObserved(app, name, i, width, m, sc, obs.Multi(observers...))
+	res, err := runObserved(app, name, i, width, m, sc, SampleSpec{}, obs.Multi(observers...))
 	if err != nil {
 		return PipelineExport{}, err
 	}

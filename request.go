@@ -39,6 +39,18 @@ type JobRequest struct {
 	Mem    string `json:"mem,omitempty"`    // kernel/app: perfect|perfect50|conv|multi|vector|collapsing (default "perfect")
 	Kernel string `json:"kernel,omitempty"` // regsweep/kernel
 	App    string `json:"app,omitempty"`    // memsweep/app
+
+	// Sampled-simulation parameters (fig7/profile/hotspots/kernel/app;
+	// see SampleSpec). All zero — the default — selects exact simulation,
+	// so pre-sampling requests keep their canonical form and key.
+	SamplePeriod   uint64 `json:"sample_period,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+}
+
+// Sample assembles the request's sampled-simulation spec.
+func (r JobRequest) Sample() SampleSpec {
+	return SampleSpec{Period: r.SamplePeriod, Warmup: r.SampleWarmup, Interval: r.SampleInterval}
 }
 
 // requestKeyDoc is the hashed document: the request plus the schema
@@ -135,6 +147,14 @@ func (r JobRequest) Normalized() (JobRequest, error) {
 		}
 		return fmt.Errorf("invalid width %d (valid: 1, 2, 4, 8)", n.Width)
 	}
+	sample := func() error {
+		sp := r.Sample()
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		n.SamplePeriod, n.SampleWarmup, n.SampleInterval = sp.Period, sp.Warmup, sp.Interval
+		return nil
+	}
 	point := func(kind string) error {
 		if err := width(); err != nil {
 			return err
@@ -164,10 +184,21 @@ func (r JobRequest) Normalized() (JobRequest, error) {
 		return validName("app", n.App, AppNames())
 	}
 	switch r.Exp {
-	case "fig5", "fig7", "fetch":
+	case "fig5", "fetch":
 		// scale only
-	case "latency", "profile", "hotspots":
+	case "fig7":
+		if err := sample(); err != nil {
+			return n, err
+		}
+	case "latency":
 		if err := width(); err != nil {
+			return n, err
+		}
+	case "profile", "hotspots":
+		if err := width(); err != nil {
+			return n, err
+		}
+		if err := sample(); err != nil {
 			return n, err
 		}
 	case "regsweep":
@@ -184,8 +215,14 @@ func (r JobRequest) Normalized() (JobRequest, error) {
 		if err := point("kernel"); err != nil {
 			return n, err
 		}
+		if err := sample(); err != nil {
+			return n, err
+		}
 	case "app":
 		if err := point("app"); err != nil {
+			return n, err
+		}
+		if err := sample(); err != nil {
 			return n, err
 		}
 	default:
@@ -236,24 +273,25 @@ func RunJobRequest(ctx context.Context, req JobRequest) ([]byte, error) {
 		}
 		return buf.Bytes(), nil
 	}
+	sp := n.Sample()
 	switch n.Exp {
 	case "fig5":
 		rows, err := Figure5(ctx, sc)
 		return write(rows, err)
 	case "fig7":
-		rows, err := Figure7(ctx, sc)
+		rows, err := Figure7Sampled(ctx, sc, sp)
 		return write(rows, err)
 	case "latency":
 		rows, err := LatencyStudy(ctx, sc, n.Width)
 		return write(rows, err)
 	case "profile":
-		rows, err := ProfileStudy(ctx, sc, n.Width)
+		rows, err := ProfileStudySampled(ctx, sc, n.Width, sp)
 		return write(rows, err)
 	case "fetch":
 		rows, err := FetchPressure(ctx, sc)
 		return write(rows, err)
 	case "hotspots":
-		reps, err := HotspotStudy(ctx, sc, n.Width)
+		reps, err := HotspotStudySampled(ctx, sc, n.Width, sp)
 		return write(reps, err)
 	case "regsweep":
 		rows, err := RegisterSweep(ctx, sc, n.Kernel)
@@ -269,9 +307,9 @@ func RunJobRequest(ctx context.Context, req JobRequest) ([]byte, error) {
 		m, _ := ParseMemModel(n.Mem)
 		var res Result
 		if n.Exp == "kernel" {
-			res, err = RunKernel(n.Kernel, level, n.Width, m, sc)
+			res, err = RunKernelSampled(n.Kernel, level, n.Width, m, sc, sp)
 		} else {
-			res, err = RunApp(n.App, level, n.Width, m, sc)
+			res, err = RunAppSampled(n.App, level, n.Width, m, sc, sp)
 		}
 		if err != nil {
 			return nil, err

@@ -61,7 +61,7 @@ func TestRequestKeyStability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := `{"schema":1,"exp":"fig5","scale":"test"}`; string(b) != want {
+	if want := `{"schema":2,"exp":"fig5","scale":"test"}`; string(b) != want {
 		t.Fatalf("canonical fig5 request:\n got %s\nwant %s", b, want)
 	}
 	key, err := JobRequest{Exp: "fig5"}.Key()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a benchjson.py run against a committed baseline.
+
+Usage: benchcmp.py baseline.json current.json [--max-regress 0.15] [--bench NAME ...]
+
+Each --bench NAME selects the benchmark with that exact name, or — for
+table-driven benchmarks that only exist as sub-benchmarks — every record
+under NAME/ summed into one ns/op total, so the gate tracks the whole
+suite's wall-clock rather than one noisy row. The current total must not
+exceed the baseline's by more than the --max-regress fraction.
+
+Benchmarks missing from either side are reported but do not fail the
+gate, so adding or retiring a benchmark never blocks CI; only a slowdown
+of an existing one does.
+
+Exit status: 0 when every compared benchmark is within bound, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("benchmarks", [])
+
+
+def total_ns(records, name):
+    """Sum ns/op over the exact benchmark or its sub-benchmarks."""
+    total, n = 0.0, 0
+    for rec in records:
+        if rec["name"] == name or rec["name"].startswith(name + "/"):
+            ns = rec.get("ns_per_op")
+            if ns:
+                total += ns
+                n += 1
+    return total, n
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="allowed fractional ns/op increase (default 0.15)")
+    ap.add_argument("--bench", action="append", default=[],
+                    help="benchmark name to gate on (repeatable; prefix for sub-benchmarks)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    names = args.bench or sorted(
+        {r["name"].split("/")[0] for r in base} & {r["name"].split("/")[0] for r in cur})
+
+    failed = False
+    for name in names:
+        bn, bcount = total_ns(base, name)
+        cn, ccount = total_ns(cur, name)
+        if bcount == 0 or ccount == 0:
+            where = "baseline" if bcount == 0 else "current run"
+            print(f"SKIP {name}: missing from {where}")
+            continue
+        ratio = cn / bn
+        verdict = "ok"
+        if ratio > 1 + args.max_regress:
+            verdict = f"FAIL (> {100 * args.max_regress:.0f}% regression)"
+            failed = True
+        print(f"{name}: {bn:.0f} -> {cn:.0f} ns/op over {ccount} rows "
+              f"({100 * (ratio - 1):+.1f}%) {verdict}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ func TestTraceReplayEquivalence(t *testing.T) {
 						t.Fatalf("live %d-way %s: %v", c.width, c.model.Name(), err)
 					}
 					key := traceKey{name: k, isa: i, scale: ScaleTest}
-					replay, ok, err := runTraced(key, c.width, c.model)
+					replay, ok, err := runTraced(key, c.width, c.model, SampleSpec{})
 					if err != nil {
 						t.Fatalf("replay %d-way %s: %v", c.width, c.model.Name(), err)
 					}
@@ -183,7 +183,7 @@ func TestTraceReplayEquivalenceApps(t *testing.T) {
 					t.Fatalf("live %d-way %s: %v", c.width, c.model.Name(), err)
 				}
 				key := traceKey{app: true, name: a, isa: i, scale: ScaleTest}
-				replay, ok, err := runTraced(key, c.width, c.model)
+				replay, ok, err := runTraced(key, c.width, c.model, SampleSpec{})
 				if err != nil {
 					t.Fatalf("replay %d-way %s: %v", c.width, c.model.Name(), err)
 				}

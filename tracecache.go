@@ -2,6 +2,7 @@ package mom
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,16 +146,17 @@ func cachedTrace(key traceKey) *trace.Trace {
 	return e.tr
 }
 
-// runTraced times one workload from its recorded trace. ok is false when no
-// trace is available, in which case the caller must run live.
-func runTraced(key traceKey, width int, m MemModel) (Result, bool, error) {
+// runTraced times one workload from its recorded trace, sampled when sp is
+// enabled (RunSampled with a disabled spec is exactly Run). ok is false
+// when no trace is available, in which case the caller must run live.
+func runTraced(key traceKey, width int, m MemModel, sp SampleSpec) (Result, bool, error) {
 	tr := cachedTrace(key)
 	if tr == nil {
 		return Result{}, false, nil
 	}
 	sim := cpu.New(cpu.NewConfig(width, key.isa.ext()), m.build(width))
 	t0 := time.Now()
-	res, err := sim.Run(tr.Reader(), maxDynInsts)
+	res, err := sim.RunSampled(tr.Reader(), maxDynInsts, sp.cpu())
 	traceStats.replays.Add(1)
 	traceStats.replayNS.Add(int64(time.Since(t0)))
 	if err != nil {
@@ -164,24 +166,50 @@ func runTraced(key traceKey, width int, m MemModel) (Result, bool, error) {
 }
 
 // runKernelCached is RunKernel through the trace cache: replay when a trace
-// is available, live emulation otherwise.
-func runKernelCached(kernel string, i ISA, width int, m MemModel, sc Scale) (Result, error) {
+// is available, live emulation otherwise. The sample spec applies on both
+// paths (sampling over a live source saves no capture time but produces
+// the same kind of estimate).
+func runKernelCached(kernel string, i ISA, width int, m MemModel, sc Scale, sp SampleSpec) (Result, error) {
 	key := traceKey{name: kernel, isa: i, scale: sc}
-	if res, ok, err := runTraced(key, width, m); ok {
+	if res, ok, err := runTraced(key, width, m, sp); ok {
 		return res, err
 	}
 	traceStats.liveRuns.Add(1)
-	return RunKernel(kernel, i, width, m, sc)
+	if !sp.Enabled() {
+		return RunKernel(kernel, i, width, m, sc)
+	}
+	k, err := kernels.ByName(kernel, kernels.Scale(sc))
+	if err != nil {
+		return Result{}, err
+	}
+	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
+	res, err := sim.RunSampled(trace.NewLive(emu.New(k.Build(i.ext()))), maxDynInsts, sp.cpu())
+	if err != nil {
+		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", kernel, i, width, err)
+	}
+	return fromCPU(kernel, i, width, m.Name(), res), nil
 }
 
 // runAppCached is RunApp through the trace cache.
-func runAppCached(app string, i ISA, width int, m MemModel, sc Scale) (Result, error) {
+func runAppCached(app string, i ISA, width int, m MemModel, sc Scale, sp SampleSpec) (Result, error) {
 	key := traceKey{app: true, name: app, isa: i, scale: sc}
-	if res, ok, err := runTraced(key, width, m); ok {
+	if res, ok, err := runTraced(key, width, m, sp); ok {
 		return res, err
 	}
 	traceStats.liveRuns.Add(1)
-	return RunApp(app, i, width, m, sc)
+	if !sp.Enabled() {
+		return RunApp(app, i, width, m, sc)
+	}
+	a, err := apps.ByName(app, apps.Scale(sc))
+	if err != nil {
+		return Result{}, err
+	}
+	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
+	res, err := sim.RunSampled(trace.NewLive(emu.New(a.Build(i.ext()))), maxDynInsts, sp.cpu())
+	if err != nil {
+		return Result{}, fmt.Errorf("mom: %s on %s/%d-way: %w", app, i, width, err)
+	}
+	return fromCPU(app, i, width, m.Name(), res), nil
 }
 
 // runConfig times one run under an explicit processor configuration,
