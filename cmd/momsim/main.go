@@ -39,6 +39,7 @@ func main() {
 		app     = flag.String("app", "", "run a single application")
 		cache   = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
 		sample  = flag.String("sample", "", "sampled simulation as period:warmup:interval dynamic instructions (fig7|profile|hotspots or single -kernel/-app runs); empty = exact")
+		samPar  = flag.Int("sample-par", 0, "sampled-simulation worker count (0 = all host cores, 1 = serial; needs -sample; never changes results)")
 		verify  = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
 		format  = flag.String("format", "table", "experiment output format: table|csv|json")
 		asJSON  = flag.Bool("json", false, "emit JSON (shorthand for -format json; also applies to single runs)")
@@ -69,6 +70,24 @@ func main() {
 	}
 	if sp.Enabled() && *verify {
 		fatal(fmt.Errorf("-sample cannot be combined with -verify (verification is bit-exact by definition)"))
+	}
+	if *samPar < 0 {
+		fatal(fmt.Errorf("-sample-par must be non-negative, got %d", *samPar))
+	}
+	if *samPar != 0 && *verify {
+		fatal(fmt.Errorf("-sample-par cannot be combined with -verify (verification runs the exact path)"))
+	}
+	if *samPar != 0 && !sp.Enabled() {
+		fatal(fmt.Errorf("-sample-par requires -sample (it parallelises the sampled windows)"))
+	}
+	sp.Parallelism = *samPar
+	if *samPar > 1 && *exp != "" {
+		for _, e := range strings.Split(*exp, ",") {
+			if e == "hotspots" || e == "all" {
+				fmt.Fprintln(os.Stderr, "momsim: note: hotspot attribution needs ordered per-instruction events; hotspot runs serialize regardless of -sample-par")
+				break
+			}
+		}
 	}
 	if *exp != "" {
 		// Validate every requested experiment up front, so a typo in a

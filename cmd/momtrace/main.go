@@ -19,10 +19,25 @@ import (
 	"time"
 
 	mom "repro"
+	"repro/internal/cpu"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/trace"
 )
+
+// extOf maps the public ISA selector to the internal extension level.
+func extOf(level mom.ISA) isa.Ext {
+	switch level {
+	case mom.Alpha:
+		return isa.ExtAlpha
+	case mom.MMX:
+		return isa.ExtMMX
+	case mom.MDMX:
+		return isa.ExtMDMX
+	}
+	return isa.ExtMOM
+}
 
 // maxSteps caps dynamic instructions, mirroring the library's own limit.
 const maxSteps = 400_000_000
@@ -106,6 +121,30 @@ func main() {
 			float64(skipped)/max(skipT.Seconds(), 1e-9)/1e6,
 			replayT.Seconds()/max(skipT.Seconds(), 1e-9),
 			sr.Pos(), sr.Skipped())
+
+		// Checkpoint sweep: phase 1 of parallel sampled simulation — one
+		// functional-warming pass (default regime, 4-way multi-address)
+		// that materialises the per-window checkpoints the interval
+		// workers replay from.
+		sim := cpu.New(cpu.NewConfig(4, extOf(level)),
+			mem.NewHierarchy(mem.HierConfig{Width: 4, Mode: mem.ModeMultiAddress}))
+		spec := cpu.SampleSpec{
+			Period:   mom.DefaultSampleSpec.Period,
+			Warmup:   mom.DefaultSampleSpec.Warmup,
+			Interval: mom.DefaultSampleSpec.Interval,
+		}
+		t0 = time.Now()
+		sw, err := sim.SweepCheckpoints(tr, maxSteps, spec)
+		sweepT := time.Since(t0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace: checkpoint sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  ckpt sweep    %12v (%d checkpoints, %.1f KB snapshots, %.1f Minsts/s)\n",
+			sweepT.Round(time.Microsecond),
+			sw.Checkpoints,
+			float64(sw.SnapshotBytes)/1024,
+			float64(sw.Insts)/max(sweepT.Seconds(), 1e-9)/1e6)
 		fmt.Println()
 		src = tr.Reader()
 	}

@@ -363,6 +363,31 @@ func buildStatics(p *isa.Program) []staticInst {
 	return sts
 }
 
+// staticsAuxKey keys the memoized staticInst table in a trace's aux cache.
+type staticsAuxKey struct{}
+
+// staticsForTrace returns the staticInst table for a recorded trace,
+// memoized on the trace: the table is a pure function of the immutable
+// program, and rebuilding it (one Op.Info map lookup per static) otherwise
+// dominates short sampled replays.
+func staticsForTrace(tr *trace.Trace) []staticInst {
+	if v, ok := tr.Aux(staticsAuxKey{}); ok {
+		return v.([]staticInst)
+	}
+	sts := buildStatics(tr.Program())
+	tr.SetAux(staticsAuxKey{}, sts)
+	return sts
+}
+
+// staticsFor resolves the staticInst table for any source, memoizing via
+// the trace when the source is a recorded-trace reader.
+func staticsFor(src trace.Source) []staticInst {
+	if rd, ok := src.(*trace.Reader); ok {
+		return staticsForTrace(rd.Trace())
+	}
+	return buildStatics(src.Program())
+}
+
 // runState holds every piece of per-run mutable timing state. Pooling it
 // (statePool) lets repeated runs — and the per-window restarts of sampled
 // runs — reuse all allocations: after the first run of a given
@@ -521,7 +546,7 @@ func (rs *runState) ensure(cfg *Config) {
 // a recorded trace reader — both produce identical results; a fresh source
 // must be supplied for a fresh run.
 func (s *Sim) Run(src trace.Source, maxInsts uint64) (Result, error) {
-	statics := buildStatics(src.Program())
+	statics := staticsFor(src)
 	rs := acquireState(&s.Cfg)
 	defer releaseState(rs)
 

@@ -1,0 +1,159 @@
+package cpu_test
+
+// Tests for the parallel (two-phase checkpoint) sampled path: bit-identity
+// against the serial loop across memory models, invariance under the
+// worker count, and the serial fallback when the preconditions fail.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// parTestSpec has a skip span (Period-Warmup-Interval = 1640) long enough
+// for the parallel path's drain gate; the shared testSpec (skip 540) is
+// below it and exercises the fallback instead.
+var parTestSpec = cpu.SampleSpec{Period: 1800, Warmup: 60, Interval: 100}
+
+// parTestModels pairs each snapshot-capable memory model with an ISA whose
+// code exercises it (the vector organisations need MOM vector accesses).
+func parTestModels(width int) []struct {
+	name string
+	ext  isa.Ext
+	mk   func() mem.Model
+} {
+	return []struct {
+		name string
+		ext  isa.Ext
+		mk   func() mem.Model
+	}{
+		{"perfect", isa.ExtMOM, func() mem.Model { return mem.NewPerfect(1) }},
+		{"conventional", isa.ExtAlpha, func() mem.Model {
+			return mem.NewHierarchy(mem.HierConfig{Width: width, Mode: mem.ModeConventional})
+		}},
+		{"multi-address", isa.ExtMOM, func() mem.Model {
+			return mem.NewHierarchy(mem.HierConfig{Width: width, Mode: mem.ModeMultiAddress})
+		}},
+		{"vector-cache", isa.ExtMOM, func() mem.Model {
+			return mem.NewHierarchy(mem.HierConfig{Width: width, Mode: mem.ModeVectorCache})
+		}},
+		{"collapsing", isa.ExtMOM, func() mem.Model {
+			return mem.NewHierarchy(mem.HierConfig{Width: width, Mode: mem.ModeCollapsing})
+		}},
+	}
+}
+
+// TestParallelSampledBitIdentity: the parallel path must reproduce the
+// serial sampled result field for field — counters, cycles, Mem stats,
+// IPC mean and stderr — for every memory-model organisation.
+func TestParallelSampledBitIdentity(t *testing.T) {
+	for _, kernel := range []string{"idct", "motion1"} {
+		for _, m := range parTestModels(4) {
+			tr := captureKernel(t, kernel, m.ext)
+			serialSpec := parTestSpec
+			serialSpec.Parallelism = 1
+			serial, err := cpu.New(cpu.NewConfig(4, m.ext), m.mk()).RunSampled(tr.Reader(), 50_000_000, serialSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parSpec := parTestSpec
+			parSpec.Parallelism = 4
+			par, err := cpu.New(cpu.NewConfig(4, m.ext), m.mk()).RunSampled(tr.Reader(), 50_000_000, parSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s/%s: parallel sampled run differs from serial:\n%+v\nvs\n%+v",
+					kernel, m.name, par, serial)
+			}
+		}
+	}
+}
+
+// TestParallelWorkerCountInvariance: any worker count yields the identical
+// result (the reduce is ordered, not arrival-ordered).
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	tr := captureKernel(t, "idct", isa.ExtMOM)
+	run := func(workers int) cpu.Result {
+		spec := parTestSpec
+		spec.Parallelism = workers
+		sim := cpu.New(cpu.NewConfig(4, isa.ExtMOM), mem.NewHierarchy(mem.HierConfig{Width: 4, Mode: mem.ModeMultiAddress}))
+		res, err := sim.RunSampled(tr.Reader(), 50_000_000, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(2)
+	for _, workers := range []int{3, 7, 16} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("worker count %d changed the result:\n%+v\nvs\n%+v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelShortSkipFallsBack: a skip span below the drain gate must
+// fall back to the serial loop (and so still match it exactly).
+func TestParallelShortSkipFallsBack(t *testing.T) {
+	tr := captureKernel(t, "idct", isa.ExtMOM)
+	mk := func() *cpu.Sim {
+		return cpu.New(cpu.NewConfig(4, isa.ExtMOM), mem.NewHierarchy(mem.HierConfig{Width: 4, Mode: mem.ModeMultiAddress}))
+	}
+	serial, err := mk().RunSampled(tr.Reader(), 50_000_000, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec
+	spec.Parallelism = 8
+	par, err := mk().RunSampled(tr.Reader(), 50_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("short-skip parallel request differs from serial:\n%+v\nvs\n%+v", par, serial)
+	}
+}
+
+// TestSampleSpecParallelismValidate: negative worker counts are rejected,
+// and the recorded Sampled.Spec never carries the knob.
+func TestSampleSpecParallelismValidate(t *testing.T) {
+	bad := cpu.SampleSpec{Period: 1000, Warmup: 100, Interval: 100, Parallelism: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative parallelism passed validation")
+	}
+	tr := captureKernel(t, "idct", isa.ExtMOM)
+	spec := parTestSpec
+	spec.Parallelism = 4
+	res, err := cpu.New(cpu.NewConfig(4, isa.ExtMOM), mem.NewPerfect(1)).RunSampled(tr.Reader(), 50_000_000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampled.Spec.Parallelism != 0 {
+		t.Errorf("recorded spec carries parallelism %d, want 0", res.Sampled.Spec.Parallelism)
+	}
+}
+
+// TestSweepCheckpoints: the phase-1 sweep covers the whole stream and
+// reports a plausible footprint.
+func TestSweepCheckpoints(t *testing.T) {
+	tr := captureKernel(t, "idct", isa.ExtMOM)
+	sim := cpu.New(cpu.NewConfig(4, isa.ExtMOM), mem.NewHierarchy(mem.HierConfig{Width: 4, Mode: mem.ModeMultiAddress}))
+	st, err := sim.SweepCheckpoints(tr, 50_000_000, parTestSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Insts != tr.Records() {
+		t.Errorf("sweep covered %d insts, trace has %d", st.Insts, tr.Records())
+	}
+	want := int(tr.Records()/parTestSpec.Period) + 1
+	if st.Checkpoints < want/2 || st.Checkpoints > want+1 {
+		t.Errorf("unexpected checkpoint count %d for %d records (period %d)",
+			st.Checkpoints, tr.Records(), parTestSpec.Period)
+	}
+	if st.SnapshotBytes <= 0 {
+		t.Errorf("non-positive snapshot footprint %d", st.SnapshotBytes)
+	}
+}

@@ -18,6 +18,16 @@ func newBimodal(size int) *bimodal {
 	return b
 }
 
+// snapshot returns a copy of the counter table (checkpoint capture).
+func (b *bimodal) snapshot() []uint8 {
+	return append([]uint8(nil), b.ctr...)
+}
+
+// restore overwrites the counter table from a snapshot of the same size.
+func (b *bimodal) restore(ctr []uint8) {
+	copy(b.ctr, ctr)
+}
+
 func (b *bimodal) predict(si int) bool {
 	return b.ctr[uint32(si)&b.mask] >= 2
 }
@@ -50,6 +60,16 @@ func newBTB(entries int) *btb {
 		t.tag[i] = -1
 	}
 	return t
+}
+
+// snapshot returns a copy of the tag array (checkpoint capture).
+func (t *btb) snapshot() []int32 {
+	return append([]int32(nil), t.tag...)
+}
+
+// restore overwrites the tag array from a snapshot of the same size.
+func (t *btb) restore(tag []int32) {
+	copy(t.tag, tag)
 }
 
 func (t *btb) hit(si int) bool {

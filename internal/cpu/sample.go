@@ -29,6 +29,15 @@ type SampleSpec struct {
 	Period   uint64
 	Warmup   uint64
 	Interval uint64
+
+	// Parallelism is the number of workers that execute detailed windows
+	// concurrently through the two-phase checkpoint pipeline (see
+	// runSampledParallel). 0 and 1 both mean serial. The knob never changes
+	// results: the parallel path is bit-identical to the serial loop, and
+	// RunSampled silently falls back to serial whenever the preconditions
+	// (recorded trace at position zero, snapshottable memory model, no
+	// observer, a long enough skip span) do not hold.
+	Parallelism int
 }
 
 // Enabled reports whether the spec actually samples.
@@ -36,6 +45,9 @@ func (sp SampleSpec) Enabled() bool { return sp.Interval != 0 }
 
 // Validate checks the spec's internal consistency.
 func (sp SampleSpec) Validate() error {
+	if sp.Parallelism < 0 {
+		return fmt.Errorf("cpu: negative sample parallelism %d", sp.Parallelism)
+	}
 	if !sp.Enabled() {
 		if sp.Period != 0 || sp.Warmup != 0 {
 			return errors.New("cpu: sample spec without a measured interval")
@@ -256,7 +268,11 @@ func (s *Sim) RunSampled(src trace.Source, maxInsts uint64, spec SampleSpec) (Re
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
-	statics := buildStatics(src.Program())
+	if s.parallelOK(src, spec) {
+		rd := src.(*trace.Reader)
+		return s.runSampledParallel(rd.Trace(), rd, maxInsts, spec, s.Mem.(mem.Snapshotter))
+	}
+	statics := staticsFor(src)
 	rs := acquireState(&s.Cfg)
 	defer releaseState(rs)
 	warmer, _ := s.Mem.(mem.Warmer)
@@ -264,7 +280,7 @@ func (s *Sim) RunSampled(src trace.Source, maxInsts uint64, spec SampleSpec) (Re
 	// scratch accumulates raw detailed-span counters (warmup + measured);
 	// snapshots around each measured interval extract its delta into agg.
 	var scratch, agg Result
-	smp := &Sampled{Spec: spec}
+	smp := &Sampled{Spec: recordedSpec(spec)}
 	var ipcs []float64
 
 	base := int64(0)

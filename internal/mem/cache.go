@@ -100,11 +100,9 @@ func (c *cacheArr) invalidate(addr uint64) bool {
 }
 
 func (c *cacheArr) reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.lastUse[i] = 0
-	}
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.lastUse)
 	c.tick = 0
 }
 

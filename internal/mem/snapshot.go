@@ -1,0 +1,114 @@
+package mem
+
+// Checkpoint support for parallel sampled simulation. A worker replaying a
+// detailed window needs a private memory-model instance whose tag arrays
+// look exactly as functional warming left them at the window's period
+// boundary. Only the long-lived state is captured: tags, valid/dirty bits,
+// LRU order and the LRU tick. Timing resources (ports, banks, MSHRs, write
+// buffer, DRAM cursors) are deliberately NOT captured — each window
+// re-anchors its cycle base on fresh resource state, exactly as the serial
+// sampled loop leaves drained cursors behind after a long skip span.
+
+// CacheSnap is a sparse snapshot of one tag array: only the valid lines are
+// recorded (slot index, tag, dirty bit, LRU stamp) plus the global LRU
+// tick. Invalid slots carry no observable state — fill prefers the first
+// invalid way and lookup/invalidate skip invalid entries — so restoring the
+// valid lines into a fresh array reproduces the source array's behaviour
+// exactly while keeping checkpoints proportional to the working set, not
+// the cache capacity.
+type CacheSnap struct {
+	Idx     []int32 // slot index (set*ways+way) of each valid line
+	Tags    []uint64
+	Dirty   []bool
+	LastUse []int64
+	Tick    int64
+}
+
+// snapshot captures the array's valid lines.
+func (c *cacheArr) snapshot() CacheSnap {
+	var s CacheSnap
+	s.Tick = c.tick
+	for i, v := range c.valid {
+		if !v {
+			continue
+		}
+		s.Idx = append(s.Idx, int32(i))
+		s.Tags = append(s.Tags, c.tags[i])
+		s.Dirty = append(s.Dirty, c.dirty[i])
+		s.LastUse = append(s.LastUse, c.lastUse[i])
+	}
+	return s
+}
+
+// restore writes a snapshot into a fresh (all-invalid) array; the caller
+// guarantees freshness, so no reset pass is needed.
+func (c *cacheArr) restore(s CacheSnap) {
+	for k, i := range s.Idx {
+		c.tags[i] = s.Tags[k]
+		c.valid[i] = true
+		c.dirty[i] = s.Dirty[k]
+		c.lastUse[i] = s.LastUse[k]
+	}
+	c.tick = s.Tick
+}
+
+// bytes is the approximate in-memory size of the snapshot.
+func (s *CacheSnap) bytes() int64 {
+	return int64(len(s.Idx))*(4+8+1+8) + 8
+}
+
+// TagSnapshot is the complete long-lived state of a memory model at a
+// checkpoint. A nil *TagSnapshot is valid and means "no long-lived state"
+// (the Perfect model).
+type TagSnapshot struct {
+	L1, L2 CacheSnap
+}
+
+// Bytes returns the approximate in-memory size of the snapshot.
+func (t *TagSnapshot) Bytes() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.L1.bytes() + t.L2.bytes()
+}
+
+// Snapshotter is implemented by memory models whose long-lived state can be
+// captured at a checkpoint and cloned into fresh, independent instances —
+// the contract the parallel sampled path needs to hand each interval worker
+// a private memory system. Both detailed hierarchies and the stateless
+// Perfect model implement it.
+type Snapshotter interface {
+	Warmer
+	// SnapshotTags captures the model's long-lived state (nil when the
+	// model has none).
+	SnapshotTags() *TagSnapshot
+	// NewFromSnapshot returns a fresh Model with the receiver's
+	// configuration and the snapshot's tag state, sharing no mutable state
+	// with the receiver or any other clone.
+	NewFromSnapshot(snap *TagSnapshot) Model
+}
+
+// SnapshotTags implements Snapshotter: both cache levels' tag arrays.
+func (h *Hierarchy) SnapshotTags() *TagSnapshot {
+	return &TagSnapshot{L1: h.l1.snapshot(), L2: h.l2.arr.snapshot()}
+}
+
+// NewFromSnapshot implements Snapshotter for all four hierarchy modes: a
+// fresh hierarchy of the same configuration (zeroed timing resources and
+// statistics) with the snapshot's tag state.
+func (h *Hierarchy) NewFromSnapshot(snap *TagSnapshot) Model {
+	nh := NewHierarchy(h.cfg)
+	if snap != nil {
+		nh.l1.restore(snap.L1)
+		nh.l2.arr.restore(snap.L2)
+	}
+	return nh
+}
+
+// SnapshotTags implements Snapshotter: Perfect has no long-lived state.
+func (p *Perfect) SnapshotTags() *TagSnapshot { return nil }
+
+// NewFromSnapshot implements Snapshotter.
+func (p *Perfect) NewFromSnapshot(snap *TagSnapshot) Model {
+	return &Perfect{Latency: p.Latency}
+}

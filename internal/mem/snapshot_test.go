@@ -1,0 +1,145 @@
+package mem
+
+// Checkpoint snapshot/restore round-trip tests: a clone seeded from a
+// snapshot must behave exactly like the original — same tag state, same
+// LRU order, same subsequent timing — for every memory-model organisation.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// churn drives a deterministic access mix through a model, exercising
+// scalar loads/stores, both vector paths and line-crossing accesses.
+func churn(m Model, seed uint64) {
+	cycle := int64(0)
+	for i := uint64(0); i < 2000; i++ {
+		addr := (seed + i*i*2654435761) % (1 << 22)
+		switch i % 5 {
+		case 0:
+			cycle = m.Load(cycle+1, addr, 8)
+		case 1:
+			cycle = m.Store(cycle+1, addr, 4)
+		case 2:
+			cycle = m.LoadVector(cycle+1, addr, 16, 8, 2)
+		case 3:
+			cycle = m.StoreVector(cycle+1, addr, 8, 4, 2)
+		case 4:
+			cycle = m.Load(cycle+1, addr|30, 8) // line-crossing
+		}
+	}
+}
+
+// warmChurn is churn through the Warmer interface (no timing, no stats).
+func warmChurn(w Warmer, seed uint64) {
+	for i := uint64(0); i < 2000; i++ {
+		addr := (seed + i*i*2654435761) % (1 << 22)
+		switch i % 5 {
+		case 0:
+			w.WarmLoad(addr, 8)
+		case 1:
+			w.WarmStore(addr, 4)
+		case 2:
+			w.WarmLoadVector(addr, 16, 8)
+		case 3:
+			w.WarmStoreVector(addr, 8, 4)
+		case 4:
+			w.WarmLoad(addr|30, 8)
+		}
+	}
+}
+
+func snapModels(t *testing.T) map[string]func() Snapshotter {
+	t.Helper()
+	return map[string]func() Snapshotter{
+		"perfect": func() Snapshotter { return NewPerfect(1) },
+		"conventional": func() Snapshotter {
+			return NewHierarchy(HierConfig{Width: 4, Mode: ModeConventional})
+		},
+		"multi-address": func() Snapshotter {
+			return NewHierarchy(HierConfig{Width: 4, Mode: ModeMultiAddress})
+		},
+		"vector-cache": func() Snapshotter {
+			return NewHierarchy(HierConfig{Width: 4, Mode: ModeVectorCache})
+		},
+		"collapsing": func() Snapshotter {
+			return NewHierarchy(HierConfig{Width: 4, Mode: ModeCollapsing})
+		},
+	}
+}
+
+// TestSnapshotRoundTrip: snapshotting a warmed model and cloning from the
+// snapshot reproduces the identical tag state (snapshot of the clone equals
+// the original snapshot), and the clone starts with zeroed stats.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, mk := range snapModels(t) {
+		src := mk()
+		warmChurn(src, 12345)
+		snap := src.SnapshotTags()
+		cloneM := src.NewFromSnapshot(snap)
+		if cloneM.Stats() != (Stats{}) {
+			t.Errorf("%s: clone starts with non-zero stats %+v", name, cloneM.Stats())
+		}
+		clone, ok := cloneM.(Snapshotter)
+		if !ok {
+			t.Fatalf("%s: clone is not a Snapshotter", name)
+		}
+		again := clone.SnapshotTags()
+		if !reflect.DeepEqual(snap, again) {
+			t.Errorf("%s: snapshot round-trip diverged", name)
+		}
+	}
+}
+
+// TestSnapshotCloneBehaves: after restoring, the clone must time a further
+// access sequence exactly like the original (same final stats), proving the
+// restored LRU order and dirty bits are behaviourally faithful.
+func TestSnapshotCloneBehaves(t *testing.T) {
+	for name, mk := range snapModels(t) {
+		src := mk()
+		warmChurn(src, 999)
+		clone := src.NewFromSnapshot(src.SnapshotTags())
+		orig := mk().NewFromSnapshot(src.SnapshotTags()) // second clone, fresh timing state
+		churn(clone, 777)
+		churn(orig, 777)
+		if clone.Stats() != orig.Stats() {
+			t.Errorf("%s: clones diverged after identical access mix:\n%+v\nvs\n%+v",
+				name, clone.Stats(), orig.Stats())
+		}
+	}
+}
+
+// TestSnapshotIndependence: mutating a clone never leaks into the source
+// model or into sibling clones.
+func TestSnapshotIndependence(t *testing.T) {
+	src := NewHierarchy(HierConfig{Width: 4, Mode: ModeMultiAddress})
+	warmChurn(src, 42)
+	snap := src.SnapshotTags()
+	a := src.NewFromSnapshot(snap)
+	b := src.NewFromSnapshot(snap)
+	churn(a, 1)
+	if !reflect.DeepEqual(src.SnapshotTags(), snap) {
+		t.Error("churning a clone mutated the source model")
+	}
+	if !reflect.DeepEqual(b.(Snapshotter).SnapshotTags(), snap) {
+		t.Error("churning one clone mutated a sibling clone")
+	}
+}
+
+// TestSnapshotBytes: the footprint accounting tracks the valid-line count.
+func TestSnapshotBytes(t *testing.T) {
+	h := NewHierarchy(HierConfig{Width: 4, Mode: ModeMultiAddress})
+	empty := h.SnapshotTags()
+	if got := empty.Bytes(); got != 16 { // two bare ticks
+		t.Errorf("empty snapshot bytes = %d, want 16", got)
+	}
+	warmChurn(h, 7)
+	if full := h.SnapshotTags(); full.Bytes() <= empty.Bytes() {
+		t.Errorf("warmed snapshot (%d bytes) not larger than empty (%d)",
+			full.Bytes(), empty.Bytes())
+	}
+	var nilSnap *TagSnapshot
+	if nilSnap.Bytes() != 0 {
+		t.Error("nil snapshot must report zero bytes")
+	}
+}

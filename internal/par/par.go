@@ -17,7 +17,16 @@ import (
 // error is the failure with the lowest index among the jobs that ran, or
 // ctx.Err() when the context ended the sweep without any job failing.
 func For(ctx context.Context, n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return ForN(ctx, runtime.GOMAXPROCS(0), n, fn)
+}
+
+// ForN is For with an explicit worker count, for callers whose parallelism
+// is a tuning knob rather than the host width (e.g. the sampled-simulation
+// interval fan-out). workers is clamped to [1, n].
+func ForN(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > n {
 		workers = n
 	}

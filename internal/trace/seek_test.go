@@ -1,0 +1,86 @@
+package trace
+
+// ReaderAt tests: a cursor opened mid-trace must produce the identical
+// record stream to a fresh cursor advanced to the same position, at every
+// alignment relative to the chunk boundaries.
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+func captureTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	k, err := kernels.ByName("idct", kernels.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Capture(emu.New(k.Build(isa.ExtMOM)), testMaxSteps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestReaderAtMatchesSkip: ReaderAt(pos) and Reader()+Skip(pos) must yield
+// identical streams, including the ea/stride column alignment.
+func TestReaderAtMatchesSkip(t *testing.T) {
+	tr := captureTestTrace(t)
+	n := tr.Records()
+	positions := []uint64{0, 1, 7, 100, chunkRecords - 1, chunkRecords, chunkRecords + 1, n / 2, n - 1, n}
+	for _, pos := range positions {
+		if pos > n {
+			continue
+		}
+		skip := tr.Reader()
+		if got := skip.Skip(pos); got != pos {
+			t.Fatalf("Skip(%d) consumed %d", pos, got)
+		}
+		at := tr.ReaderAt(pos)
+		if at.Pos() != pos {
+			t.Fatalf("ReaderAt(%d).Pos() = %d", pos, at.Pos())
+		}
+		if at.Skipped() != 0 {
+			t.Errorf("ReaderAt(%d) counts %d skipped records; positioning is not fast-forwarding", pos, at.Skipped())
+		}
+		for i := 0; ; i++ {
+			want, okW := skip.Next()
+			got, okG := at.Next()
+			if okW != okG {
+				t.Fatalf("pos %d record %d: skip ok=%v, at ok=%v", pos, i, okW, okG)
+			}
+			if !okW {
+				break
+			}
+			if got != want {
+				t.Fatalf("pos %d record %d: ReaderAt stream %+v != Skip stream %+v", pos, i, got, want)
+			}
+			if i >= 2000 { // a window-sized prefix is plenty per position
+				break
+			}
+		}
+	}
+}
+
+// TestReaderAtPastEnd: positions beyond the trace clamp to end-of-stream.
+func TestReaderAtPastEnd(t *testing.T) {
+	tr := captureTestTrace(t)
+	r := tr.ReaderAt(tr.Records() + 1000)
+	if r.Pos() != tr.Records() {
+		t.Errorf("past-end position %d, want clamp to %d", r.Pos(), tr.Records())
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("past-end reader produced a record")
+	}
+}
+
+// TestReaderAtTrace: the accessor hands back the underlying recording.
+func TestReaderAtTrace(t *testing.T) {
+	tr := captureTestTrace(t)
+	if tr.Reader().Trace() != tr {
+		t.Error("Reader.Trace() does not return the source trace")
+	}
+}

@@ -17,6 +17,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -95,14 +96,44 @@ type sinst struct {
 	mem    uint8
 }
 
-// Trace is a recorded dynamic instruction stream. It is immutable after
-// Capture returns, so any number of Readers may replay it concurrently.
+// Trace is a recorded dynamic instruction stream. The recording itself is
+// immutable after Capture returns, so any number of Readers may replay it
+// concurrently; the aux map is a synchronized side cache for derived
+// artifacts (see Aux) and never affects replay.
 type Trace struct {
 	prog   *isa.Program
 	static []sinst
 	chunks []chunk
 	n      uint64
 	bytes  int64
+
+	auxMu sync.Mutex
+	aux   map[any]any
+}
+
+// Aux returns the value cached under key by SetAux. Consumers use it to
+// memoize expensive artifacts derived deterministically from the recording
+// (decoded static tables, sampled-simulation checkpoint libraries) so
+// repeated replays of the same trace pay the derivation once. Keys follow
+// the context.Value convention: package-private struct types.
+func (t *Trace) Aux(key any) (any, bool) {
+	t.auxMu.Lock()
+	defer t.auxMu.Unlock()
+	v, ok := t.aux[key]
+	return v, ok
+}
+
+// SetAux caches val under key for Aux. Values must be deterministic
+// functions of the recording and key (concurrent computations of the same
+// key may race to store; either result must be equivalent) and must be
+// safe for concurrent read-only use.
+func (t *Trace) SetAux(key, val any) {
+	t.auxMu.Lock()
+	defer t.auxMu.Unlock()
+	if t.aux == nil {
+		t.aux = make(map[any]any)
+	}
+	t.aux[key] = val
 }
 
 // ErrTooLarge is returned by Capture when the encoded trace would exceed
@@ -206,6 +237,63 @@ func (t *Trace) Bytes() int64 { return t.bytes }
 // independent: many may replay the same trace concurrently.
 func (t *Trace) Reader() *Reader { return &Reader{t: t} }
 
+// ReaderAt returns a replay cursor positioned after the first pos records,
+// as if Reader() had been followed by Skip(pos) — but without walking the
+// skipped prefix. Because every chunk except the last holds exactly
+// chunkRecords records, the target chunk is found by division; only the
+// consumed prefix of that one chunk is walked to align the ea/stride
+// cursors (at most chunkRecords static-table lookups). The skipped count
+// starts at zero: ReaderAt positions, it does not fast-forward.
+func (t *Trace) ReaderAt(pos uint64) *Reader {
+	if pos > t.n {
+		pos = t.n
+	}
+	r := &Reader{t: t, pos: pos}
+	r.ci = int(pos / chunkRecords)
+	r.ri = int(pos % chunkRecords)
+	if r.ci >= len(t.chunks) {
+		return r // at end of stream
+	}
+	c := &t.chunks[r.ci]
+	static := t.static
+	for i := 0; i < r.ri; i++ {
+		s := &static[c.si[i]]
+		if s.mem != memNone {
+			r.eaI++
+			if s.mem == memVector {
+				r.strI++
+			}
+		}
+	}
+	return r
+}
+
+// Cursor is an O(1) resume point for a position a Reader has already
+// reached: unlike ReaderAt, which must walk the chunk prefix to realign
+// the sparse ea/stride columns, a cursor carries the column offsets
+// directly. Capture it with Reader.Cursor at the position of interest and
+// reopen any number of independent readers there with ReaderAtCursor.
+type Cursor struct {
+	pos       uint64
+	eaI, strI int
+}
+
+// Pos returns the stream position the cursor marks.
+func (c Cursor) Pos() uint64 { return c.pos }
+
+// Cursor captures the reader's current position for ReaderAtCursor.
+func (r *Reader) Cursor() Cursor { return Cursor{pos: r.pos, eaI: r.eaI, strI: r.strI} }
+
+// ReaderAtCursor opens a new reader at a previously captured cursor in
+// O(1). The cursor must have been captured from a reader over the same
+// trace.
+func (t *Trace) ReaderAtCursor(c Cursor) *Reader {
+	r := &Reader{t: t, pos: c.pos, eaI: c.eaI, strI: c.strI}
+	r.ci = int(c.pos / chunkRecords)
+	r.ri = int(c.pos % chunkRecords)
+	return r
+}
+
 // Reader replays a recorded trace as a Source.
 type Reader struct {
 	t       *Trace
@@ -219,6 +307,10 @@ type Reader struct {
 
 // Program returns the traced program.
 func (r *Reader) Program() *isa.Program { return r.t.prog }
+
+// Trace returns the recording this reader replays, so a consumer handed a
+// Reader can open further cursors over the same trace (see Trace.ReaderAt).
+func (r *Reader) Trace() *Trace { return r.t }
 
 // Err always returns nil: only complete, fault-free runs are recorded.
 func (r *Reader) Err() error { return nil }

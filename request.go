@@ -46,11 +46,19 @@ type JobRequest struct {
 	SamplePeriod   uint64 `json:"sample_period,omitempty"`
 	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
 	SampleInterval uint64 `json:"sample_interval,omitempty"`
+
+	// SamplePar is the sampled-simulation worker count (0 = all host
+	// cores, 1 = serial). It is a pure speed knob — parallel results are
+	// bit-identical to serial — so Normalized always clears it: requests
+	// differing only in SamplePar share one content-address key and one
+	// stored result.
+	SamplePar int `json:"sample_par,omitempty"`
 }
 
 // Sample assembles the request's sampled-simulation spec.
 func (r JobRequest) Sample() SampleSpec {
-	return SampleSpec{Period: r.SamplePeriod, Warmup: r.SampleWarmup, Interval: r.SampleInterval}
+	return SampleSpec{Period: r.SamplePeriod, Warmup: r.SampleWarmup, Interval: r.SampleInterval,
+		Parallelism: r.SamplePar}
 }
 
 // requestKeyDoc is the hashed document: the request plus the schema
@@ -273,7 +281,10 @@ func RunJobRequest(ctx context.Context, req JobRequest) ([]byte, error) {
 		}
 		return buf.Bytes(), nil
 	}
+	// The worker-count knob is cleared by Normalized (it must not split the
+	// key space), so re-apply the caller's choice for execution only.
 	sp := n.Sample()
+	sp.Parallelism = req.SamplePar
 	switch n.Exp {
 	case "fig5":
 		rows, err := Figure5(ctx, sc)

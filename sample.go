@@ -3,6 +3,7 @@ package mom
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -19,6 +20,14 @@ type SampleSpec struct {
 	Period   uint64 `json:"period"`
 	Warmup   uint64 `json:"warmup"`
 	Interval uint64 `json:"interval"`
+
+	// Parallelism is the worker count for the checkpoint-based parallel
+	// interval path (cpu.SampleSpec.Parallelism). 0 — the default — means
+	// "use every host core" (runtime.GOMAXPROCS); 1 forces the serial loop.
+	// The knob is a pure speed lever: results are bit-identical at any
+	// value, so it is excluded from JSON envelopes and content-address
+	// keys (see JobRequest).
+	Parallelism int `json:"-"`
 }
 
 // DefaultSampleSpec is the recommended sampling regime: ~10% of the stream
@@ -37,7 +46,11 @@ func (sp SampleSpec) Enabled() bool { return sp.Interval != 0 }
 func (sp SampleSpec) Validate() error { return sp.cpu().Validate() }
 
 func (sp SampleSpec) cpu() cpu.SampleSpec {
-	return cpu.SampleSpec{Period: sp.Period, Warmup: sp.Warmup, Interval: sp.Interval}
+	workers := sp.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return cpu.SampleSpec{Period: sp.Period, Warmup: sp.Warmup, Interval: sp.Interval, Parallelism: workers}
 }
 
 // String renders the spec in the "period:warmup:interval" form
