@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +47,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job deadline")
 		maxTimeout = flag.Duration("max-timeout", time.Hour, "upper clamp on requested per-job deadlines")
 		drain      = flag.Duration("drain", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included (empty: single node)")
+		self       = flag.String("self", "", "this node's base URL as it appears in -peers (required with -peers)")
 	)
 	flag.Parse()
 	log.SetPrefix("momserver: ")
@@ -66,6 +69,14 @@ func main() {
 		log.Printf("store %s: %d entries, %.1f MB (bound %.1f MB)",
 			*storeDir, s.Entries, float64(s.Bytes)/(1<<20), float64(*storeBytes)/(1<<20))
 		cfg.Store = st
+	}
+	if *peers != "" {
+		ps, err := serve.NewPeerSet(*self, strings.Split(*peers, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster of %d peers, self %s", ps.Size(), ps.Self())
+		cfg.Peers = ps
 	}
 	srv := serve.New(cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv}

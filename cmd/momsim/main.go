@@ -319,10 +319,12 @@ func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, wid
 // fall-backs, and the current cache occupancy.
 func printTraceStats(exp string, before, after mom.TraceStats) {
 	captures := after.Captures - before.Captures
+	discarded := after.Discarded - before.Discarded
 	replays := after.Replays - before.Replays
 	live := after.LiveRuns - before.LiveRuns
-	fmt.Printf("# %s traces: %d captured (%v), %d replayed (%v), %d live runs; cache holds %d traces, %.1f MB\n",
+	fmt.Printf("# %s traces: %d captured (%v), %d discarded, %d replayed (%v), %d live runs; cache holds %d traces, %.1f MB\n",
 		exp, captures, (after.CaptureTime - before.CaptureTime).Round(time.Millisecond),
+		discarded,
 		replays, (after.ReplayTime - before.ReplayTime).Round(time.Millisecond),
 		live, after.CachedTraces, float64(after.CachedBytes)/(1<<20))
 }

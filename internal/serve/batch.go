@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	mom "repro"
+)
+
+// maxBatchItems bounds one POST /v1/jobs:batch payload; a sweep larger
+// than this submits in slices.
+const maxBatchItems = 1024
+
+// batchItemDoc is the per-item response of the batch endpoint. Index ties
+// it back to the request list (items come back in order regardless).
+// Duplicate marks an item whose key already appeared earlier in the same
+// batch: it carries the earlier item's job id and never reached admission.
+type batchItemDoc struct {
+	Index     int    `json:"index"`
+	ID        string `json:"id,omitempty"`
+	Key       string `json:"key,omitempty"`
+	State     string `json:"state,omitempty"`
+	FromStore bool   `json:"from_store,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Peer      string `json:"peer,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// handleBatch admits a list of requests in one round trip. Every item is
+// answered individually — an invalid or refused item does not fail its
+// batch — and deduplication happens at three levels before the admission
+// queue is touched: the local store (born done), earlier items of the
+// same batch (Duplicate), and flights already in the air (Coalesced).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var body mom.BatchRequest
+	if err := dec.Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(body.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: need a jobs list")
+		return
+	}
+	if len(body.Jobs) > maxBatchItems {
+		httpError(w, http.StatusBadRequest, "batch of %d items exceeds the %d-item limit", len(body.Jobs), maxBatchItems)
+		return
+	}
+	timeout := s.clampTimeout(body.TimeoutMS)
+
+	items := make([]batchItemDoc, len(body.Jobs))
+	seen := map[string]int{} // key -> index of the first item admitted for it
+	for i, jr := range body.Jobs {
+		items[i].Index = i
+		req, err := jr.Normalized()
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		key, err := req.Key()
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		items[i].Key = key
+		if first, ok := seen[key]; ok {
+			d := items[first]
+			d.Index = i
+			d.Duplicate = true
+			items[i] = d
+			continue
+		}
+		j, _, err := s.admit(req, key, timeout)
+		switch {
+		case errors.Is(err, errDraining):
+			items[i].Error = "server is draining"
+			continue
+		case errors.Is(err, errQueueFull):
+			items[i].Error = "job queue full"
+			continue
+		}
+		seen[key] = i
+		s.mu.Lock()
+		d := s.doc(j)
+		s.mu.Unlock()
+		items[i] = batchItemDoc{
+			Index: i, ID: d.ID, Key: d.Key, State: d.State,
+			FromStore: d.FromStore, Coalesced: d.Coalesced, Peer: d.Peer,
+			ResultURL: d.ResultURL,
+		}
+	}
+	s.metrics.batch(len(body.Jobs))
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": items})
+}

@@ -48,6 +48,15 @@ type metrics struct {
 	durations map[string]*histogram // by experiment name
 	finished  map[string]uint64     // completed jobs by terminal state
 	submitted map[modeKey]uint64    // admitted jobs by experiment and mode
+
+	// Dedup, batch and peer counters (guarded by mu; bumped via add/batch).
+	coalesced     uint64 // submissions attached to an in-flight execution
+	promotions    uint64 // leader cancellations that handed the flight on
+	batchRequests uint64 // POST /v1/jobs:batch calls
+	batchItems    uint64 // items carried by those calls
+	peerProxied   uint64 // flights forwarded to their owning peer
+	peerFills     uint64 // local store fills from a peer's store or result
+	peerErrors    uint64 // failed peer round trips
 }
 
 func (m *metrics) init() {
@@ -65,6 +74,21 @@ func (m *metrics) submit(exp string, sampled bool) {
 	}
 	m.mu.Lock()
 	m.submitted[modeKey{exp, mode}]++
+	m.mu.Unlock()
+}
+
+// add bumps one of the plain counters declared on metrics.
+func (m *metrics) add(c *uint64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+// batch records one batch call carrying n items.
+func (m *metrics) batch(n int) {
+	m.mu.Lock()
+	m.batchRequests++
+	m.batchItems += uint64(n)
 	m.mu.Unlock()
 }
 
@@ -96,6 +120,13 @@ func (s *Server) writeMetrics(w io.Writer) {
 		byState[j.state]++
 	}
 	queueLen := len(s.queue)
+	inflightFlights := len(s.inflight)
+	followers := 0
+	for _, fl := range s.inflight {
+		if n := len(fl.members); n > 1 {
+			followers += n - 1
+		}
+	}
 	s.mu.Unlock()
 	fmt.Fprintln(w, "# HELP momserved_jobs Retained job records by lifecycle state.")
 	fmt.Fprintln(w, "# TYPE momserved_jobs gauge")
@@ -111,6 +142,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP momserved_workers Worker pool size.")
 	fmt.Fprintln(w, "# TYPE momserved_workers gauge")
 	fmt.Fprintf(w, "momserved_workers %d\n", s.cfg.Workers)
+	fmt.Fprintln(w, "# HELP momserved_inflight_flights Distinct executions queued or running.")
+	fmt.Fprintln(w, "# TYPE momserved_inflight_flights gauge")
+	fmt.Fprintf(w, "momserved_inflight_flights %d\n", inflightFlights)
+	fmt.Fprintln(w, "# HELP momserved_inflight_followers Jobs riding an in-flight execution beyond its leader.")
+	fmt.Fprintln(w, "# TYPE momserved_inflight_followers gauge")
+	fmt.Fprintf(w, "momserved_inflight_followers %d\n", followers)
 
 	// Completed jobs by terminal state (counter).
 	s.metrics.mu.Lock()
@@ -154,7 +191,35 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "momserved_job_duration_seconds_sum{exp=%q} %g\n", e, h.sum)
 		fmt.Fprintf(w, "momserved_job_duration_seconds_count{exp=%q} %d\n", e, h.total)
 	}
+	// Singleflight dedup and batch admission.
+	fmt.Fprintln(w, "# HELP momserved_dedup_coalesced_total Submissions attached to an in-flight execution.")
+	fmt.Fprintln(w, "# TYPE momserved_dedup_coalesced_total counter")
+	fmt.Fprintf(w, "momserved_dedup_coalesced_total %d\n", s.metrics.coalesced)
+	fmt.Fprintln(w, "# HELP momserved_dedup_promotions_total Leader cancellations that promoted a follower.")
+	fmt.Fprintln(w, "# TYPE momserved_dedup_promotions_total counter")
+	fmt.Fprintf(w, "momserved_dedup_promotions_total %d\n", s.metrics.promotions)
+	fmt.Fprintln(w, "# HELP momserved_batch_requests_total POST /v1/jobs:batch calls.")
+	fmt.Fprintln(w, "# TYPE momserved_batch_requests_total counter")
+	fmt.Fprintf(w, "momserved_batch_requests_total %d\n", s.metrics.batchRequests)
+	fmt.Fprintln(w, "# HELP momserved_batch_jobs_total Items carried by batch calls.")
+	fmt.Fprintln(w, "# TYPE momserved_batch_jobs_total counter")
+	fmt.Fprintf(w, "momserved_batch_jobs_total %d\n", s.metrics.batchItems)
+	// Peer routing.
+	fmt.Fprintln(w, "# HELP momserved_peer_proxied_total Flights forwarded to their owning peer.")
+	fmt.Fprintln(w, "# TYPE momserved_peer_proxied_total counter")
+	fmt.Fprintf(w, "momserved_peer_proxied_total %d\n", s.metrics.peerProxied)
+	fmt.Fprintln(w, "# HELP momserved_peer_fills_total Local store fills from a peer.")
+	fmt.Fprintln(w, "# TYPE momserved_peer_fills_total counter")
+	fmt.Fprintf(w, "momserved_peer_fills_total %d\n", s.metrics.peerFills)
+	fmt.Fprintln(w, "# HELP momserved_peer_errors_total Failed peer round trips.")
+	fmt.Fprintln(w, "# TYPE momserved_peer_errors_total counter")
+	fmt.Fprintf(w, "momserved_peer_errors_total %d\n", s.metrics.peerErrors)
 	s.metrics.mu.Unlock()
+	if s.cfg.Peers != nil {
+		fmt.Fprintln(w, "# HELP momserved_peers Configured cluster size (this node included).")
+		fmt.Fprintln(w, "# TYPE momserved_peers gauge")
+		fmt.Fprintf(w, "momserved_peers %d\n", s.cfg.Peers.Size())
+	}
 
 	// Result store.
 	if s.cfg.Store != nil {
@@ -165,6 +230,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintln(w, "# HELP momserved_store_misses_total Result-store lookups that missed.")
 		fmt.Fprintln(w, "# TYPE momserved_store_misses_total counter")
 		fmt.Fprintf(w, "momserved_store_misses_total %d\n", st.Misses)
+		fmt.Fprintln(w, "# HELP momserved_store_fills_total Entries written from a peer instead of computed locally.")
+		fmt.Fprintln(w, "# TYPE momserved_store_fills_total counter")
+		fmt.Fprintf(w, "momserved_store_fills_total %d\n", st.Fills)
 		fmt.Fprintln(w, "# HELP momserved_store_evictions_total Entries evicted by the size bound.")
 		fmt.Fprintln(w, "# TYPE momserved_store_evictions_total counter")
 		fmt.Fprintf(w, "momserved_store_evictions_total %d\n", st.Evictions)
@@ -187,6 +255,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP momserved_trace_live_runs_total Timing runs that fell back to live emulation.")
 	fmt.Fprintln(w, "# TYPE momserved_trace_live_runs_total counter")
 	fmt.Fprintf(w, "momserved_trace_live_runs_total %d\n", ts.LiveRuns)
+	fmt.Fprintln(w, "# HELP momserved_trace_discarded_total Trace captures discarded by the cache budget.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_discarded_total counter")
+	fmt.Fprintf(w, "momserved_trace_discarded_total %d\n", ts.Discarded)
 	fmt.Fprintln(w, "# HELP momserved_trace_capture_seconds_total Wall-clock spent capturing traces.")
 	fmt.Fprintln(w, "# TYPE momserved_trace_capture_seconds_total counter")
 	fmt.Fprintf(w, "momserved_trace_capture_seconds_total %g\n", ts.CaptureTime.Seconds())

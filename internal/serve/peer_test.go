@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	mom "repro"
+	"repro/internal/store"
+)
+
+func TestNewPeerSetValidation(t *testing.T) {
+	for name, c := range map[string]struct {
+		self  string
+		peers []string
+	}{
+		"single peer":       {"http://a:1", []string{"http://a:1"}},
+		"self not a member": {"http://c:1", []string{"http://a:1", "http://b:1"}},
+		"empty self":        {"", []string{"http://a:1", "http://b:1"}},
+		"duplicate peer":    {"http://a:1", []string{"http://a:1", "http://a:1/"}},
+		"relative url":      {"http://a:1", []string{"http://a:1", "not-a-base-url"}},
+	} {
+		if _, err := NewPeerSet(c.self, c.peers); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ps, err := NewPeerSet("http://a:1/", []string{"http://b:1/", " http://a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Self() != "http://a:1" || ps.Size() != 2 {
+		t.Fatalf("canonicalisation: self %q size %d", ps.Self(), ps.Size())
+	}
+}
+
+// TestRendezvousOwner: every node must compute the same owner for a key
+// regardless of list order, and the hash must spread keys across all
+// peers.
+func TestRendezvousOwner(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	ps1, err := NewPeerSet("http://a:1", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := NewPeerSet("http://b:1", []string{"http://c:1", "http://a:1", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOwner := map[string]int{}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("%064x", i)
+		o := ps1.Owner(key)
+		if o2 := ps2.Owner(key); o2 != o {
+			t.Fatalf("key %s: owners disagree across list orders (%s vs %s)", key, o, o2)
+		}
+		if ps1.Owner(key) != o {
+			t.Fatalf("key %s: owner not stable", key)
+		}
+		byOwner[o]++
+	}
+	for _, p := range peers {
+		if byOwner[p] == 0 {
+			t.Errorf("peer %s owns none of 256 keys", p)
+		}
+	}
+}
+
+// twoNodes starts a 2-node cluster on real loopback listeners (allocated
+// up front, so each node's Config can name the other's URL before either
+// server exists). mk builds node i's Config; Peers is filled in here.
+func twoNodes(t *testing.T, mk func(i int) Config) (ts [2]*httptest.Server, srvs [2]*Server) {
+	t.Helper()
+	var lns [2]net.Listener
+	var urls [2]string
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		ps, err := NewPeerSet(urls[i], urls[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mk(i)
+		cfg.Peers = ps
+		srvs[i] = New(cfg)
+		hs := httptest.NewUnstartedServer(srvs[i])
+		hs.Listener.Close()
+		hs.Listener = lns[i]
+		hs.Start()
+		ts[i] = hs
+		srv := srvs[i]
+		t.Cleanup(func() { hs.Close() })
+		t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	}
+	return ts, srvs
+}
+
+// requestOwnedBy finds a kernel-point request whose content-address key
+// the given node owns — listener ports vary per run, so ownership must be
+// discovered, not hard-coded.
+func requestOwnedBy(t *testing.T, ps *PeerSet, owner string) (body, key string) {
+	t.Helper()
+	for _, w := range []int{4, 1, 2, 8} {
+		for _, k := range mom.KernelNames() {
+			req := mom.JobRequest{Exp: "kernel", Kernel: k, Width: w}
+			kk, err := req.Key()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ps.Owner(kk) == owner {
+				return fmt.Sprintf(`{"exp":"kernel","kernel":%q,"width":%d}`, k, w), kk
+			}
+		}
+	}
+	t.Fatalf("no candidate request hashes to %s", owner)
+	return "", ""
+}
+
+// TestPeerProxyComputesOnOwner: a node given a key it does not own
+// forwards the flight to the owner, which computes it once; the result
+// flows back, fills the submitting node's store, and the next submission
+// there is a pure local hit.
+func TestPeerProxyComputesOnOwner(t *testing.T) {
+	var calls [2]int32
+	ts, srvs := twoNodes(t, func(i int) Config {
+		st, err := store.Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Workers: 1, QueueCap: 8, Store: st, Runner: countingRunner(&calls[i], nil)}
+	})
+	owner := srvs[1].cfg.Peers.Self()
+	body, key := requestOwnedBy(t, srvs[1].cfg.Peers, owner)
+
+	d, resp := post(t, ts[0], body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("proxy submit: status %d, want 202", resp.StatusCode)
+	}
+	if d.Peer != owner {
+		t.Fatalf("proxied job names peer %q, want %q", d.Peer, owner)
+	}
+	done := waitState(t, ts[0], d.ID, StateDone)
+	code, got := get(t, ts[0].URL+done.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("proxied result: status %d", code)
+	}
+	if atomic.LoadInt32(&calls[0]) != 0 || atomic.LoadInt32(&calls[1]) != 1 {
+		t.Fatalf("runner calls = %d local / %d owner, want 0 / 1",
+			calls[0], calls[1])
+	}
+
+	// The result landed in node 0's own store (fill-on-completion)…
+	code, filled := get(t, ts[0].URL+"/v1/store/"+key)
+	if code != http.StatusOK || !bytes.Equal(filled, got) {
+		t.Fatalf("local store after proxy: status %d, identical %v", code, bytes.Equal(filled, got))
+	}
+	// …so resubmitting is a local hit that consults no peer.
+	d2, resp2 := post(t, ts[0], body)
+	if resp2.StatusCode != http.StatusOK || !d2.FromStore || d2.Peer != "" {
+		t.Fatalf("resubmission = status %d from_store %v peer %q, want local 200 hit",
+			resp2.StatusCode, d2.FromStore, d2.Peer)
+	}
+
+	if v := metricValue(t, ts[0], "momserved_peer_proxied_total"); v != 1 {
+		t.Fatalf("peer proxied counter %g, want 1", v)
+	}
+	if v := metricValue(t, ts[0], "momserved_peer_fills_total"); v != 1 {
+		t.Fatalf("peer fills counter %g, want 1", v)
+	}
+	if v := metricValue(t, ts[0], "momserved_store_fills_total"); v != 1 {
+		t.Fatalf("store fills counter %g, want 1", v)
+	}
+	if v := metricValue(t, ts[0], "momserved_peers"); v != 2 {
+		t.Fatalf("peers gauge %g, want 2", v)
+	}
+}
+
+// TestPeerFillOnMissByteIdentical is the acceptance criterion with the
+// REAL runner: a result computed locally on its owning node and the same
+// result fetched through the other node's fill-on-miss path are
+// byte-identical documents.
+func TestPeerFillOnMissByteIdentical(t *testing.T) {
+	ts, srvs := twoNodes(t, func(i int) Config {
+		st, err := store.Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Workers: 2, QueueCap: 8, Store: st} // default Runner: mom.RunJobRequest
+	})
+	owner := srvs[0].cfg.Peers.Self()
+	body, _ := requestOwnedBy(t, srvs[0].cfg.Peers, owner)
+
+	// Compute on the owner.
+	d0, _ := post(t, ts[0], body)
+	if d0.Peer != "" {
+		t.Fatalf("owner-submitted job proxied to %q", d0.Peer)
+	}
+	done0 := waitState(t, ts[0], d0.ID, StateDone)
+	code, local := get(t, ts[0].URL+done0.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("local result: status %d", code)
+	}
+
+	// Fetch through the non-owner: born done via peer store fill.
+	d1, resp1 := post(t, ts[1], body)
+	if resp1.StatusCode != http.StatusOK || !d1.FromStore || d1.Peer != owner {
+		t.Fatalf("fill-on-miss = status %d from_store %v peer %q, want 200 true %q",
+			resp1.StatusCode, d1.FromStore, d1.Peer, owner)
+	}
+	code, viaPeer := get(t, ts[1].URL+d1.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("filled result: status %d", code)
+	}
+	if !bytes.Equal(viaPeer, local) {
+		t.Fatalf("peer-filled document differs from the locally computed one:\n%s\nvs\n%s", viaPeer, local)
+	}
+	if v := metricValue(t, ts[1], "momserved_peer_fills_total"); v != 1 {
+		t.Fatalf("peer fills counter %g, want 1", v)
+	}
+}

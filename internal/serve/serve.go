@@ -7,11 +7,21 @@
 // (experiment, configuration, workload) points, most of which have been
 // computed before, so every submission is first looked up by its
 // canonical SHA-256 key (schema version + normalised request) and only
-// misses consume a worker. Admission control is a fixed-capacity queue —
-// a full queue answers 429 with Retry-After rather than buffering
-// unboundedly — and every job runs under a per-job deadline with
-// cooperative cancellation threaded through the experiment drivers down
-// to par.For.
+// misses consume a worker. Between the store and the workers sits a
+// singleflight layer: jobs are grouped into flights keyed by content
+// address, identical submissions in flight attach to the existing flight
+// as followers and share its one execution (and its one result slice, so
+// every member observes byte-identical documents), and cancelling the
+// leader promotes a follower instead of failing the group. A batch
+// endpoint (POST /v1/jobs:batch) admits a whole request list in one round
+// trip, deduplicating within the batch and against in-flight work, and an
+// optional peer set consistent-hashes keys across nodes: non-owned keys
+// are filled from the owner's store on miss, or proxied to the owner for
+// computation, so hot results replicate toward demand. Admission control
+// is a fixed-capacity queue — a full queue answers 429 with Retry-After
+// rather than buffering unboundedly — and every flight runs under a
+// per-job deadline with cooperative cancellation threaded through the
+// experiment drivers down to par.For.
 package serve
 
 import (
@@ -55,6 +65,22 @@ type Config struct {
 	MaxTimeout     time.Duration // upper clamp on requested deadlines (default 1h)
 	MaxJobs        int           // retained job records; oldest finished are pruned (default 4096)
 	Runner         Runner        // job executor (default mom.RunJobRequest)
+	Peers          *PeerSet      // optional multi-node peer set (nil: single node)
+}
+
+// flight is one in-flight computation: the execution unit the queue and
+// workers handle. Every job submitted for the flight's key while it is
+// queued or running is a member; members[0] is the leader. All members
+// share the single execution and its result bytes.
+type flight struct {
+	key     string
+	req     mom.JobRequest
+	timeout time.Duration
+	members []*job             // live (non-terminal) jobs; members[0] leads
+	cancel  context.CancelFunc // set once the flight starts
+	running bool
+	started time.Time
+	peer    string // non-empty: the owning peer this flight proxies to
 }
 
 type job struct {
@@ -66,25 +92,28 @@ type job struct {
 	err       string
 	result    []byte
 	fromStore bool
+	coalesced bool   // attached to an existing flight as a follower
+	peer      string // served via this peer (store fill or proxy)
 	created   time.Time
 	started   time.Time
 	finished  time.Time
-	cancel    context.CancelFunc // set while running
-	done      chan struct{}      // closed on any terminal state
+	fl        *flight       // membership while queued/running; nil when terminal
+	done      chan struct{} // closed on any terminal state
 }
 
 // Server is the job service. It implements http.Handler.
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	queue   chan *job
+	queue   chan *flight
 	workers sync.WaitGroup
 
 	mu       sync.Mutex
 	draining bool
 	nextID   int
 	jobs     map[string]*job
-	order    []string // job ids oldest-first, for pruning and listing
+	order    []string           // job ids oldest-first, for pruning and listing
+	inflight map[string]*flight // queued/running flights by content-address key
 
 	metrics metrics
 }
@@ -110,17 +139,20 @@ func New(cfg Config) *Server {
 		cfg.Runner = mom.RunJobRequest
 	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueCap),
-		jobs:  map[string]*job{},
+		cfg:      cfg,
+		queue:    make(chan *flight, cfg.QueueCap),
+		jobs:     map[string]*job{},
+		inflight: map[string]*flight{},
 	}
 	s.metrics.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -135,8 +167,9 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Shutdown drains the service: no new submissions are admitted (503), the
-// workers finish every job already accepted — running and queued — and
-// then exit. It returns ctx.Err() if the drain outlives ctx.
+// workers finish every flight already accepted — running and queued,
+// peer-proxied included — and then exit. It returns ctx.Err() if the
+// drain outlives ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -166,6 +199,25 @@ type submitBody struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// clampTimeout resolves a requested timeout_ms against the configured
+// default and ceiling.
+func (s *Server) clampTimeout(ms int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// Admission failures the HTTP layer maps to status codes.
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("job queue full")
+)
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -184,56 +236,124 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
 	}
-	s.metrics.submit(req.Exp, req.Sample().Enabled())
-	timeout := s.cfg.DefaultTimeout
-	if body.TimeoutMS > 0 {
-		timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+	j, code, err := s.admit(req, key, s.clampTimeout(body.TimeoutMS))
+	switch {
+	case errors.Is(err, errDraining):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueCap)
+		return
 	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
+	s.writeJob(w, code, j)
+}
 
-	// Store hit: the job is born done, no worker consumed.
+// admit is the single submission path shared by POST /v1/jobs, the batch
+// endpoint and nothing else: store lookup, peer fill-on-miss, singleflight
+// coalescing, then — only for new local work — the admission queue. The
+// returned status is http.StatusOK for a job born done (store or peer
+// fill) and http.StatusAccepted for one attached to a flight.
+func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*job, int, error) {
+	s.metrics.submit(req.Exp, req.Sample().Enabled())
+
+	// Local store hit: the job is born done, no worker consumed.
 	if s.cfg.Store != nil {
 		if val, ok := s.cfg.Store.Get(key); ok {
-			now := time.Now()
-			j := &job{
-				key: key, req: req, timeout: timeout,
-				state: StateDone, result: val, fromStore: true,
-				created: now, started: now, finished: now,
-				done: make(chan struct{}),
-			}
-			close(j.done)
-			s.mu.Lock()
-			s.register(j)
-			s.mu.Unlock()
-			s.writeJob(w, http.StatusOK, j)
-			return
+			return s.bornDone(req, key, timeout, val, ""), http.StatusOK, nil
 		}
 	}
 
+	// A key owned by a peer: fill the local store from the owner on miss,
+	// so a hot result replicates toward its demand; if the owner has not
+	// computed it either, a proxy flight below forwards the work.
+	var owner string
+	if s.cfg.Peers != nil {
+		if o := s.cfg.Peers.Owner(key); o != s.cfg.Peers.Self() {
+			owner = o
+			if val, ok := s.peerStoreGet(owner, key); ok {
+				if s.cfg.Store != nil {
+					_ = s.cfg.Store.Fill(key, val)
+				}
+				s.metrics.add(&s.metrics.peerFills)
+				return s.bornDone(req, key, timeout, val, owner), http.StatusOK, nil
+			}
+		}
+	}
+
+	now := time.Now()
 	j := &job{
 		key: key, req: req, timeout: timeout,
-		state: StateQueued, created: time.Now(),
+		state: StateQueued, created: now,
 		done: make(chan struct{}),
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
-		return
+		return nil, 0, errDraining
+	}
+
+	// Singleflight: an identical request is already queued or running —
+	// attach as a follower and share its execution.
+	if fl := s.inflight[key]; fl != nil {
+		j.fl = fl
+		j.coalesced = true
+		j.peer = fl.peer
+		if fl.running {
+			j.state = StateRunning
+			j.started = now
+		}
+		fl.members = append(fl.members, j)
+		s.register(j)
+		s.mu.Unlock()
+		s.metrics.add(&s.metrics.coalesced)
+		return j, http.StatusAccepted, nil
+	}
+
+	fl := &flight{key: key, req: req, timeout: timeout, members: []*job{j}, peer: owner}
+	j.fl = fl
+	j.peer = owner
+	if owner != "" {
+		// Peer-proxied work waits on the owner's pool, not ours: it runs
+		// on its own goroutine instead of occupying a local worker.
+		s.inflight[key] = fl
+		s.register(j)
+		s.workers.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.workers.Done()
+			s.runProxy(fl)
+		}()
+		s.metrics.add(&s.metrics.peerProxied)
+		return j, http.StatusAccepted, nil
 	}
 	select {
-	case s.queue <- j:
+	case s.queue <- fl:
+		s.inflight[key] = fl
 		s.register(j)
 	default:
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueCap)
-		return
+		return nil, 0, errQueueFull
 	}
 	s.mu.Unlock()
-	s.writeJob(w, http.StatusAccepted, j)
+	return j, http.StatusAccepted, nil
+}
+
+// bornDone registers a job that is done on arrival (store hit or peer
+// store fill).
+func (s *Server) bornDone(req mom.JobRequest, key string, timeout time.Duration, val []byte, peer string) *job {
+	now := time.Now()
+	j := &job{
+		key: key, req: req, timeout: timeout,
+		state: StateDone, result: val, fromStore: true, peer: peer,
+		created: now, started: now, finished: now,
+		done: make(chan struct{}),
+	}
+	close(j.done)
+	s.mu.Lock()
+	s.register(j)
+	s.mu.Unlock()
+	return j
 }
 
 // register assigns an id, indexes the job and prunes old finished
@@ -316,81 +436,142 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCancel withdraws one submitter's interest in its flight. A
+// follower detaches without disturbing the computation; the leader hands
+// the flight to the next member (promotion) rather than failing the
+// group; only when the last member leaves is the computation itself
+// cancelled (running) or left for the worker to drop (queued).
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
+	var promoted bool
 	s.mu.Lock()
-	switch j.state {
-	case StateQueued:
-		// The worker that eventually drains it will see the terminal
-		// state and skip it.
+	if fl := j.fl; fl != nil {
+		wasLeader := len(fl.members) > 0 && fl.members[0] == j
+		for i, m := range fl.members {
+			if m == j {
+				fl.members = append(fl.members[:i], fl.members[i+1:]...)
+				break
+			}
+		}
+		j.fl = nil
 		j.state = StateCancelled
-		j.err = "cancelled before start"
+		j.err = "cancelled by submitter"
+		if !fl.running {
+			j.err = "cancelled before start"
+		}
 		j.finished = time.Now()
 		close(j.done)
-	case StateRunning:
-		j.cancel() // worker finalises the state when the runner returns
+		switch {
+		case len(fl.members) > 0:
+			// Survivors keep the execution; if the leader left, the
+			// next member now leads it.
+			promoted = wasLeader
+		case fl.running:
+			fl.cancel() // last member gone: stop the work; finish() settles it
+		default:
+			// Queued with no members left. Keep it in inflight: a new
+			// identical submission revives it (keeping its queue slot);
+			// otherwise the worker drops it on dequeue.
+		}
 	}
 	s.mu.Unlock()
+	if promoted {
+		s.metrics.add(&s.metrics.promotions)
+	}
 	s.writeJob(w, http.StatusOK, j)
 }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
-		s.run(j)
+	for fl := range s.queue {
+		s.runFlight(fl)
 	}
 }
 
-func (s *Server) run(j *job) {
+// begin moves a flight into the running state, or reports false when
+// every submitter cancelled while it waited. Members admitted later
+// (followers) inherit the running state as they attach.
+func (s *Server) begin(fl *flight) (context.Context, context.CancelFunc, bool) {
 	s.mu.Lock()
-	if j.state != StateQueued { // cancelled while waiting
+	if len(fl.members) == 0 {
+		delete(s.inflight, fl.key)
 		s.mu.Unlock()
+		return nil, nil, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), fl.timeout)
+	fl.cancel = cancel
+	fl.running = true
+	fl.started = time.Now()
+	for _, j := range fl.members {
+		j.state = StateRunning
+		j.started = fl.started
+	}
+	s.mu.Unlock()
+	return ctx, cancel, true
+}
+
+func (s *Server) runFlight(fl *flight) {
+	ctx, cancel, ok := s.begin(fl)
+	if !ok {
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
-	j.cancel = cancel
-	j.state = StateRunning
-	j.started = time.Now()
-	s.mu.Unlock()
 	defer cancel()
 
-	out, err := s.cfg.Runner(ctx, j.req)
+	out, err := s.cfg.Runner(ctx, fl.req)
 	ctxErr := ctx.Err()
 
-	// Persist before the job becomes observable as done, so a client that
-	// polls done and immediately re-submits is guaranteed the store hit.
-	// Best effort: a failed write only costs a future recompute.
+	// Persist before the flight becomes observable as done, so a client
+	// that polls done and immediately re-submits is guaranteed the store
+	// hit. Best effort: a failed write only costs a future recompute.
 	if err == nil && ctxErr == nil && s.cfg.Store != nil {
-		_ = s.cfg.Store.Put(j.key, out)
+		_ = s.cfg.Store.Put(fl.key, out)
 	}
+	s.finish(fl, out, err, ctxErr)
+}
 
-	s.mu.Lock()
-	j.finished = time.Now()
+// finish settles a flight: every remaining member reaches the same
+// terminal state, sharing one result slice — followers observe documents
+// byte-identical to the leader's.
+func (s *Server) finish(fl *flight, out []byte, err, ctxErr error) {
+	state := StateDone
+	var errMsg string
 	switch {
 	case err == nil && ctxErr == nil:
-		j.state = StateDone
-		j.result = out
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctxErr != nil:
-		j.state = StateCancelled
+		state = StateCancelled
 		reason := ctxErr
 		if reason == nil {
 			reason = err
 		}
-		j.err = reason.Error()
+		errMsg = reason.Error()
 	default:
-		j.state = StateFailed
-		j.err = err.Error()
+		state = StateFailed
+		errMsg = err.Error()
 	}
-	state := j.state
-	dur := j.finished.Sub(j.started)
-	s.mu.Unlock()
-	close(j.done)
 
-	s.metrics.observe(j.req.Exp, state, dur)
+	s.mu.Lock()
+	delete(s.inflight, fl.key)
+	now := time.Now()
+	members := fl.members
+	fl.members = nil
+	for _, j := range members {
+		j.fl = nil
+		j.finished = now
+		j.state = state
+		j.err = errMsg
+		if state == StateDone {
+			j.result = out
+		}
+		close(j.done)
+	}
+	dur := now.Sub(fl.started)
+	s.mu.Unlock()
+
+	s.metrics.observe(fl.req.Exp, state, dur)
 }
 
 // jobDoc is the public JSON shape of a job record.
@@ -400,6 +581,8 @@ type jobDoc struct {
 	Request   mom.JobRequest `json:"request"`
 	Key       string         `json:"key"`
 	FromStore bool           `json:"from_store"`
+	Coalesced bool           `json:"coalesced,omitempty"`
+	Peer      string         `json:"peer,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Created   time.Time      `json:"created"`
 	Started   *time.Time     `json:"started,omitempty"`
@@ -411,7 +594,8 @@ type jobDoc struct {
 func (s *Server) doc(j *job) jobDoc {
 	d := jobDoc{
 		ID: j.id, State: j.state, Request: j.req, Key: j.key,
-		FromStore: j.fromStore, Error: j.err, Created: j.created,
+		FromStore: j.fromStore, Coalesced: j.coalesced, Peer: j.peer,
+		Error: j.err, Created: j.created,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mom "repro"
+)
+
+// countingRunner is a stub Runner that counts executions and stamps the
+// execution number into its output, so a byte-compare across jobs that
+// should share one execution also detects a hidden second run. A nil
+// release returns immediately; otherwise the runner blocks until release
+// closes (or the job context ends).
+func countingRunner(calls *int32, release <-chan struct{}) Runner {
+	return func(ctx context.Context, req mom.JobRequest) ([]byte, error) {
+		n := atomic.AddInt32(calls, 1)
+		if release != nil {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return []byte(fmt.Sprintf(`{"exp":%q,"execution":%d}`, req.Exp, n)), nil
+	}
+}
+
+// del cancels a job and returns its post-cancel doc.
+func del(t *testing.T, ts *httptest.Server, id string) jobDoc {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d jobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// waitMetric polls /metrics until one sample reaches want.
+func waitMetric(t *testing.T, ts *httptest.Server, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var v float64
+	for time.Now().Before(deadline) {
+		if v = metricValue(t, ts, name); v == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("metric %s stuck at %g, want %g", name, v, want)
+}
+
+// TestSingleflightCoalesces is the headline dedup guarantee: N identical
+// concurrent submissions share ONE execution — the Runner fires exactly
+// once — and every submitter reads a byte-identical result document.
+func TestSingleflightCoalesces(t *testing.T) {
+	release := make(chan struct{})
+	var calls int32
+	srv := New(Config{Workers: 2, QueueCap: 32, Runner: countingRunner(&calls, release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	const n = 20
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, resp := post(t, ts, `{"exp":"fig5"}`)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submission %d: status %d, want 202", i, resp.StatusCode)
+			}
+			ids[i] = d.ID
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+
+	results := make([][]byte, n)
+	for i, id := range ids {
+		if id == "" {
+			t.Fatalf("submission %d got no job id", i)
+		}
+		waitState(t, ts, id, StateDone)
+		code, b := get(t, ts.URL+"/v1/jobs/"+id+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("result of %s: status %d", id, code)
+		}
+		results[i] = b
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("runner executed %d times for %d identical submissions, want 1", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("result %d differs from result 0:\n%s\nvs\n%s", i, results[i], results[0])
+		}
+	}
+	if v := metricValue(t, ts, "momserved_dedup_coalesced_total"); v != n-1 {
+		t.Fatalf("coalesced counter %g, want %d", v, n-1)
+	}
+}
+
+// TestLeaderCancelPromotesFollower: cancelling the job that started a
+// flight must not fail the group — the follower inherits the execution
+// and completes, and the computation never restarts.
+func TestLeaderCancelPromotesFollower(t *testing.T) {
+	release := make(chan struct{})
+	var calls int32
+	srv := New(Config{Workers: 1, QueueCap: 8, Runner: countingRunner(&calls, release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	leader, _ := post(t, ts, `{"exp":"fig5"}`)
+	waitState(t, ts, leader.ID, StateRunning)
+	follower, resp := post(t, ts, `{"exp":"fig5"}`)
+	if resp.StatusCode != http.StatusAccepted || !follower.Coalesced {
+		t.Fatalf("second identical submission: status %d coalesced %v, want 202 true",
+			resp.StatusCode, follower.Coalesced)
+	}
+	if follower.State != StateRunning {
+		t.Fatalf("follower of a running flight born %s, want running", follower.State)
+	}
+
+	if d := del(t, ts, leader.ID); d.State != StateCancelled {
+		t.Fatalf("cancelled leader state %s, want cancelled", d.State)
+	}
+	if v := metricValue(t, ts, "momserved_dedup_promotions_total"); v != 1 {
+		t.Fatalf("promotions counter %g, want 1", v)
+	}
+	close(release)
+	if d := waitState(t, ts, follower.ID, StateDone); d.Error != "" {
+		t.Fatalf("promoted follower finished with error %q", d.Error)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("runner executed %d times across the promotion, want 1", got)
+	}
+	code, _ := get(t, ts.URL+"/v1/jobs/"+leader.ID+"/result")
+	if code != http.StatusConflict {
+		t.Fatalf("result of the cancelled leader: status %d, want 409", code)
+	}
+}
+
+// TestFollowerDetachKeepsLeader: the mirror case — a follower withdrawing
+// leaves the leader's execution untouched and promotes nobody.
+func TestFollowerDetachKeepsLeader(t *testing.T) {
+	release := make(chan struct{})
+	var calls int32
+	srv := New(Config{Workers: 1, QueueCap: 8, Runner: countingRunner(&calls, release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	leader, _ := post(t, ts, `{"exp":"fig5"}`)
+	waitState(t, ts, leader.ID, StateRunning)
+	follower, _ := post(t, ts, `{"exp":"fig5"}`)
+	if d := del(t, ts, follower.ID); d.State != StateCancelled {
+		t.Fatalf("detached follower state %s, want cancelled", d.State)
+	}
+	if v := metricValue(t, ts, "momserved_dedup_promotions_total"); v != 0 {
+		t.Fatalf("follower detach promoted (counter %g)", v)
+	}
+	close(release)
+	waitState(t, ts, leader.ID, StateDone)
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("runner executed %d times, want 1", got)
+	}
+}
+
+// TestCancelLastMemberStopsComputation: when every submitter of a running
+// flight has withdrawn, the computation itself is cancelled, and a later
+// identical submission starts fresh.
+func TestCancelLastMemberStopsComputation(t *testing.T) {
+	release := make(chan struct{})
+	var calls int32
+	srv := New(Config{Workers: 1, QueueCap: 8, Runner: countingRunner(&calls, release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	defer close(release)
+
+	d, _ := post(t, ts, `{"exp":"fig5"}`)
+	waitState(t, ts, d.ID, StateRunning)
+	del(t, ts, d.ID)
+	// The runner observes the cancel and the flight settles (finished
+	// counter) without waiting for release.
+	waitMetric(t, ts, `momserved_jobs_finished_total{state="cancelled"}`, 1)
+
+	again, resp := post(t, ts, `{"exp":"fig5"}`)
+	if resp.StatusCode != http.StatusAccepted || again.Coalesced {
+		t.Fatalf("post-cancel resubmission: status %d coalesced %v, want a fresh flight",
+			resp.StatusCode, again.Coalesced)
+	}
+	waitState(t, ts, again.ID, StateRunning)
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("runner executed %d times, want 2 (cancelled + fresh)", got)
+	}
+}
+
+// TestQueuedFlightRevival: a queued flight whose only submitter cancelled
+// keeps its queue slot; an identical submission arriving before a worker
+// reaps it attaches to the empty flight and rides that slot to execution.
+func TestQueuedFlightRevival(t *testing.T) {
+	release := make(chan struct{})
+	var calls int32
+	srv := New(Config{Workers: 1, QueueCap: 8, Runner: countingRunner(&calls, release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	busy, _ := post(t, ts, `{"exp":"fetch"}`)
+	waitState(t, ts, busy.ID, StateRunning)
+	queued, _ := post(t, ts, `{"exp":"fig5"}`)
+	if d := del(t, ts, queued.ID); d.Error != "cancelled before start" {
+		t.Fatalf("queued cancel reason %q, want %q", d.Error, "cancelled before start")
+	}
+	revived, resp := post(t, ts, `{"exp":"fig5"}`)
+	if resp.StatusCode != http.StatusAccepted || !revived.Coalesced {
+		t.Fatalf("revival submission: status %d coalesced %v, want 202 true",
+			resp.StatusCode, revived.Coalesced)
+	}
+	close(release)
+	waitState(t, ts, revived.ID, StateDone)
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("runner executed %d times, want 2 (fetch + revived fig5)", got)
+	}
+}
+
+// TestQueuedFlightDropped: with no revival, the worker reaps the empty
+// flight without running it, and the next submission starts over.
+func TestQueuedFlightDropped(t *testing.T) {
+	release := make(chan struct{})
+	var calls int32
+	srv := New(Config{Workers: 1, QueueCap: 8, Runner: countingRunner(&calls, release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	busy, _ := post(t, ts, `{"exp":"fetch"}`)
+	waitState(t, ts, busy.ID, StateRunning)
+	queued, _ := post(t, ts, `{"exp":"fig5"}`)
+	del(t, ts, queued.ID)
+	close(release)
+	waitState(t, ts, busy.ID, StateDone)
+	waitMetric(t, ts, "momserved_inflight_flights", 0) // empty flight reaped
+
+	again, _ := post(t, ts, `{"exp":"fig5"}`)
+	if again.Coalesced {
+		t.Fatal("submission after the empty flight was reaped still coalesced")
+	}
+	waitState(t, ts, again.ID, StateDone)
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("runner executed %d times, want 2 (the dropped flight never ran)", got)
+	}
+}

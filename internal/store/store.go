@@ -34,7 +34,8 @@ const fileMagic = "momstore 1"
 type Stats struct {
 	Hits      uint64 // Get found a valid entry
 	Misses    uint64 // Get found nothing (or a corrupt entry)
-	Puts      uint64 // values written
+	Puts      uint64 // values written by local computation
+	Fills     uint64 // values written from a peer (Fill)
 	Evictions uint64 // entries removed by the LRU bound
 	Entries   int    // entries currently held
 	Bytes     int64  // on-disk bytes currently held (headers included)
@@ -213,6 +214,28 @@ func (s *Store) Put(key string, val []byte) error {
 	s.stats.Puts++
 	s.evictLocked()
 	s.mu.Unlock()
+	return nil
+}
+
+// Fill stores a value obtained from a peer rather than computed locally.
+// The write path is identical to Put — atomic, verified, LRU-bounded — it
+// is counted separately so fill-on-miss traffic is visible, and a value
+// already present is left untouched (the peer's copy of an entry this
+// store already verified cannot be fresher: keys are content addresses).
+func (s *Store) Fill(key string, val []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	s.mu.Unlock()
+	if ok {
+		return nil
+	}
+	if err := s.Put(key, val); err != nil {
+		return err
+	}
+	s.count(func(st *Stats) { st.Fills++; st.Puts-- })
 	return nil
 }
 

@@ -220,3 +220,35 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	s.Stats()
 }
+
+// TestFill: a peer-sourced write lands like a Put but is counted as a
+// fill, and an already-present key is left untouched — content-addressed
+// entries cannot go stale, so the first verified value wins.
+func TestFill(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	val := []byte(`{"schema":1,"experiment":"fig5","rows":[]}` + "\n")
+	if err := s.Fill(key("a"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key("a"))
+	if !ok || string(got) != string(val) {
+		t.Fatalf("got %q ok=%v, want the filled value", got, ok)
+	}
+	st := s.Stats()
+	if st.Fills != 1 || st.Puts != 0 {
+		t.Fatalf("stats %+v, want 1 fill / 0 puts", st)
+	}
+	// Filling over an existing entry is a no-op, not an overwrite.
+	if err := s.Fill(key("a"), []byte("different")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key("a")); string(got) != string(val) {
+		t.Fatalf("second fill overwrote the entry: %q", got)
+	}
+	if st := s.Stats(); st.Fills != 1 {
+		t.Fatalf("no-op fill counted (stats %+v)", st)
+	}
+	if err := s.Fill("not-a-key", val); err == nil {
+		t.Fatal("invalid key accepted")
+	}
+}

@@ -175,6 +175,34 @@ func buildStatic(p *isa.Program) []sinst {
 // It fails if the program faults, exceeds maxSteps dynamic instructions, or
 // (when maxBytes > 0) the encoding grows past maxBytes.
 func Capture(m *emu.Machine, maxSteps uint64, maxBytes int64) (*Trace, error) {
+	var have int64
+	tr, _, err := CaptureGranted(m, maxSteps, func(n int64) bool {
+		if maxBytes > 0 && have+n > maxBytes {
+			return false
+		}
+		have += n
+		return true
+	})
+	return tr, err
+}
+
+// Grant sizes of CaptureGranted: memory is reserved a quantum at a time so
+// concurrent captures sharing one budget interleave small reservations
+// instead of each claiming the whole remainder up front; near exhaustion
+// the requests drop to the fine quantum so a trace that fits the leftover
+// budget (to within grantFine bytes) is still admitted.
+const (
+	grantQuantum = 256 << 10
+	grantFine    = 4 << 10
+)
+
+// CaptureGranted is Capture drawing its memory from an external budget:
+// reserve is called with grant requests as the encoding grows, and may
+// refuse, which aborts the capture with an error wrapping ErrTooLarge.
+// granted reports the total bytes reserved — surplus over tr.Bytes() on
+// success, everything on failure; releasing it back to the budget is the
+// caller's responsibility.
+func CaptureGranted(m *emu.Machine, maxSteps uint64, reserve func(int64) bool) (tr *Trace, granted int64, err error) {
 	t := &Trace{prog: m.Prog}
 	var c *chunk
 	var bytes int64
@@ -184,7 +212,7 @@ func Capture(m *emu.Machine, maxSteps uint64, maxBytes int64) (*Trace, error) {
 			break
 		}
 		if t.n >= maxSteps {
-			return nil, fmt.Errorf("trace: %s exceeded %d steps", m.Prog.Name, maxSteps)
+			return nil, granted, fmt.Errorf("trace: %s exceeded %d steps", m.Prog.Name, maxSteps)
 		}
 		if c == nil || len(c.si) == chunkRecords {
 			t.chunks = append(t.chunks, chunk{
@@ -209,16 +237,23 @@ func Capture(m *emu.Machine, maxSteps uint64, maxBytes int64) (*Trace, error) {
 			}
 		}
 		t.n++
-		if maxBytes > 0 && bytes > maxBytes {
-			return nil, fmt.Errorf("%w: %s needs more than %d bytes", ErrTooLarge, m.Prog.Name, maxBytes)
+		for bytes > granted {
+			switch {
+			case reserve(grantQuantum):
+				granted += grantQuantum
+			case reserve(grantFine):
+				granted += grantFine
+			default:
+				return nil, granted, fmt.Errorf("%w: %s needs more than %d bytes", ErrTooLarge, m.Prog.Name, granted)
+			}
 		}
 	}
 	if m.Err != nil {
-		return nil, m.Err
+		return nil, granted, m.Err
 	}
 	t.static = buildStatic(m.Prog)
 	t.bytes = bytes
-	return t, nil
+	return t, granted, nil
 }
 
 // Program returns the traced program.

@@ -61,6 +61,19 @@ func (r JobRequest) Sample() SampleSpec {
 		Parallelism: r.SamplePar}
 }
 
+// BatchRequest is the envelope of the job service's POST /v1/jobs:batch:
+// a list of job requests admitted in one round trip — the natural entry
+// point for a design-space sweep, which expands a grid of configurations
+// into many overlapping requests. Items are deduplicated by content
+// address within the batch and against work already in flight before any
+// of them reaches the admission queue. TimeoutMS, when set, applies to
+// every item (like the single-submit timeout_ms, it is an execution
+// deadline, never part of any store key).
+type BatchRequest struct {
+	Jobs      []JobRequest `json:"jobs"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
 // requestKeyDoc is the hashed document: the request plus the schema
 // version, so a change to the result encoding retires every stored entry.
 type requestKeyDoc struct {

@@ -2,6 +2,7 @@ package mom
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -36,8 +37,9 @@ var TraceCacheBytes int64 = 1 << 30
 
 // TraceStats reports the accumulated activity of the trace layer.
 type TraceStats struct {
-	Captures     int64         // traces recorded
-	CaptureTime  time.Duration // wall-clock spent capturing (functional emulation)
+	Captures     int64         // traces recorded AND retained in the cache
+	CaptureTime  time.Duration // wall-clock spent capturing retained traces
+	Discarded    int64         // captures abandoned because the byte budget ran out
 	Replays      int64         // timing runs fed from a recorded trace
 	ReplayTime   time.Duration // wall-clock spent in trace-fed timing runs
 	LiveRuns     int64         // timing runs that fell back to live emulation
@@ -46,7 +48,7 @@ type TraceStats struct {
 }
 
 var traceStats struct {
-	captures, captureNS, replays, replayNS, liveRuns atomic.Int64
+	captures, captureNS, discarded, replays, replayNS, liveRuns atomic.Int64
 }
 
 // ReadTraceStats returns a snapshot of the trace-layer counters.
@@ -54,7 +56,7 @@ func ReadTraceStats() TraceStats {
 	traceCache.mu.Lock()
 	var held int64
 	for _, e := range traceCache.entries {
-		if e.tr != nil { // e.tr is only written under traceCache.mu
+		if e.state == capDone {
 			held++
 		}
 	}
@@ -63,6 +65,7 @@ func ReadTraceStats() TraceStats {
 	return TraceStats{
 		Captures:     traceStats.captures.Load(),
 		CaptureTime:  time.Duration(traceStats.captureNS.Load()),
+		Discarded:    traceStats.discarded.Load(),
 		Replays:      traceStats.replays.Load(),
 		ReplayTime:   time.Duration(traceStats.replayNS.Load()),
 		LiveRuns:     traceStats.liveRuns.Load(),
@@ -78,72 +81,142 @@ type traceKey struct {
 	scale Scale
 }
 
+// Capture lifecycle of one cache slot. A budget discard returns the slot
+// to capEmpty so a later request retries once memory frees; workload
+// faults and traces that cannot fit even an otherwise-empty cache are
+// capFailed permanently.
+const (
+	capEmpty int8 = iota // no capture attempted, or the last one was discarded
+	capRunning
+	capDone
+	capFailed
+)
+
 type traceEntry struct {
-	once sync.Once
-	tr   *trace.Trace // nil if capture failed or cache full
+	state int8
+	tr    *trace.Trace  // set iff state == capDone
+	waitc chan struct{} // closed when the running attempt settles
 }
 
 var traceCache = struct {
-	mu      sync.Mutex
-	entries map[traceKey]*traceEntry
-	bytes   int64
+	mu       sync.Mutex
+	entries  map[traceKey]*traceEntry
+	bytes    int64 // committed bytes of retained traces
+	reserved int64 // in-flight capture reservations (see captureTrace)
 }{entries: map[traceKey]*traceEntry{}}
 
-// entry returns (creating if needed) the cache slot for a key.
-func cacheEntry(key traceKey) *traceEntry {
+// cachedTrace returns the recorded trace for a workload, capturing it on
+// first use. It returns nil when the workload cannot be captured within the
+// cache budget (or faults); callers then use the live path. A capture
+// discarded because concurrent captures held the budget leaves the slot
+// empty, so a later request retries it; only faults and traces larger than
+// the whole budget fail permanently.
+func cachedTrace(key traceKey) *trace.Trace {
 	traceCache.mu.Lock()
-	defer traceCache.mu.Unlock()
 	e, ok := traceCache.entries[key]
 	if !ok {
 		e = &traceEntry{}
 		traceCache.entries[key] = e
 	}
-	return e
+	for {
+		switch e.state {
+		case capDone:
+			tr := e.tr
+			traceCache.mu.Unlock()
+			return tr
+		case capFailed:
+			traceCache.mu.Unlock()
+			return nil
+		case capRunning:
+			w := e.waitc
+			traceCache.mu.Unlock()
+			<-w
+			traceCache.mu.Lock()
+			if e.state == capEmpty {
+				// The attempt we waited on was discarded for budget. Run
+				// live now rather than piling on immediate retries; the
+				// next request finds capEmpty and tries again.
+				traceCache.mu.Unlock()
+				return nil
+			}
+		case capEmpty:
+			e.state = capRunning
+			e.waitc = make(chan struct{})
+			traceCache.mu.Unlock()
+			tr, permanent := captureTrace(key)
+			traceCache.mu.Lock()
+			switch {
+			case tr != nil:
+				e.state, e.tr = capDone, tr
+			case permanent:
+				e.state = capFailed
+			default:
+				e.state = capEmpty
+			}
+			close(e.waitc)
+			traceCache.mu.Unlock()
+			return tr
+		}
+	}
 }
 
-// cachedTrace returns the recorded trace for a workload, capturing it on
-// first use. It returns nil when the workload cannot be captured within the
-// cache budget (or faults); callers then use the live path.
-func cachedTrace(key traceKey) *trace.Trace {
-	e := cacheEntry(key)
-	e.once.Do(func() {
-		var m *emu.Machine
-		switch {
-		case key.app:
-			a, err := apps.ByName(key.name, apps.Scale(key.scale))
-			if err != nil {
-				return
-			}
-			m = emu.New(a.Build(key.isa.ext()))
-		default:
-			k, err := kernels.ByName(key.name, kernels.Scale(key.scale))
-			if err != nil {
-				return
-			}
-			m = emu.New(k.Build(key.isa.ext()))
-		}
-		traceCache.mu.Lock()
-		budget := TraceCacheBytes - traceCache.bytes
-		traceCache.mu.Unlock()
-		if budget <= 0 {
-			return
-		}
-		t0 := time.Now()
-		tr, err := trace.Capture(m, maxDynInsts, budget)
+// captureTrace records one workload, drawing memory from the shared cache
+// budget in quantum-sized reservations (trace.CaptureGranted) so the sum
+// of committed and in-flight capture bytes never exceeds TraceCacheBytes —
+// concurrent captures of different keys cannot overshoot the bound the way
+// a read-budget-then-capture race could. It reports permanent=true when no
+// later attempt can succeed: a build or emulation fault, or a grant that
+// would not fit even with every competing reservation released.
+func captureTrace(key traceKey) (tr *trace.Trace, permanent bool) {
+	var m *emu.Machine
+	switch {
+	case key.app:
+		a, err := apps.ByName(key.name, apps.Scale(key.scale))
 		if err != nil {
-			return
+			return nil, true
 		}
-		traceStats.captures.Add(1)
-		traceStats.captureNS.Add(int64(time.Since(t0)))
+		m = emu.New(a.Build(key.isa.ext()))
+	default:
+		k, err := kernels.ByName(key.name, kernels.Scale(key.scale))
+		if err != nil {
+			return nil, true
+		}
+		m = emu.New(k.Build(key.isa.ext()))
+	}
+	var mine int64
+	canNeverFit := false
+	reserve := func(n int64) bool {
 		traceCache.mu.Lock()
 		defer traceCache.mu.Unlock()
-		if traceCache.bytes+tr.Bytes() > TraceCacheBytes {
-			return // another capture consumed the budget meanwhile
+		if traceCache.bytes+traceCache.reserved+n > TraceCacheBytes {
+			// Would the grant fit if every other in-flight capture
+			// released its reservation? Committed traces are never
+			// evicted, so if not, no later attempt can succeed either.
+			canNeverFit = traceCache.bytes+mine+n > TraceCacheBytes
+			return false
 		}
+		traceCache.reserved += n
+		mine += n
+		return true
+	}
+	t0 := time.Now()
+	tr, granted, err := trace.CaptureGranted(m, maxDynInsts, reserve)
+	traceCache.mu.Lock()
+	traceCache.reserved -= granted
+	if err == nil {
 		traceCache.bytes += tr.Bytes()
-		e.tr = tr
-	})
-	return e.tr
+	}
+	traceCache.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, trace.ErrTooLarge) {
+			traceStats.discarded.Add(1)
+			return nil, canNeverFit
+		}
+		return nil, true
+	}
+	traceStats.captures.Add(1)
+	traceStats.captureNS.Add(int64(time.Since(t0)))
+	return tr, false
 }
 
 // runTraced times one workload from its recorded trace, sampled when sp is
