@@ -10,10 +10,19 @@
 //	curl -s localhost:8344/v1/jobs/j00000001          # poll state
 //	curl -s localhost:8344/v1/jobs/j00000001/result   # the fig7 document
 //	curl -s localhost:8344/metrics                    # Prometheus text
+//	curl -s localhost:8344/debug/flights              # recent job timelines
 //
 // Sampled and exact requests normalise to different content-address keys,
 // so their stored documents never collide; /metrics splits admitted jobs
 // by experiment and mode (momserved_jobs_submitted_total).
+//
+// Observability: every submission gets a request ID and a trace context
+// (propagated across peer hops via the Mom-Trace header), the flight
+// recorder keeps recent per-stage job timelines behind /debug/flights
+// (add ?format=chrome for a chrome://tracing document), logging is
+// structured (-log-format text|json, -log-level, request IDs on every
+// job line, slow-job warnings past -slow-job), and -debug mounts
+// net/http/pprof under /debug/pprof.
 //
 // SIGINT/SIGTERM drain the service: new submissions get 503, accepted
 // jobs finish (bounded by -drain), then the process exits.
@@ -24,7 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,33 +58,50 @@ func main() {
 		drain      = flag.Duration("drain", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 		peers      = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included (empty: single node)")
 		self       = flag.String("self", "", "this node's base URL as it appears in -peers (required with -peers)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text|json")
+		slowJob    = flag.Duration("slow-job", 30*time.Second, "flights slower than this log a warning (0 disables)")
+		flights    = flag.Int("flights", 256, "completed flights retained for /debug/flights")
+		debug      = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof")
 	)
 	flag.Parse()
-	log.SetPrefix("momserver: ")
-	log.SetFlags(log.LstdFlags)
+
+	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momserver:", err)
+		os.Exit(1)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
 
 	cfg := serve.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+		SlowJob:        *slowJob,
+		FlightLog:      *flights,
+		EnablePprof:    *debug,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeBytes)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		s := st.Stats()
-		log.Printf("store %s: %d entries, %.1f MB (bound %.1f MB)",
-			*storeDir, s.Entries, float64(s.Bytes)/(1<<20), float64(*storeBytes)/(1<<20))
+		logger.Info("store opened", "dir", *storeDir, "entries", s.Entries,
+			"bytes", s.Bytes, "bound_bytes", *storeBytes)
 		cfg.Store = st
 	}
 	if *peers != "" {
 		ps, err := serve.NewPeerSet(*self, strings.Split(*peers, ","))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("cluster of %d peers, self %s", ps.Size(), ps.Self())
+		logger.Info("cluster configured", "peers", ps.Size(), "self", ps.Self())
 		cfg.Peers = ps
 	}
 	srv := serve.New(cfg)
@@ -83,7 +109,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queueCap)
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"queue", *queueCap, "pprof", *debug)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -92,26 +119,51 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case got := <-sig:
-		log.Printf("%v: draining (up to %v)", got, *drain)
+		logger.Info("draining", "signal", got.String(), "limit", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// Stop accepting HTTP first, then wait for the worker pool to
 		// finish every accepted job.
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			logger.Error("http shutdown", "error", err.Error())
 		}
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("drain incomplete: %v", err)
+			logger.Error("drain incomplete", "error", err.Error())
 			os.Exit(1)
 		}
 		if cfg.Store != nil {
 			s := cfg.Store.Stats()
-			fmt.Printf("store: %d entries, %.1f MB, %d hits, %d misses, %d evictions\n",
-				s.Entries, float64(s.Bytes)/(1<<20), s.Hits, s.Misses, s.Evictions)
+			logger.Info("store at exit", "entries", s.Entries, "bytes", s.Bytes,
+				"hits", s.Hits, "misses", s.Misses, "evictions", s.Evictions)
 		}
-		log.Print("drained cleanly")
+		logger.Info("drained cleanly")
 	}
+}
+
+// buildLogger assembles the slog handler the service logs through.
+func buildLogger(w *os.File, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (valid: debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
 }

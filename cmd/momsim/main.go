@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"syscall"
@@ -44,8 +46,44 @@ func main() {
 		format  = flag.String("format", "table", "experiment output format: table|csv|json")
 		asJSON  = flag.Bool("json", false, "emit JSON (shorthand for -format json; also applies to single runs)")
 		verbose = flag.Bool("v", false, "report trace capture/replay timing per experiment")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
+	defer runAtExit()
+
+	// Profiling applies to exact and sampled runs alike; the profile files
+	// must be finalised even on the fatal() path, which exits through
+	// runAtExit rather than the deferred stack.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		atExit(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProf != "" {
+		path := *memProf
+		atExit(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "momsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "momsim: memprofile:", err)
+			}
+		})
+	}
 
 	// An interrupt (Ctrl-C / SIGTERM) cancels the experiment context:
 	// par.For stops submitting work and the run exits promptly.
@@ -146,6 +184,7 @@ func main() {
 		}
 	default:
 		flag.Usage()
+		runAtExit()
 		os.Exit(2)
 	}
 }
@@ -402,7 +441,22 @@ func checkExp(e string) error {
 	return fmt.Errorf("unknown experiment %q (valid: %s)", e, strings.Join(cliExps, ", "))
 }
 
+// atExitFns are cleanups (profile finalisers) that must run on every exit
+// path. fatal() leaves via os.Exit, which skips deferred calls, so both it
+// and main's deferred runAtExit drain this list explicitly.
+var atExitFns []func()
+
+func atExit(fn func()) { atExitFns = append(atExitFns, fn) }
+
+func runAtExit() {
+	for i := len(atExitFns) - 1; i >= 0; i-- {
+		atExitFns[i]()
+	}
+	atExitFns = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "momsim:", err)
+	runAtExit()
 	os.Exit(1)
 }

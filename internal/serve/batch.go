@@ -19,6 +19,7 @@ const maxBatchItems = 1024
 type batchItemDoc struct {
 	Index     int    `json:"index"`
 	ID        string `json:"id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 	Key       string `json:"key,omitempty"`
 	State     string `json:"state,omitempty"`
 	FromStore bool   `json:"from_store,omitempty"`
@@ -52,6 +53,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	timeout := s.clampTimeout(body.TimeoutMS)
 
+	// One trace context spans the whole batch — every admitted item's
+	// flight records under it, so a sweep submitted in one round trip
+	// reads as one distributed trace — while each item still gets its own
+	// request ID.
+	batchTrace := adoptTrace(r)
+
 	items := make([]batchItemDoc, len(body.Jobs))
 	seen := map[string]int{} // key -> index of the first item admitted for it
 	for i, jr := range body.Jobs {
@@ -74,7 +81,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i] = d
 			continue
 		}
-		j, _, err := s.admit(req, key, timeout)
+		j, _, err := s.admit(req, key, timeout, traceCtx{trace: batchTrace, reqID: "r" + newID()})
 		switch {
 		case errors.Is(err, errDraining):
 			items[i].Error = "server is draining"
@@ -88,7 +95,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		d := s.doc(j)
 		s.mu.Unlock()
 		items[i] = batchItemDoc{
-			Index: i, ID: d.ID, Key: d.Key, State: d.State,
+			Index: i, ID: d.ID, RequestID: d.RequestID, Key: d.Key, State: d.State,
 			FromStore: d.FromStore, Coalesced: d.Coalesced, Peer: d.Peer,
 			ResultURL: d.ResultURL,
 		}

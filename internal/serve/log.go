@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Structured logging for the job service. The Server never writes to a
+// global logger: Config.Logger is the sink (nil keeps the library silent,
+// as before this file existed), cmd/momserver builds a text or JSON
+// handler from -log-format / -log-level, and every line about a job
+// carries its request ID — the same IDs the flight recorder exposes under
+// /debug/flights — so a log line, a flight timeline and a peer node's
+// view of the same trace context all join on one key.
+
+// discardLogger backs a nil Config.Logger so call sites never nil-check.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// log returns the configured structured logger (never nil).
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return discardLogger
+}
+
+// logAdmit records one admitted submission at debug level.
+func (s *Server) logAdmit(j *job, kind string) {
+	lg := s.log()
+	if !lg.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	attrs := []any{
+		slog.String("req_id", j.reqID),
+		slog.String("trace", j.trace),
+		slog.String("id", j.id),
+		slog.String("exp", j.req.Exp),
+		slog.String("key", j.key),
+		slog.String("kind", kind),
+	}
+	if j.peer != "" {
+		attrs = append(attrs, slog.String("peer", j.peer))
+	}
+	lg.Debug("job admitted", attrs...)
+}
+
+// logFinish records one settled flight: identity, terminal state, and the
+// per-stage latency breakdown. Flights slower than the configured
+// threshold escalate to a warning.
+func (s *Server) logFinish(fr *flightRecord, state, errMsg string, wall time.Duration) {
+	lg := s.log()
+	level := slog.LevelInfo
+	slow := s.cfg.SlowJob > 0 && wall >= s.cfg.SlowJob
+	if slow {
+		level = slog.LevelWarn
+	}
+	if !lg.Enabled(context.Background(), level) {
+		return
+	}
+	reqID := ""
+	if len(fr.reqIDs) > 0 {
+		reqID = fr.reqIDs[0]
+	}
+	attrs := []any{
+		slog.String("req_id", reqID),
+		slog.String("trace", fr.trace),
+		slog.String("exp", fr.exp),
+		slog.String("key", fr.key),
+		slog.String("kind", fr.kind),
+		slog.String("state", state),
+		slog.Duration("wall", wall),
+		slog.Int("members", len(fr.reqIDs)),
+	}
+	for _, sp := range fr.spans {
+		attrs = append(attrs, slog.Duration(sp.name, sp.end.Sub(sp.start)))
+	}
+	if fr.peer != "" {
+		attrs = append(attrs, slog.String("peer", fr.peer))
+	}
+	if errMsg != "" {
+		attrs = append(attrs, slog.String("error", errMsg))
+	}
+	msg := "flight finished"
+	if slow {
+		msg = "slow job"
+		attrs = append(attrs, slog.Duration("threshold", s.cfg.SlowJob))
+	}
+	lg.Log(context.Background(), level, msg, attrs...)
+}
+
+// logPeerError records one failed peer round trip: which peer, which key,
+// what failed and how long the attempt took — the counter in /metrics
+// says how often, this line says why.
+func (s *Server) logPeerError(op, peer, key, trace string, elapsed time.Duration, err error) {
+	s.log().Error("peer round trip failed",
+		slog.String("op", op),
+		slog.String("peer", peer),
+		slog.String("key", key),
+		slog.String("trace", trace),
+		slog.Duration("elapsed", elapsed),
+		slog.String("error", err.Error()),
+	)
+}

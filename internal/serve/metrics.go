@@ -46,6 +46,7 @@ type modeKey struct{ exp, mode string }
 type metrics struct {
 	mu        sync.Mutex
 	durations map[string]*histogram // by experiment name
+	stages    map[string]*histogram // by flight-recorder stage name
 	finished  map[string]uint64     // completed jobs by terminal state
 	submitted map[modeKey]uint64    // admitted jobs by experiment and mode
 
@@ -61,8 +62,34 @@ type metrics struct {
 
 func (m *metrics) init() {
 	m.durations = map[string]*histogram{}
+	m.stages = map[string]*histogram{}
 	m.finished = map[string]uint64{}
 	m.submitted = map[modeKey]uint64{}
+}
+
+// stage records one flight-recorder stage latency (queue wait, trace
+// capture, execution, store write, peer proxy RTT, peer store fill).
+func (m *metrics) stage(name string, d time.Duration) {
+	m.mu.Lock()
+	h := m.stages[name]
+	if h == nil {
+		h = &histogram{}
+		m.stages[name] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// durationTotals reports the accumulated wall-clock and count of executed
+// jobs across every experiment — the service rate behind Retry-After.
+func (m *metrics) durationTotals() (sum float64, count uint64) {
+	m.mu.Lock()
+	for _, h := range m.durations {
+		sum += h.sum
+		count += h.total
+	}
+	m.mu.Unlock()
+	return sum, count
 }
 
 // submit records one admitted job (store hits included — the mode split is
@@ -190,6 +217,25 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "momserved_job_duration_seconds_bucket{exp=%q,le=\"+Inf\"} %d\n", e, h.total)
 		fmt.Fprintf(w, "momserved_job_duration_seconds_sum{exp=%q} %g\n", e, h.sum)
 		fmt.Fprintf(w, "momserved_job_duration_seconds_count{exp=%q} %d\n", e, h.total)
+	}
+	// Per-stage latency histograms from the flight recorder.
+	stages := make([]string, 0, len(s.metrics.stages))
+	for st := range s.metrics.stages {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	fmt.Fprintln(w, "# HELP momserved_stage_duration_seconds Flight-recorder stage latencies (queue wait, capture, execute, store write, peer hops).")
+	fmt.Fprintln(w, "# TYPE momserved_stage_duration_seconds histogram")
+	for _, st := range stages {
+		h := s.metrics.stages[st]
+		var cum uint64
+		for i, b := range histBounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "momserved_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n", st, trimFloat(b), cum)
+		}
+		fmt.Fprintf(w, "momserved_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st, h.total)
+		fmt.Fprintf(w, "momserved_stage_duration_seconds_sum{stage=%q} %g\n", st, h.sum)
+		fmt.Fprintf(w, "momserved_stage_duration_seconds_count{stage=%q} %d\n", st, h.total)
 	}
 	// Singleflight dedup and batch admission.
 	fmt.Fprintln(w, "# HELP momserved_dedup_coalesced_total Submissions attached to an in-flight execution.")

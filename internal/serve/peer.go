@@ -103,47 +103,72 @@ func (p *PeerSet) Owner(key string) string {
 // handleStoreGet serves one raw stored document to a peer (or any
 // client): the fill-on-miss read path. It never computes and never
 // proxies — a miss is a plain 404, which tells the asking peer to fall
-// back to proxy submission.
+// back to proxy submission. A request carrying a Mom-Trace header is a
+// peer hop of a distributed flight, so the read is recorded under the
+// caller's trace context for stitching.
 func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	var fr *flightRecord
+	t0 := time.Now()
+	if tid := r.Header.Get(TraceHeader); tid != "" {
+		tc := traceCtx{trace: adoptTrace(r), reqID: "r" + newID()}
+		fr = s.newFlightRecord(KindStoreServe, key, "", "", tc, t0)
+	}
+	settle := func(state string) {
+		if fr != nil {
+			now := time.Now()
+			s.flights.span(fr, "store-read", t0, now, state)
+			s.flights.close(fr, state, now)
+		}
+	}
 	if s.cfg.Store == nil {
+		settle(StateFailed)
 		httpError(w, http.StatusNotFound, "no store configured")
 		return
 	}
 	val, ok := s.cfg.Store.Get(key)
 	if !ok {
+		settle(StateFailed)
 		httpError(w, http.StatusNotFound, "no entry for key %q", key)
 		return
 	}
+	settle(StateDone)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(val)
 }
 
 // peerStoreGet fetches a stored document from a peer's store, bounded by
 // a short deadline so a slow peer degrades a submission to a proxy (or
-// local compute), never hangs it.
-func (s *Server) peerStoreGet(peer, key string) ([]byte, bool) {
+// local compute), never hangs it. The trace context rides the Mom-Trace
+// header so the owner's store read stitches into the submitter's flight.
+func (s *Server) peerStoreGet(peer, key string, tc traceCtx) ([]byte, bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/store/"+key, nil)
 	if err != nil {
 		return nil, false
 	}
+	req.Header.Set(TraceHeader, tc.trace)
 	resp, err := s.cfg.Peers.client.Do(req)
 	if err != nil {
 		s.metrics.add(&s.metrics.peerErrors)
+		s.logPeerError("store-fetch", peer, key, tc.trace, time.Since(t0), err)
 		return nil, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode != http.StatusNotFound {
 			s.metrics.add(&s.metrics.peerErrors)
+			s.logPeerError("store-fetch", peer, key, tc.trace, time.Since(t0),
+				fmt.Errorf("status %d", resp.StatusCode))
 		}
 		return nil, false
 	}
 	val, err := io.ReadAll(resp.Body)
 	if err != nil {
 		s.metrics.add(&s.metrics.peerErrors)
+		s.logPeerError("store-fetch", peer, key, tc.trace, time.Since(t0), err)
 		return nil, false
 	}
 	return val, true
@@ -162,26 +187,37 @@ func (s *Server) runProxy(fl *flight) {
 	}
 	defer cancel()
 
-	out, err := s.proxyRun(ctx, fl.peer, fl.req, fl.timeout)
+	t0 := time.Now()
+	out, err := s.proxyRun(ctx, fl, fl.peer, fl.req, fl.timeout)
+	now := time.Now()
+	s.flights.span(fl.rec, "proxy", t0, now, fl.peer)
+	s.metrics.stage("proxy", now.Sub(t0))
 	ctxErr := ctx.Err()
 	if err == nil && ctxErr == nil && s.cfg.Store != nil {
+		w0 := time.Now()
 		_ = s.cfg.Store.Fill(fl.key, out)
+		s.flights.span(fl.rec, "store", w0, time.Now(), "fill")
+		s.metrics.stage("store", time.Since(w0))
 		s.metrics.add(&s.metrics.peerFills)
 	}
 	if err != nil && ctxErr == nil {
 		s.metrics.add(&s.metrics.peerErrors)
+		s.logPeerError("proxy", fl.peer, fl.key, fl.rec.trace, now.Sub(t0), err)
 	}
 	s.finish(fl, out, err, ctxErr)
 }
 
-// proxyRun drives one job to completion on a peer.
-func (s *Server) proxyRun(ctx context.Context, peer string, req mom.JobRequest, timeout time.Duration) ([]byte, error) {
+// proxyRun drives one job to completion on a peer. The flight's trace
+// context rides every hop in the Mom-Trace header, so the owner records
+// its side of the work under the same trace ID.
+func (s *Server) proxyRun(ctx context.Context, fl *flight, peer string, req mom.JobRequest, timeout time.Duration) ([]byte, error) {
 	payload, err := json.Marshal(submitBody{JobRequest: req, TimeoutMS: timeout.Milliseconds()})
 	if err != nil {
 		return nil, err
 	}
+	traceID := fl.rec.trace
 	var d jobDoc
-	code, err := s.peerJSON(ctx, http.MethodPost, peer+"/v1/jobs", payload, &d)
+	code, err := s.peerJSON(ctx, http.MethodPost, peer+"/v1/jobs", payload, traceID, &d)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: submit: %w", peer, err)
 	}
@@ -196,7 +232,7 @@ func (s *Server) proxyRun(ctx context.Context, peer string, req mom.JobRequest, 
 			return nil, ctx.Err()
 		case <-time.After(25 * time.Millisecond):
 		}
-		if code, err = s.peerJSON(ctx, http.MethodGet, peer+"/v1/jobs/"+d.ID, nil, &d); err != nil {
+		if code, err = s.peerJSON(ctx, http.MethodGet, peer+"/v1/jobs/"+d.ID, nil, traceID, &d); err != nil {
 			return nil, fmt.Errorf("peer %s: poll: %w", peer, err)
 		} else if code != http.StatusOK {
 			return nil, fmt.Errorf("peer %s: poll status %d", peer, code)
@@ -209,6 +245,7 @@ func (s *Server) proxyRun(ctx context.Context, peer string, req mom.JobRequest, 
 	if err != nil {
 		return nil, err
 	}
+	hreq.Header.Set(TraceHeader, traceID)
 	resp, err := s.cfg.Peers.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: result: %w", peer, err)
@@ -220,8 +257,9 @@ func (s *Server) proxyRun(ctx context.Context, peer string, req mom.JobRequest, 
 	return io.ReadAll(resp.Body)
 }
 
-// peerJSON performs one JSON request/response round trip with a peer.
-func (s *Server) peerJSON(ctx context.Context, method, url string, payload []byte, out any) (int, error) {
+// peerJSON performs one JSON request/response round trip with a peer,
+// propagating the trace context.
+func (s *Server) peerJSON(ctx context.Context, method, url string, payload []byte, traceID string, out any) (int, error) {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -232,6 +270,9 @@ func (s *Server) peerJSON(ctx context.Context, method, url string, payload []byt
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
 	}
 	resp, err := s.cfg.Peers.client.Do(req)
 	if err != nil {

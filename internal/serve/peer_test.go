@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -182,6 +185,127 @@ func TestPeerProxyComputesOnOwner(t *testing.T) {
 	}
 	if v := metricValue(t, ts[0], "momserved_peers"); v != 2 {
 		t.Fatalf("peers gauge %g, want 2", v)
+	}
+
+	// The proxied job produced ONE stitched trace: the submitting node
+	// recorded a proxy flight with the peer hop span, and the owner recorded
+	// its compute flight under the same trace ID (carried by Mom-Trace).
+	if d.Trace == "" {
+		t.Fatal("proxied job carries no trace id")
+	}
+	var proxied bool
+	for _, fl := range fetchFlights(t, ts[0], "?trace="+d.Trace).Flights {
+		if fl.Kind != KindProxy || fl.Key != key {
+			continue
+		}
+		proxied = true
+		if fl.Peer != owner {
+			t.Errorf("proxy flight names peer %q, want %q", fl.Peer, owner)
+		}
+		var hop bool
+		for _, sp := range fl.Spans {
+			if sp.Name == "proxy" && sp.Detail == owner {
+				hop = true
+			}
+		}
+		if !hop {
+			t.Errorf("proxy flight has no proxy hop span (spans %v)", fl.Spans)
+		}
+	}
+	if !proxied {
+		t.Fatalf("node 0 recorded no proxy flight for trace %s", d.Trace)
+	}
+	var computed bool
+	for _, fl := range fetchFlights(t, ts[1], "?trace="+d.Trace).Flights {
+		if fl.Kind != KindCompute || fl.Key != key {
+			continue
+		}
+		computed = true
+		var exec bool
+		for _, sp := range fl.Spans {
+			if sp.Name == "execute" {
+				exec = true
+			}
+		}
+		if !exec {
+			t.Errorf("owner's compute flight has no execute span (spans %v)", fl.Spans)
+		}
+	}
+	if !computed {
+		t.Fatalf("owner recorded no compute flight under trace %s — the hop did not stitch", d.Trace)
+	}
+}
+
+// syncBuffer is a log sink tests can read while the server still writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestPeerOwnerUnreachable: a submission whose key a dead peer owns fails
+// cleanly — no hang past the peer client timeout, the peer-error counter
+// moves, and the structured log names the peer, key and operation.
+func TestPeerOwnerUnreachable(t *testing.T) {
+	var lns [2]net.Listener
+	var urls [2]string
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	// Node 1 never starts serving: its address is in the peer set, but the
+	// listener closes before any request can reach it.
+	lns[1].Close()
+
+	ps, err := NewPeerSet(urls[0], urls[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBuf := &syncBuffer{}
+	srv := New(Config{Workers: 1, QueueCap: 4, Peers: ps, Runner: countingRunner(new(int32), nil),
+		Logger: slog.New(slog.NewJSONHandler(logBuf, nil))})
+	hs := httptest.NewUnstartedServer(srv)
+	hs.Listener.Close()
+	hs.Listener = lns[0]
+	hs.Start()
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	body, key := requestOwnedBy(t, ps, urls[1])
+	d, resp := post(t, hs, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202 (proxied)", resp.StatusCode)
+	}
+	if d.Peer != urls[1] {
+		t.Fatalf("job names peer %q, want the dead owner %q", d.Peer, urls[1])
+	}
+	got := waitState(t, hs, d.ID, StateFailed)
+	if !strings.Contains(got.Error, urls[1]) {
+		t.Fatalf("failure %q does not name the unreachable peer", got.Error)
+	}
+	if v := metricValue(t, hs, "momserved_peer_errors_total"); v < 1 {
+		t.Fatalf("peer errors counter %g, want >= 1", v)
+	}
+	logged := logBuf.String()
+	for _, want := range []string{"peer round trip failed", urls[1], key, `"op":"proxy"`} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("peer-failure log lacks %q:\n%s", want, logged)
+		}
 	}
 }
 

@@ -29,8 +29,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -66,6 +70,10 @@ type Config struct {
 	MaxJobs        int           // retained job records; oldest finished are pruned (default 4096)
 	Runner         Runner        // job executor (default mom.RunJobRequest)
 	Peers          *PeerSet      // optional multi-node peer set (nil: single node)
+	Logger         *slog.Logger  // structured log sink (nil: silent)
+	SlowJob        time.Duration // flights slower than this log a warning (<=0: disabled)
+	FlightLog      int           // completed flights retained for /debug/flights (default 256)
+	EnablePprof    bool          // mount net/http/pprof under /debug/pprof
 }
 
 // flight is one in-flight computation: the execution unit the queue and
@@ -80,11 +88,14 @@ type flight struct {
 	cancel  context.CancelFunc // set once the flight starts
 	running bool
 	started time.Time
-	peer    string // non-empty: the owning peer this flight proxies to
+	peer    string        // non-empty: the owning peer this flight proxies to
+	rec     *flightRecord // flight-recorder timeline (never nil)
 }
 
 type job struct {
 	id        string
+	reqID     string // generated per-submission request ID (logs, flights)
+	trace     string // cross-node trace context (Mom-Trace)
 	key       string
 	req       mom.JobRequest
 	timeout   time.Duration
@@ -115,6 +126,7 @@ type Server struct {
 	order    []string           // job ids oldest-first, for pruning and listing
 	inflight map[string]*flight // queued/running flights by content-address key
 
+	flights *recorder // completed-flight ring behind /debug/flights
 	metrics metrics
 }
 
@@ -143,6 +155,7 @@ func New(cfg Config) *Server {
 		queue:    make(chan *flight, cfg.QueueCap),
 		jobs:     map[string]*job{},
 		inflight: map[string]*flight{},
+		flights:  newRecorder(cfg.FlightLog),
 	}
 	s.metrics.init()
 	s.mux = http.NewServeMux()
@@ -154,9 +167,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/flights", s.handleFlights)
+	if cfg.EnablePprof {
+		// Opt-in: profiling endpoints expose stacks and heap contents, so
+		// they never ride on the default mux unconditionally.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	subscribeCaptures(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -175,6 +199,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		unsubscribeCaptures(s)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -236,31 +261,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
 	}
-	j, code, err := s.admit(req, key, s.clampTimeout(body.TimeoutMS))
+	j, code, err := s.admit(req, key, s.clampTimeout(body.TimeoutMS), newTraceCtx(r))
 	switch {
 	case errors.Is(err, errDraining):
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueCap)
 		return
 	}
 	s.writeJob(w, code, j)
 }
 
+// retryAfter estimates, in whole seconds, when a refused submission is
+// worth retrying: the current queue depth divided by the worker pool's
+// observed drain rate (jobs per second, from the accumulated duration
+// histograms). With no completed work to estimate from it answers 1 —
+// the old hardcoded hint — and the estimate is clamped to [1, 300] so a
+// pathological backlog cannot tell clients to go away for hours.
+func (s *Server) retryAfter() int {
+	depth := len(s.queue)
+	sum, count := s.metrics.durationTotals()
+	avg := 1.0 // no history: assume a one-second job
+	if count > 0 {
+		avg = sum / float64(count)
+	}
+	secs := math.Ceil(avg * float64(depth+1) / float64(s.cfg.Workers))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 300 {
+		return 300
+	}
+	return int(secs)
+}
+
 // admit is the single submission path shared by POST /v1/jobs, the batch
 // endpoint and nothing else: store lookup, peer fill-on-miss, singleflight
 // coalescing, then — only for new local work — the admission queue. The
 // returned status is http.StatusOK for a job born done (store or peer
-// fill) and http.StatusAccepted for one attached to a flight.
-func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*job, int, error) {
+// fill) and http.StatusAccepted for one attached to a flight. Every
+// admission carries a trace context; the flight recorder logs its
+// timeline under it.
+func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration, tc traceCtx) (*job, int, error) {
 	s.metrics.submit(req.Exp, req.Sample().Enabled())
+	received := time.Now()
 
 	// Local store hit: the job is born done, no worker consumed.
 	if s.cfg.Store != nil {
 		if val, ok := s.cfg.Store.Get(key); ok {
-			return s.bornDone(req, key, timeout, val, ""), http.StatusOK, nil
+			fr := s.newFlightRecord(KindStoreHit, key, req.Exp, "", tc, received)
+			s.flights.span(fr, "store", received, time.Now(), "hit")
+			return s.bornDone(req, key, timeout, val, "", tc, fr), http.StatusOK, nil
 		}
 	}
 
@@ -271,18 +324,25 @@ func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*
 	if s.cfg.Peers != nil {
 		if o := s.cfg.Peers.Owner(key); o != s.cfg.Peers.Self() {
 			owner = o
-			if val, ok := s.peerStoreGet(owner, key); ok {
+			t0 := time.Now()
+			if val, ok := s.peerStoreGet(owner, key, tc); ok {
+				fr := s.newFlightRecord(KindPeerFill, key, req.Exp, owner, tc, received)
+				s.flights.span(fr, "peer-fill", t0, time.Now(), owner)
 				if s.cfg.Store != nil {
+					w0 := time.Now()
 					_ = s.cfg.Store.Fill(key, val)
+					s.flights.span(fr, "store", w0, time.Now(), "fill")
+					s.metrics.stage("store", time.Since(w0))
 				}
 				s.metrics.add(&s.metrics.peerFills)
-				return s.bornDone(req, key, timeout, val, owner), http.StatusOK, nil
+				return s.bornDone(req, key, timeout, val, owner, tc, fr), http.StatusOK, nil
 			}
 		}
 	}
 
 	now := time.Now()
 	j := &job{
+		reqID: tc.reqID, trace: tc.trace,
 		key: key, req: req, timeout: timeout,
 		state: StateQueued, created: now,
 		done: make(chan struct{}),
@@ -299,6 +359,7 @@ func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*
 		j.fl = fl
 		j.coalesced = true
 		j.peer = fl.peer
+		j.trace = fl.rec.trace // the flight's context wins: one stitched trace
 		if fl.running {
 			j.state = StateRunning
 			j.started = now
@@ -306,11 +367,18 @@ func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*
 		fl.members = append(fl.members, j)
 		s.register(j)
 		s.mu.Unlock()
+		s.flights.member(fl.rec, j.reqID, now)
 		s.metrics.add(&s.metrics.coalesced)
+		s.logAdmit(j, "coalesced")
 		return j, http.StatusAccepted, nil
 	}
 
-	fl := &flight{key: key, req: req, timeout: timeout, members: []*job{j}, peer: owner}
+	kind := KindCompute
+	if owner != "" {
+		kind = KindProxy
+	}
+	fl := &flight{key: key, req: req, timeout: timeout, members: []*job{j}, peer: owner,
+		rec: s.newFlightRecord(kind, key, req.Exp, owner, tc, received)}
 	j.fl = fl
 	j.peer = owner
 	if owner != "" {
@@ -325,6 +393,7 @@ func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*
 			s.runProxy(fl)
 		}()
 		s.metrics.add(&s.metrics.peerProxied)
+		s.logAdmit(j, kind)
 		return j, http.StatusAccepted, nil
 	}
 	select {
@@ -333,17 +402,30 @@ func (s *Server) admit(req mom.JobRequest, key string, timeout time.Duration) (*
 		s.register(j)
 	default:
 		s.mu.Unlock()
+		s.flights.abandon(fl.rec)
 		return nil, 0, errQueueFull
 	}
 	s.mu.Unlock()
+	s.logAdmit(j, kind)
 	return j, http.StatusAccepted, nil
 }
 
+// newFlightRecord opens a recorder timeline for one admission.
+func (s *Server) newFlightRecord(kind, key, exp, peer string, tc traceCtx, received time.Time) *flightRecord {
+	fr := &flightRecord{
+		trace: tc.trace, kind: kind, key: key, exp: exp, peer: peer,
+		reqIDs: []string{tc.reqID}, start: received,
+	}
+	s.flights.open(fr)
+	return fr
+}
+
 // bornDone registers a job that is done on arrival (store hit or peer
-// store fill).
-func (s *Server) bornDone(req mom.JobRequest, key string, timeout time.Duration, val []byte, peer string) *job {
+// store fill) and settles its flight record.
+func (s *Server) bornDone(req mom.JobRequest, key string, timeout time.Duration, val []byte, peer string, tc traceCtx, fr *flightRecord) *job {
 	now := time.Now()
 	j := &job{
+		reqID: tc.reqID, trace: tc.trace,
 		key: key, req: req, timeout: timeout,
 		state: StateDone, result: val, fromStore: true, peer: peer,
 		created: now, started: now, finished: now,
@@ -353,6 +435,8 @@ func (s *Server) bornDone(req mom.JobRequest, key string, timeout time.Duration,
 	s.mu.Lock()
 	s.register(j)
 	s.mu.Unlock()
+	s.flights.close(fr, StateDone, now)
+	s.logAdmit(j, fr.kind)
 	return j
 }
 
@@ -500,6 +584,7 @@ func (s *Server) begin(fl *flight) (context.Context, context.CancelFunc, bool) {
 	if len(fl.members) == 0 {
 		delete(s.inflight, fl.key)
 		s.mu.Unlock()
+		s.flights.close(fl.rec, StateCancelled, time.Now())
 		return nil, nil, false
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), fl.timeout)
@@ -511,6 +596,8 @@ func (s *Server) begin(fl *flight) (context.Context, context.CancelFunc, bool) {
 		j.started = fl.started
 	}
 	s.mu.Unlock()
+	s.flights.span(fl.rec, "queue", fl.rec.start, fl.started, "")
+	s.metrics.stage("queue", fl.started.Sub(fl.rec.start))
 	return ctx, cancel, true
 }
 
@@ -522,6 +609,9 @@ func (s *Server) runFlight(fl *flight) {
 	defer cancel()
 
 	out, err := s.cfg.Runner(ctx, fl.req)
+	execEnd := time.Now()
+	s.flights.span(fl.rec, "execute", fl.started, execEnd, "")
+	s.metrics.stage("execute", execEnd.Sub(fl.started))
 	ctxErr := ctx.Err()
 
 	// Persist before the flight becomes observable as done, so a client
@@ -529,6 +619,9 @@ func (s *Server) runFlight(fl *flight) {
 	// hit. Best effort: a failed write only costs a future recompute.
 	if err == nil && ctxErr == nil && s.cfg.Store != nil {
 		_ = s.cfg.Store.Put(fl.key, out)
+		now := time.Now()
+		s.flights.span(fl.rec, "store", execEnd, now, "put")
+		s.metrics.stage("store", now.Sub(execEnd))
 	}
 	s.finish(fl, out, err, ctxErr)
 }
@@ -571,12 +664,16 @@ func (s *Server) finish(fl *flight, out []byte, err, ctxErr error) {
 	dur := now.Sub(fl.started)
 	s.mu.Unlock()
 
+	s.flights.close(fl.rec, state, now)
+	s.logFinish(fl.rec, state, errMsg, now.Sub(fl.rec.start))
 	s.metrics.observe(fl.req.Exp, state, dur)
 }
 
 // jobDoc is the public JSON shape of a job record.
 type jobDoc struct {
 	ID        string         `json:"id"`
+	RequestID string         `json:"request_id,omitempty"`
+	Trace     string         `json:"trace,omitempty"`
 	State     string         `json:"state"`
 	Request   mom.JobRequest `json:"request"`
 	Key       string         `json:"key"`
@@ -593,7 +690,8 @@ type jobDoc struct {
 // doc snapshots a job. Caller holds s.mu.
 func (s *Server) doc(j *job) jobDoc {
 	d := jobDoc{
-		ID: j.id, State: j.state, Request: j.req, Key: j.key,
+		ID: j.id, RequestID: j.reqID, Trace: j.trace,
+		State: j.state, Request: j.req, Key: j.key,
 		FromStore: j.fromStore, Coalesced: j.coalesced, Peer: j.peer,
 		Error: j.err, Created: j.created,
 	}

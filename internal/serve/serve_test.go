@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -232,8 +233,40 @@ func TestQueueFull(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without a Retry-After header")
+	// The hint is computed from queue depth and drain rate, but must always
+	// be a sane whole-second value in [1, 300].
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+	}
+	if secs < 1 || secs > 300 {
+		t.Fatalf("Retry-After %d outside [1, 300]", secs)
+	}
+}
+
+// TestRetryAfterTracksBacklog: once the service has observed job
+// durations, the hint scales with queue depth over drain rate instead of
+// answering the constant 1.
+func TestRetryAfterTracksBacklog(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCap: 8, Runner: stubRunner(nil)})
+	defer srv.Shutdown(context.Background())
+
+	if got := srv.retryAfter(); got != 1 {
+		t.Fatalf("empty-history hint %d, want 1", got)
+	}
+	// Pretend ten 4-second jobs have completed: avg 4s per job, one
+	// worker, empty queue -> ceil(4 * 1 / 1) = 4.
+	for i := 0; i < 10; i++ {
+		srv.metrics.observe("fig5", StateDone, 4*time.Second)
+	}
+	if got := srv.retryAfter(); got != 4 {
+		t.Fatalf("hint with 4s average %d, want 4", got)
+	}
+	// A pathological average is clamped to five minutes.
+	srv.metrics.observe("fig7", StateDone, 24*time.Hour)
+	if got := srv.retryAfter(); got != 300 {
+		t.Fatalf("clamped hint %d, want 300", got)
 	}
 }
 

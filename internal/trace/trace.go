@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -196,6 +198,36 @@ const (
 	grantFine    = 4 << 10
 )
 
+// CaptureInfo describes one finished capture attempt to an observer
+// registered with SetCaptureHook: which program was recorded, when the
+// capture started and how long it ran, and — on success — the encoded
+// size and record count. Err is non-nil for faults and budget discards.
+type CaptureInfo struct {
+	Program  string
+	Start    time.Time
+	Duration time.Duration
+	Bytes    int64
+	Records  uint64
+	Err      error
+}
+
+// captureHook is consulted once per capture attempt; nil costs one atomic
+// load, so instrumentation is free when nobody listens.
+var captureHook atomic.Pointer[func(CaptureInfo)]
+
+// SetCaptureHook registers a process-wide observer called after every
+// capture attempt (trace.Capture and trace.CaptureGranted alike) with its
+// span: start time, wall-clock duration, outcome. The momserved flight
+// recorder uses it to attribute trace-capture time inside job timelines.
+// Pass nil to remove the hook. The hook must be safe for concurrent calls.
+func SetCaptureHook(h func(CaptureInfo)) {
+	if h == nil {
+		captureHook.Store(nil)
+		return
+	}
+	captureHook.Store(&h)
+}
+
 // CaptureGranted is Capture drawing its memory from an external budget:
 // reserve is called with grant requests as the encoding grows, and may
 // refuse, which aborts the capture with an error wrapping ErrTooLarge.
@@ -203,6 +235,20 @@ const (
 // success, everything on failure; releasing it back to the budget is the
 // caller's responsibility.
 func CaptureGranted(m *emu.Machine, maxSteps uint64, reserve func(int64) bool) (tr *Trace, granted int64, err error) {
+	if h := captureHook.Load(); h != nil {
+		start := time.Now()
+		defer func() {
+			info := CaptureInfo{Program: m.Prog.Name, Start: start, Duration: time.Since(start), Err: err}
+			if tr != nil {
+				info.Bytes, info.Records = tr.bytes, tr.n
+			}
+			(*h)(info)
+		}()
+	}
+	return captureGranted(m, maxSteps, reserve)
+}
+
+func captureGranted(m *emu.Machine, maxSteps uint64, reserve func(int64) bool) (tr *Trace, granted int64, err error) {
 	t := &Trace{prog: m.Prog}
 	var c *chunk
 	var bytes int64

@@ -59,3 +59,15 @@ func WriteResultJSON(w io.Writer, r Result) error {
 func WriteHotspotsJSON(w io.Writer, reps []HotspotReport) error {
 	return WriteExperimentJSON(w, "hotspots", reps)
 }
+
+// SpanDoc is the JSON envelope of one stage span in a job's flight
+// timeline — the serving-path counterpart of the per-instruction pipeline
+// stages the observability layer exports. Offsets are microseconds from
+// the flight's start, so spans from different nodes sharing one trace
+// context stitch by wall-clock without exchanging monotonic clocks.
+type SpanDoc struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Detail  string `json:"detail,omitempty"`
+}
