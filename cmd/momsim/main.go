@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|hotspots|isacount|all")
+		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|hotspots|isacount|all (or \"list\" to describe each)")
 		scale   = flag.String("scale", "test", "workload scale: test|bench")
 		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
 		width   = flag.Int("width", 4, "issue width: 1|2|4|8")
@@ -201,6 +201,8 @@ func runExperiment(ctx context.Context, exp string, sc mom.Scale, i mom.ISA, wid
 		}
 	}
 	switch exp {
+	case "list":
+		fmt.Print(expList())
 	case "fig5":
 		rows, err := mom.Figure5(ctx, sc)
 		if err != nil {
@@ -426,19 +428,46 @@ func emitResult(r mom.Result, format string) {
 // shorthand ("kernel"/"app" single points use -kernel/-app instead).
 var cliExps = []string{
 	"fig5", "latency", "fig7", "table1", "table2", "table3",
-	"fetch", "profile", "hotspots", "regsweep", "memsweep", "isacount", "all",
+	"fetch", "profile", "hotspots", "regsweep", "memsweep", "isacount", "all", "list",
+}
+
+// cliOnlyDescriptions covers the names outside mom.ExpNames (the static
+// tables and the CLI shorthands); everything else is described by
+// mom.ExpDescription so the CLI and the batch layer never drift.
+var cliOnlyDescriptions = map[string]string{
+	"table1":   "processor configurations of the four modelled machines (Table 1)",
+	"table2":   "multimedia register-file sizes and area estimates (Table 2)",
+	"table3":   "port counts of the modelled memory systems (Table 3)",
+	"isacount": "multimedia instruction counts per ISA extension",
+	"all":      "every table and experiment above, in order",
+	"list":     "print this list",
+}
+
+// expList renders every -exp name with its one-line description.
+func expList() string {
+	var b strings.Builder
+	for _, e := range cliExps {
+		d := mom.ExpDescription(e)
+		if d == "" {
+			d = cliOnlyDescriptions[e]
+		}
+		fmt.Fprintf(&b, "  %-9s %s\n", e, d)
+	}
+	b.WriteString("single machine points (the \"kernel\"/\"app\" batch experiments) run via -kernel/-app instead\n")
+	return b.String()
 }
 
 // checkExp validates one -exp name up front, so a typo fails with the
-// list of valid names (mirroring the -isa/-kernel/-app validation of
-// momtrace) instead of after earlier experiments in the list have run.
+// described list of valid names (mirroring the -isa/-kernel/-app
+// validation of momtrace) instead of after earlier experiments in the
+// list have run.
 func checkExp(e string) error {
 	for _, v := range cliExps {
 		if e == v {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown experiment %q (valid: %s)", e, strings.Join(cliExps, ", "))
+	return fmt.Errorf("unknown experiment %q; valid experiments:\n%s", e, expList())
 }
 
 // atExitFns are cleanups (profile finalisers) that must run on every exit

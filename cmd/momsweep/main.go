@@ -1,0 +1,240 @@
+// Command momsweep runs a declarative design-space sweep and reports the
+// Pareto frontiers: cycles versus register-file area (the Table 2 model)
+// and best IPC versus memory configuration. The grid comes from a JSON
+// spec file, from axis flags, or both (flags override the spec's axes);
+// it executes in-process or against a momserver. Examples:
+//
+//	momsweep -spec examples/sweeps/motion-width.json            # in-process
+//	momsweep -spec grid.json -store /var/cache/mom              # memoised
+//	momsweep -spec grid.json -server http://127.0.0.1:8347      # remote
+//	momsweep -exps kernel -kernels idct -isas MMX,MOM -widths 2,4,8
+//	momsweep -spec grid.json -refine                            # exact-refine the frontier
+//	momsweep -spec grid.json -expand                            # show the grid, run nothing
+//
+// The report goes to stdout (-format table|csv|json); the execution
+// summary (points, store hits, computes, retries) goes to stderr, so
+// report documents never vary with how the sweep executed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	mom "repro"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "sweep spec JSON file (see the design-space sweeps section of EXPERIMENTS.md)")
+		name     = flag.String("name", "", "override the sweep's report label")
+		exps     = flag.String("exps", "", "comma-separated experiments to grid over (overrides the spec)")
+		scales   = flag.String("scales", "", "comma-separated workload scales (overrides the spec)")
+		widths   = flag.String("widths", "", "comma-separated issue widths (overrides the spec)")
+		isas     = flag.String("isas", "", "comma-separated ISA levels (overrides the spec)")
+		mems     = flag.String("mems", "", "comma-separated memory models (overrides the spec)")
+		kernels  = flag.String("kernels", "", "comma-separated kernels (overrides the spec)")
+		apps     = flag.String("apps", "", "comma-separated applications (overrides the spec)")
+		samples  = flag.String("samples", "", "comma-separated sampling regimes, period:warmup:interval (overrides the spec; \"exact\" = exact)")
+		refine   = flag.Bool("refine", false, "re-run the sampled Pareto-frontier points exact to confirm the ranking")
+		expand   = flag.Bool("expand", false, "print the expanded grid (count and keys) without running it")
+
+		server   = flag.String("server", "", "execute against this momserver base URL instead of in-process")
+		storeDir = flag.String("store", "", "in-process only: memoise results in this content-addressed store directory")
+		parN     = flag.Int("par", 0, "in-process worker count (0 = all host cores)")
+		jobMS    = flag.Int64("job-timeout-ms", 0, "remote only: per-job deadline hint sent to the server (0 = server default)")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for the sweep (0 = none)")
+
+		format = flag.String("format", "table", "report format: table|csv|json")
+		asJSON = flag.Bool("json", false, "emit JSON (shorthand for -format json)")
+	)
+	flag.Parse()
+
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	override(&spec.Exps, *exps)
+	override(&spec.Scales, *scales)
+	override(&spec.ISAs, *isas)
+	override(&spec.Mems, *mems)
+	override(&spec.Kernels, *kernels)
+	override(&spec.Apps, *apps)
+	if *samples != "" {
+		// "exact" names the empty (exact) regime, which a comma list cannot
+		// otherwise express.
+		spec.Samples = nil
+		for _, s := range splitList(*samples) {
+			if s == "exact" {
+				s = ""
+			}
+			spec.Samples = append(spec.Samples, s)
+		}
+	}
+	if *refine {
+		spec.Refine = true
+	}
+	if *widths != "" {
+		spec.Widths = nil
+		for _, w := range splitList(*widths) {
+			n, err := strconv.Atoi(w)
+			if err != nil {
+				fatal(fmt.Errorf("-widths: %q is not an integer", w))
+			}
+			spec.Widths = append(spec.Widths, n)
+		}
+	}
+
+	if *expand {
+		reqs, err := spec.Expand()
+		if err != nil {
+			fatal(err)
+		}
+		keys, err := mom.Keys(reqs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d unique points\n", len(reqs))
+		for i, r := range reqs {
+			fmt.Printf("  %s  %s\n", keys[i][:16], describe(r))
+		}
+		return
+	}
+
+	outFormat := *format
+	if *asJSON {
+		outFormat = "json"
+	}
+	switch outFormat {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (valid: table, csv, json)", outFormat))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var ex sweep.Executor
+	switch {
+	case *server != "":
+		if *storeDir != "" || *parN != 0 {
+			fatal(fmt.Errorf("-store and -par configure the in-process path and cannot be combined with -server"))
+		}
+		ex = &sweep.Client{Base: strings.TrimRight(*server, "/"), TimeoutMS: *jobMS}
+	default:
+		if *jobMS != 0 {
+			fatal(fmt.Errorf("-job-timeout-ms needs -server (in-process runs are bounded by -timeout)"))
+		}
+		var st *store.Store
+		if *storeDir != "" {
+			st, err = store.Open(*storeDir, 0)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		ex = &sweep.Local{Par: *parN, Store: st}
+	}
+
+	rep, stats, err := sweep.Run(ctx, spec, ex)
+	fmt.Fprintf(os.Stderr, "momsweep: %s\n", stats)
+	if err != nil {
+		fatal(err)
+	}
+	switch outFormat {
+	case "json":
+		err = rep.WriteJSON(os.Stdout)
+	case "csv":
+		err = rep.WriteCSV(os.Stdout)
+	default:
+		err = rep.WriteTable(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// loadSpec reads the spec file ("-" = stdin); no file means an empty spec
+// the axis flags must fill.
+func loadSpec(path string) (mom.SweepSpec, error) {
+	if path == "" {
+		return mom.SweepSpec{}, nil
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return mom.SweepSpec{}, err
+	}
+	return mom.ParseSweepSpec(data)
+}
+
+// override replaces a spec axis with a comma-separated flag value when
+// the flag was given.
+func override(axis *[]string, flagVal string) {
+	if flagVal != "" {
+		*axis = splitList(flagVal)
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// describe renders one grid point for -expand.
+func describe(r mom.JobRequest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s scale=%s", r.Exp, r.Scale)
+	if r.Kernel != "" {
+		fmt.Fprintf(&b, " kernel=%s", r.Kernel)
+	}
+	if r.App != "" {
+		fmt.Fprintf(&b, " app=%s", r.App)
+	}
+	if r.ISA != "" {
+		fmt.Fprintf(&b, " isa=%s", r.ISA)
+	}
+	if r.Width != 0 {
+		fmt.Fprintf(&b, " width=%d", r.Width)
+	}
+	if r.Mem != "" {
+		fmt.Fprintf(&b, " mem=%s", r.Mem)
+	}
+	if s := r.Sample().String(); s != "" {
+		fmt.Fprintf(&b, " sample=%s", s)
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "momsweep:", err)
+	os.Exit(1)
+}

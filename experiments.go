@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/par"
 	"repro/internal/regfile"
+	"repro/internal/trace"
 )
 
 // This file contains the drivers that regenerate every table and figure of
@@ -468,6 +469,29 @@ type RegSweepRow struct {
 	Slowdown float64 `json:"slowdown"` // versus the largest file swept
 }
 
+// variantCycles is the shared core of the resource ablations
+// (RegisterSweep, MemorySweep): run one traced workload across n machine
+// variants on a bounded pool and report each variant's cycle count. The
+// trace is captured once and replayed for every variant — it is width-
+// and resource-independent — with mk rebuilding the machine for the live
+// fallback; build returns variant i's processor and memory configuration.
+func variantCycles(ctx context.Context, n int, tr *trace.Trace, mk func() *emu.Machine, build func(i int) (cpu.Config, mem.Model)) ([]int64, error) {
+	cycles := make([]int64, n)
+	err := par.For(ctx, n, func(i int) error {
+		cfg, model := build(i)
+		res, err := runConfig(cfg, model, tr, mk)
+		if err != nil {
+			return err
+		}
+		cycles[i] = res.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cycles, nil
+}
+
 // RegisterSweep varies the number of physical matrix registers on the
 // 4-way MOM machine and reports the cycle cost, showing performance
 // saturating around the paper's choice of 20.
@@ -476,29 +500,23 @@ func RegisterSweep(ctx context.Context, sc Scale, kernel string) ([]RegSweepRow,
 	if err != nil {
 		return nil, err
 	}
-	// One capture, five replays: the trace is width- and register-file
-	// independent. Live fallback builds a fresh machine per point.
 	tr := cachedTrace(traceKey{name: kernel, isa: MOM, scale: sc})
 	sizes := []int{17, 18, 20, 24, 32}
-	rows := make([]RegSweepRow, len(sizes))
-	err = par.For(ctx, len(sizes), func(i int) error {
-		cfg := cpu.NewConfig(4, isa.ExtMOM)
-		cfg.MomPhys = sizes[i]
-		res, err := runConfig(cfg, mem.NewPerfect(1), tr, func() *emu.Machine {
-			return emu.New(k.Build(isa.ExtMOM))
+	cycles, err := variantCycles(ctx, len(sizes), tr,
+		func() *emu.Machine { return emu.New(k.Build(isa.ExtMOM)) },
+		func(i int) (cpu.Config, mem.Model) {
+			cfg := cpu.NewConfig(4, isa.ExtMOM)
+			cfg.MomPhys = sizes[i]
+			return cfg, mem.NewPerfect(1)
 		})
-		if err != nil {
-			return err
-		}
-		rows[i] = RegSweepRow{Kernel: kernel, MomPhys: sizes[i], Cycles: res.Cycles}
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
-	base := rows[len(rows)-1].Cycles
+	rows := make([]RegSweepRow, len(sizes))
+	base := cycles[len(cycles)-1]
 	for i := range rows {
-		rows[i].Slowdown = float64(rows[i].Cycles) / float64(base)
+		rows[i] = RegSweepRow{Kernel: kernel, MomPhys: sizes[i], Cycles: cycles[i],
+			Slowdown: float64(cycles[i]) / float64(base)}
 	}
 	return rows, nil
 }
@@ -531,27 +549,21 @@ func MemorySweep(ctx context.Context, sc Scale, app string) ([]MemSweepRow, erro
 		return nil, err
 	}
 	tr := cachedTrace(traceKey{app: true, name: app, isa: MOM, scale: sc})
-	rows := make([]MemSweepRow, len(variants))
-	err = par.For(ctx, len(variants), func(i int) error {
-		v := variants[i]
-		model := mem.NewHierarchy(mem.HierConfig{
-			Width: 4, Mode: mem.ModeMultiAddress, MSHRs: v.mshrs, L1Banks: v.banks,
+	cycles, err := variantCycles(ctx, len(variants), tr,
+		func() *emu.Machine { return emu.New(a.Build(isa.ExtMOM)) },
+		func(i int) (cpu.Config, mem.Model) {
+			return cpu.NewConfig(4, isa.ExtMOM), mem.NewHierarchy(mem.HierConfig{
+				Width: 4, Mode: mem.ModeMultiAddress, MSHRs: variants[i].mshrs, L1Banks: variants[i].banks,
+			})
 		})
-		res, err := runConfig(cpu.NewConfig(4, isa.ExtMOM), model, tr, func() *emu.Machine {
-			return emu.New(a.Build(isa.ExtMOM))
-		})
-		if err != nil {
-			return err
-		}
-		rows[i] = MemSweepRow{App: app, MSHRs: v.mshrs, Banks: v.banks, Cycles: res.Cycles}
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
-	base := rows[0].Cycles
+	rows := make([]MemSweepRow, len(variants))
+	base := cycles[0]
 	for i := range rows {
-		rows[i].Slowdown = float64(rows[i].Cycles) / float64(base)
+		rows[i] = MemSweepRow{App: app, MSHRs: variants[i].mshrs, Banks: variants[i].banks,
+			Cycles: cycles[i], Slowdown: float64(cycles[i]) / float64(base)}
 	}
 	return rows, nil
 }

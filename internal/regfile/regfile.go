@@ -70,18 +70,46 @@ type Table2Entry struct {
 	NormalizedArea float64
 }
 
+// The Table 2 register-file configurations of the 4-way machine: MMX
+// needs a 6r/3w monolithic 64x64b file; MDMX adds a 4r/2w accumulator
+// file; MOM interleaves 20 matrix registers across 8 banks of 2r/1w each
+// (plus a small accumulator file). Shared by Table2 and NormalizedArea so
+// the report rows of the design-space sweep engine cite exactly the
+// published area model.
+var (
+	mmxMedia  = Config{Name: "MMX media", Regs: 64, BitsPer: 64, ReadPorts: 6, WrPorts: 3, Banks: 1}
+	mdmxMedia = Config{Name: "MDMX media", Regs: 52, BitsPer: 64, ReadPorts: 6, WrPorts: 3, Banks: 1}
+	mdmxAcc   = Config{Name: "MDMX acc", Regs: 16, BitsPer: 192, ReadPorts: 4, WrPorts: 2, Banks: 1}
+	momMedia  = Config{Name: "MOM media", Regs: 20, BitsPer: 16 * 64, ReadPorts: 2, WrPorts: 1, Banks: 8}
+	momAcc    = Config{Name: "MOM acc", Regs: 4, BitsPer: 192, ReadPorts: 2, WrPorts: 1, Banks: 1}
+)
+
+// NormalizedArea returns the estimated multimedia register-file area of
+// one ISA level, normalised to the MMX file (the Table 2 convention:
+// MMX 1.0, MDMX ~1.19, MOM ~0.87). Alpha carries no multimedia file, so
+// its area is 0. The second return is false for names outside the four
+// ISA levels; the canonical spellings of mom.ISA.String() are expected
+// ("Alpha", "MMX", "MDMX", "MOM").
+func NormalizedArea(isa string) (float64, bool) {
+	m := DefaultModel
+	base := m.Area(mmxMedia)
+	switch isa {
+	case "Alpha":
+		return 0, true
+	case "MMX":
+		return m.Area(mmxMedia) / base, true
+	case "MDMX":
+		return (m.Area(mdmxMedia) + m.Area(mdmxAcc)) / base, true
+	case "MOM":
+		return (m.Area(momMedia) + m.Area(momAcc)) / base, true
+	}
+	return 0, false
+}
+
 // Table2 reproduces the multimedia register file comparison for the 4-way
-// machine: MMX needs a 6r/3w monolithic 64x64b file; MDMX adds a 4r/2w
-// accumulator file; MOM interleaves 20 matrix registers across 8 banks of
-// 2r/1w each (plus a small accumulator file).
+// machine from the shared configurations above.
 func Table2() []Table2Entry {
 	m := DefaultModel
-
-	mmxMedia := Config{Name: "MMX media", Regs: 64, BitsPer: 64, ReadPorts: 6, WrPorts: 3, Banks: 1}
-	mdmxMedia := Config{Name: "MDMX media", Regs: 52, BitsPer: 64, ReadPorts: 6, WrPorts: 3, Banks: 1}
-	mdmxAcc := Config{Name: "MDMX acc", Regs: 16, BitsPer: 192, ReadPorts: 4, WrPorts: 2, Banks: 1}
-	momMedia := Config{Name: "MOM media", Regs: 20, BitsPer: 16 * 64, ReadPorts: 2, WrPorts: 1, Banks: 8}
-	momAcc := Config{Name: "MOM acc", Regs: 4, BitsPer: 192, ReadPorts: 2, WrPorts: 1, Banks: 1}
 
 	base := m.Area(mmxMedia)
 	return []Table2Entry{

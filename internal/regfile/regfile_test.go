@@ -37,6 +37,28 @@ func TestTable2Sizes(t *testing.T) {
 	}
 }
 
+// TestNormalizedArea: the exported per-ISA lookup agrees with the Table 2
+// rows (it is the sweep engine's source for the area axis of its Pareto
+// reports), Alpha has no multimedia file, and unknown names miss.
+func TestNormalizedArea(t *testing.T) {
+	rows := Table2()
+	for i, isa := range []string{"MMX", "MDMX", "MOM"} {
+		a, ok := NormalizedArea(isa)
+		if !ok {
+			t.Fatalf("NormalizedArea(%q) missed", isa)
+		}
+		if a != rows[i].NormalizedArea {
+			t.Errorf("NormalizedArea(%q) = %f, want Table 2's %f", isa, a, rows[i].NormalizedArea)
+		}
+	}
+	if a, ok := NormalizedArea("Alpha"); !ok || a != 0 {
+		t.Errorf("NormalizedArea(Alpha) = %f, %v; want 0, true", a, ok)
+	}
+	if _, ok := NormalizedArea("SSE"); ok {
+		t.Error("NormalizedArea accepted an unknown ISA")
+	}
+}
+
 func TestPortScalingDominatesArea(t *testing.T) {
 	m := DefaultModel
 	narrow := Config{Regs: 64, BitsPer: 64, ReadPorts: 2, WrPorts: 1, Banks: 1}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	mom "repro"
 )
@@ -12,11 +13,22 @@ import (
 // than this submits in slices.
 const maxBatchItems = 1024
 
-// batchItemDoc is the per-item response of the batch endpoint. Index ties
-// it back to the request list (items come back in order regardless).
+// Per-item error strings of refused admissions. They are part of the
+// batch endpoint's contract: clients (the sweep engine's batch client)
+// match on them to decide between retrying an item (queue full) and
+// abandoning the server (draining).
+const (
+	ErrMsgQueueFull = "job queue full"
+	ErrMsgDraining  = "server is draining"
+)
+
+// BatchItem is the per-item response of the batch endpoint. Index ties it
+// back to the request list (items come back in order regardless).
 // Duplicate marks an item whose key already appeared earlier in the same
-// batch: it carries the earlier item's job id and never reached admission.
-type batchItemDoc struct {
+// batch: it carries the earlier item's job id and never reached
+// admission. The type is exported for client reuse — the sweep engine
+// decodes batch responses into it.
+type BatchItem struct {
 	Index     int    `json:"index"`
 	ID        string `json:"id,omitempty"`
 	RequestID string `json:"request_id,omitempty"`
@@ -30,11 +42,20 @@ type batchItemDoc struct {
 	ResultURL string `json:"result_url,omitempty"`
 }
 
+// BatchResponse is the envelope of a batch answer, exported for client
+// reuse alongside BatchItem.
+type BatchResponse struct {
+	Jobs []BatchItem `json:"jobs"`
+}
+
 // handleBatch admits a list of requests in one round trip. Every item is
 // answered individually — an invalid or refused item does not fail its
 // batch — and deduplication happens at three levels before the admission
 // queue is touched: the local store (born done), earlier items of the
 // same batch (Duplicate), and flights already in the air (Coalesced).
+// When any item was refused for queue capacity the response carries a
+// Retry-After header, so a client resubmitting the refused slice knows
+// how long to back off.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -59,8 +80,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// request ID.
 	batchTrace := adoptTrace(r)
 
-	items := make([]batchItemDoc, len(body.Jobs))
+	items := make([]BatchItem, len(body.Jobs))
 	seen := map[string]int{} // key -> index of the first item admitted for it
+	refused := false
 	for i, jr := range body.Jobs {
 		items[i].Index = i
 		req, err := jr.Normalized()
@@ -84,22 +106,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		j, _, err := s.admit(req, key, timeout, traceCtx{trace: batchTrace, reqID: "r" + newID()})
 		switch {
 		case errors.Is(err, errDraining):
-			items[i].Error = "server is draining"
+			items[i].Error = ErrMsgDraining
 			continue
 		case errors.Is(err, errQueueFull):
-			items[i].Error = "job queue full"
+			items[i].Error = ErrMsgQueueFull
+			refused = true
 			continue
 		}
 		seen[key] = i
 		s.mu.Lock()
 		d := s.doc(j)
 		s.mu.Unlock()
-		items[i] = batchItemDoc{
+		items[i] = BatchItem{
 			Index: i, ID: d.ID, RequestID: d.RequestID, Key: d.Key, State: d.State,
 			FromStore: d.FromStore, Coalesced: d.Coalesced, Peer: d.Peer,
 			ResultURL: d.ResultURL,
 		}
 	}
 	s.metrics.batch(len(body.Jobs))
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": items})
+	if refused {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Jobs: items})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -13,16 +14,14 @@ import (
 )
 
 // postBatch submits one batch body and returns the decoded item list.
-func postBatch(t *testing.T, ts *httptest.Server, body string) ([]batchItemDoc, *http.Response) {
+func postBatch(t *testing.T, ts *httptest.Server, body string) ([]BatchItem, *http.Response) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/jobs:batch", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out struct {
-		Jobs []batchItemDoc `json:"jobs"`
-	}
+	var out BatchResponse
 	_ = json.NewDecoder(resp.Body).Decode(&out)
 	return out.Jobs, resp
 }
@@ -122,6 +121,36 @@ func TestBatchStoreHit(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&calls); got != 1 {
 		t.Fatalf("runner executed %d times, want 1", got)
+	}
+}
+
+// TestBatchQueueFullRetryAfter: a batch containing refused items answers
+// 200 with the per-item queue-full error AND a Retry-After header, so a
+// retrying client knows both which items to resubmit and when.
+func TestBatchQueueFullRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	srv := New(Config{Workers: 1, QueueCap: 1, Runner: countingRunner(new(int32), release)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() { close(release); srv.Shutdown(context.Background()) }()
+
+	busy, _ := post(t, ts, `{"exp":"fetch"}`)
+	waitState(t, ts, busy.ID, StateRunning)
+	post(t, ts, `{"exp":"latency"}`) // fills the 1-slot queue
+
+	items, resp := postBatch(t, ts, `{"jobs":[{"exp":"latency"},{"exp":"fig5"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with refused item: status %d, want 200", resp.StatusCode)
+	}
+	if !items[0].Coalesced || items[0].Error != "" {
+		t.Fatalf("queued-duplicate item should coalesce, got %+v", items[0])
+	}
+	if items[1].Error != ErrMsgQueueFull {
+		t.Fatalf("refused item error %q, want %q", items[1].Error, ErrMsgQueueFull)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After header %q, want a positive integer", ra)
 	}
 }
 

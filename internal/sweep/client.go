@@ -1,0 +1,333 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	mom "repro"
+	"repro/internal/serve"
+)
+
+// Client executes a sweep against a momserver through the batch endpoint.
+// It submits in bounded slices, resubmits only the items the server
+// refused for queue capacity — honouring the Retry-After hint under a
+// capped, jittered exponential backoff — polls the admitted jobs to
+// completion, and fetches their canonical result documents. A draining
+// server (or any per-item error other than queue-full) aborts the sweep
+// rather than retrying: those are answers, not congestion.
+type Client struct {
+	Base      string       // server base URL, e.g. "http://127.0.0.1:8347"
+	HTTP      *http.Client // nil = http.DefaultClient
+	TimeoutMS int64        // per-job server-side deadline hint (0 = server default)
+
+	MaxAttempts int           // submit rounds per item before giving up (default 8)
+	BaseDelay   time.Duration // first backoff step (default 250ms)
+	MaxDelay    time.Duration // backoff cap, also caps Retry-After (default 15s)
+	PollEvery   time.Duration // job status poll interval (default 50ms)
+	BatchSize   int           // items per POST, clamped to the server's 1024 limit (default 256)
+
+	// Jitter maps a computed delay to the slept delay. nil selects equal
+	// jitter (uniform in [d/2, d]); tests pin it for determinism.
+	Jitter func(time.Duration) time.Duration
+}
+
+// tracked is one admitted job the client waits on.
+type tracked struct {
+	key       string
+	id        string
+	state     string
+	resultURL string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) defaults() (attempts int, base, maxd, poll time.Duration, batch int, jitter func(time.Duration) time.Duration) {
+	attempts, base, maxd, poll, batch, jitter = c.MaxAttempts, c.BaseDelay, c.MaxDelay, c.PollEvery, c.BatchSize, c.Jitter
+	if attempts <= 0 {
+		attempts = 8
+	}
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if maxd <= 0 {
+		maxd = 15 * time.Second
+	}
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	if batch <= 0 || batch > 1024 {
+		batch = 256
+	}
+	if jitter == nil {
+		jitter = equalJitter
+	}
+	return
+}
+
+// equalJitter spreads a delay uniformly over its upper half, the standard
+// compromise between desynchronising clients and bounding the wait.
+func equalJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
+
+// Execute implements Executor against the server's batch endpoint.
+func (c *Client) Execute(ctx context.Context, reqs []mom.JobRequest) (Results, Stats, error) {
+	keys, err := mom.Keys(reqs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	attempts, base, maxDelay, poll, batchSize, jitter := c.defaults()
+	stats := Stats{Points: len(reqs)}
+
+	jobs := make(map[string]*tracked, len(reqs)) // by key
+	var order []string                           // keys in first-seen order, for deterministic polling
+	pending := make([]int, len(reqs))
+	for i := range reqs {
+		pending[i] = i
+	}
+
+	for attempt := 1; len(pending) > 0; attempt++ {
+		if attempt > attempts {
+			return nil, stats, fmt.Errorf("sweep: server still refusing %d of %d items after %d submit attempts",
+				len(pending), len(reqs), attempts)
+		}
+		if attempt > 1 {
+			stats.Retried++
+		}
+		var refused []int
+		var retryAfter time.Duration
+		for start := 0; start < len(pending); start += batchSize {
+			end := min(start+batchSize, len(pending))
+			slice := pending[start:end]
+			items, ra, err := c.postBatch(ctx, reqs, slice)
+			if err != nil {
+				return nil, stats, err
+			}
+			if ra > retryAfter {
+				retryAfter = ra
+			}
+			if items == nil { // whole slice refused (HTTP 429)
+				refused = append(refused, slice...)
+				continue
+			}
+			if len(items) != len(slice) {
+				return nil, stats, fmt.Errorf("sweep: batch answered %d items for %d requests", len(items), len(slice))
+			}
+			for n, it := range items {
+				i := slice[n]
+				switch {
+				case it.Error == serve.ErrMsgQueueFull:
+					refused = append(refused, i)
+				case it.Error == serve.ErrMsgDraining:
+					return nil, stats, fmt.Errorf("sweep: server is draining; aborting with %d items unsubmitted", len(pending)-n)
+				case it.Error != "":
+					return nil, stats, fmt.Errorf("sweep: point %s (%s %s) refused: %s", keys[i][:12], reqs[i].Exp, workload(reqs[i]), it.Error)
+				default:
+					if it.Key != keys[i] {
+						return nil, stats, fmt.Errorf("sweep: server keyed point %d as %s, client computed %s — version skew?", i, it.Key, keys[i])
+					}
+					if _, ok := jobs[it.Key]; ok { // duplicate key (shouldn't survive Expand's dedup)
+						continue
+					}
+					jobs[it.Key] = &tracked{key: it.Key, id: it.ID, state: it.State, resultURL: it.ResultURL}
+					order = append(order, it.Key)
+					if it.FromStore {
+						stats.StoreHits++
+					} else if it.Coalesced {
+						stats.Coalesced++
+					} else {
+						stats.Computed++
+					}
+				}
+			}
+		}
+		pending = refused
+		if len(pending) == 0 {
+			break
+		}
+		if err := sleepCtx(ctx, backoffDelay(attempt, base, maxDelay, retryAfter, jitter)); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	// Poll every job to a terminal state, then fetch documents.
+	out := make(Results, len(jobs))
+	for _, key := range order {
+		j := jobs[key]
+		for j.state != serve.StateDone {
+			switch j.state {
+			case serve.StateFailed, serve.StateCancelled:
+				return nil, stats, fmt.Errorf("sweep: job %s (%s) ended %s", j.id, key[:12], j.state)
+			}
+			if err := sleepCtx(ctx, poll); err != nil {
+				return nil, stats, err
+			}
+			if err := c.pollJob(ctx, j); err != nil {
+				return nil, stats, err
+			}
+		}
+		doc, err := c.fetch(ctx, j.resultURL)
+		if err != nil {
+			return nil, stats, fmt.Errorf("sweep: result of job %s: %w", j.id, err)
+		}
+		out[key] = doc
+	}
+	return out, stats, nil
+}
+
+// postBatch submits one slice. It returns (nil, retryAfter, nil) when the
+// server refused the whole request with 429 — the caller resubmits the
+// slice after backing off — and a hard error for anything else non-200.
+func (c *Client) postBatch(ctx context.Context, reqs []mom.JobRequest, slice []int) ([]serve.BatchItem, time.Duration, error) {
+	body := mom.BatchRequest{Jobs: make([]mom.JobRequest, len(slice)), TimeoutMS: c.TimeoutMS}
+	for n, i := range slice {
+		body.Jobs[n] = reqs[i]
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs:batch", bytes.NewReader(buf))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return nil, ra, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("sweep: server unavailable (draining?): %s", bytes.TrimSpace(msg))
+	case resp.StatusCode != http.StatusOK:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("sweep: batch submit: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, fmt.Errorf("sweep: batch response: %w", err)
+	}
+	return out.Jobs, ra, nil
+}
+
+// pollJob refreshes one job's state from GET /v1/jobs/{id}.
+func (c *Client) pollJob(ctx context.Context, j *tracked) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+j.id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("sweep: poll job %s: status %d: %s", j.id, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var doc struct {
+		State     string `json:"state"`
+		Error     string `json:"error"`
+		ResultURL string `json:"result_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("sweep: poll job %s: %w", j.id, err)
+	}
+	j.state = doc.State
+	if doc.ResultURL != "" {
+		j.resultURL = doc.ResultURL
+	}
+	if doc.State == serve.StateFailed && doc.Error != "" {
+		return fmt.Errorf("sweep: job %s failed: %s", j.id, doc.Error)
+	}
+	return nil
+}
+
+// fetch downloads one result document.
+func (c *Client) fetch(ctx context.Context, resultURL string) ([]byte, error) {
+	if resultURL == "" {
+		return nil, fmt.Errorf("done job carries no result URL")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+resultURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// backoffDelay computes the slept delay of one retry round: exponential
+// from base, floored by the server's Retry-After hint, capped at maxDelay
+// (the cap wins over the hint — a pathological header cannot park the
+// client), then jittered. attempt is the round that just refused (≥1).
+func backoffDelay(attempt int, base, maxDelay, retryAfter time.Duration, jitter func(time.Duration) time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return jitter(d)
+}
+
+// parseRetryAfter reads the integer-seconds form of the header
+// (momserver's form); anything else means no hint.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx waits d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

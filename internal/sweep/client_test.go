@@ -1,0 +1,312 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mom "repro"
+	"repro/internal/serve"
+)
+
+// stubServer scripts the batch endpoint one POST at a time: each entry of
+// rounds answers one submission. Admitted items are born done with a
+// result URL serving "doc:<key>".
+type stubServer struct {
+	t      *testing.T
+	posts  atomic.Int32
+	rounds []func(w http.ResponseWriter, keys []string, items []serve.BatchItem)
+}
+
+func (s *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs:batch", func(w http.ResponseWriter, r *http.Request) {
+		n := int(s.posts.Add(1)) - 1
+		var body mom.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			s.t.Errorf("stub: bad batch body: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		keys := make([]string, len(body.Jobs))
+		items := make([]serve.BatchItem, len(body.Jobs))
+		for i, jr := range body.Jobs {
+			req, err := jr.Normalized()
+			if err != nil {
+				s.t.Errorf("stub: item %d: %v", i, err)
+			}
+			keys[i], _ = req.Key()
+			items[i] = serve.BatchItem{Index: i, Key: keys[i]}
+		}
+		if n >= len(s.rounds) {
+			s.t.Errorf("stub: unscripted POST #%d", n+1)
+			w.WriteHeader(http.StatusTeapot)
+			return
+		}
+		s.rounds[n](w, keys, items)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": id, "state": serve.StateDone, "result_url": "/v1/jobs/" + id + "/result",
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		// Job ids are "j-<key>" below, so the document names its key.
+		fmt.Fprintf(w, "doc:%s", strings.TrimPrefix(r.PathValue("id"), "j-"))
+	})
+	return mux
+}
+
+// admitAll scripts a round that admits every item born-done.
+func admitAll(w http.ResponseWriter, keys []string, items []serve.BatchItem) {
+	for i := range items {
+		items[i].ID = "j-" + keys[i]
+		items[i].State = serve.StateDone
+		items[i].ResultURL = "/v1/jobs/" + items[i].ID + "/result"
+	}
+	json.NewEncoder(w).Encode(serve.BatchResponse{Jobs: items})
+}
+
+// refuseAll scripts a round that refuses every item queue-full with a
+// Retry-After hint.
+func refuseAll(retryAfter string) func(http.ResponseWriter, []string, []serve.BatchItem) {
+	return func(w http.ResponseWriter, keys []string, items []serve.BatchItem) {
+		for i := range items {
+			items[i].Error = serve.ErrMsgQueueFull
+		}
+		w.Header().Set("Retry-After", retryAfter)
+		json.NewEncoder(w).Encode(serve.BatchResponse{Jobs: items})
+	}
+}
+
+func twoReqs(t *testing.T) []mom.JobRequest {
+	t.Helper()
+	spec := mom.SweepSpec{Exps: []string{"kernel"}, Kernels: []string{"motion1"}, ISAs: []string{"Alpha", "MOM"}}
+	reqs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// TestClientRetriesQueueFull: refused items are resubmitted after a
+// backoff and the sweep completes once the queue drains; the Retry-After
+// hint is honoured but capped at MaxDelay.
+func TestClientRetriesQueueFull(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){
+		refuseAll("1"), // 1s hint — must be capped to MaxDelay below
+		admitAll,
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		Base: ts.URL, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration { slept = append(slept, d); return d },
+	}
+	reqs := twoReqs(t)
+	out, stats, err := c.Execute(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.posts.Load(); got != 2 {
+		t.Fatalf("server saw %d POSTs, want 2", got)
+	}
+	if stats.Retried != 1 || stats.Points != 2 || stats.Computed != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("backoff slept %v, want the 1s Retry-After capped to MaxDelay (5ms)", slept)
+	}
+	keys, _ := mom.Keys(reqs)
+	for _, k := range keys {
+		if string(out[k]) != "doc:"+k {
+			t.Fatalf("document for %s = %q", k[:12], out[k])
+		}
+	}
+}
+
+// TestClientHonorsRetryAfter: when the hint exceeds the exponential step
+// but fits under the cap, the hint wins.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){refuseAll("2"), admitAll}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var computed time.Duration
+	c := &Client{
+		Base: ts.URL, BaseDelay: time.Millisecond, MaxDelay: time.Hour,
+		// The jitter hook observes the computed delay and substitutes a
+		// fast one so the test does not actually wait two seconds.
+		Jitter: func(d time.Duration) time.Duration { computed = d; return time.Millisecond },
+	}
+	if _, _, err := c.Execute(context.Background(), twoReqs(t)); err != nil {
+		t.Fatal(err)
+	}
+	if computed != 2*time.Second {
+		t.Fatalf("computed delay %v, want the 2s Retry-After hint", computed)
+	}
+}
+
+// TestClientWholeRequest429: a server answering 429 (a front proxy, say)
+// retries the whole slice with the same backoff discipline.
+func TestClientWholeRequest429(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){
+		func(w http.ResponseWriter, _ []string, _ []serve.BatchItem) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		},
+		admitAll,
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration { return d }}
+	_, stats, err := c.Execute(context.Background(), twoReqs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retried != 1 || stub.posts.Load() != 2 {
+		t.Fatalf("stats %+v after %d POSTs", stats, stub.posts.Load())
+	}
+}
+
+// TestClientDrainMidRetry: a server that starts draining between retry
+// rounds aborts the sweep immediately — draining is an answer, not
+// congestion, so no further submissions happen.
+func TestClientDrainMidRetry(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){
+		refuseAll("0"),
+		func(w http.ResponseWriter, _ []string, items []serve.BatchItem) {
+			for i := range items {
+				items[i].Error = serve.ErrMsgDraining
+			}
+			json.NewEncoder(w).Encode(serve.BatchResponse{Jobs: items})
+		},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration { return d }}
+	_, _, err := c.Execute(context.Background(), twoReqs(t))
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("err = %v, want a draining abort", err)
+	}
+	if got := stub.posts.Load(); got != 2 {
+		t.Fatalf("server saw %d POSTs, want 2 (no retry after the drain answer)", got)
+	}
+}
+
+// TestClientContextCancelDuringBackoff: cancellation interrupts the
+// backoff sleep promptly instead of waiting it out.
+func TestClientContextCancelDuringBackoff(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){refuseAll("60")}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, BaseDelay: time.Second, MaxDelay: time.Hour,
+		Jitter: func(d time.Duration) time.Duration { return d }}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.Execute(ctx, twoReqs(t))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — the 60s Retry-After was slept through", elapsed)
+	}
+}
+
+// TestClientGivesUp: a server that never admits exhausts MaxAttempts with
+// a diagnostic instead of spinning forever.
+func TestClientGivesUp(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){
+		refuseAll("0"), refuseAll("0"), refuseAll("0"),
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration { return d }}
+	_, stats, err := c.Execute(context.Background(), twoReqs(t))
+	if err == nil || !strings.Contains(err.Error(), "3 submit attempts") {
+		t.Fatalf("err = %v, want a give-up diagnostic", err)
+	}
+	if stats.Retried != 2 {
+		t.Fatalf("stats %+v, want 2 retry rounds", stats)
+	}
+}
+
+// TestClientPerItemError: a non-capacity item error (validation) fails
+// the sweep naming the point rather than retrying.
+func TestClientPerItemError(t *testing.T) {
+	stub := &stubServer{t: t}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){
+		func(w http.ResponseWriter, _ []string, items []serve.BatchItem) {
+			items[0].Error = "unknown experiment"
+			json.NewEncoder(w).Encode(serve.BatchResponse{Jobs: items})
+		},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	_, _, err := c.Execute(context.Background(), twoReqs(t))
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want the item's refusal surfaced", err)
+	}
+	if stub.posts.Load() != 1 {
+		t.Fatal("validation errors must not be retried")
+	}
+}
+
+// TestEqualJitter: the default jitter keeps delays in [d/2, d].
+func TestEqualJitter(t *testing.T) {
+	d := 10 * time.Second
+	for i := 0; i < 100; i++ {
+		j := equalJitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("equalJitter(%v) = %v outside [%v, %v]", d, j, d/2, d)
+		}
+	}
+}
+
+// TestBackoffDelay: exponential growth from base, floored by the hint,
+// capped at max.
+func TestBackoffDelay(t *testing.T) {
+	ident := func(d time.Duration) time.Duration { return d }
+	base, maxd := 100*time.Millisecond, time.Second
+	for _, tc := range []struct {
+		attempt int
+		hint    time.Duration
+		want    time.Duration
+	}{
+		{1, 0, 100 * time.Millisecond},
+		{2, 0, 200 * time.Millisecond},
+		{5, 0, time.Second},                                 // capped
+		{1, 500 * time.Millisecond, 500 * time.Millisecond}, // hint floors
+		{1, time.Minute, time.Second},                       // hint capped
+	} {
+		if got := backoffDelay(tc.attempt, base, maxd, tc.hint, ident); got != tc.want {
+			t.Errorf("backoffDelay(attempt=%d, hint=%v) = %v, want %v", tc.attempt, tc.hint, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	mom "repro"
+	"repro/internal/regfile"
+)
+
+// Point is one reduced grid point of a sweep report: the machine point
+// that ran, the cycle/IPC metrics of its canonical result document, and
+// the register-file area of its ISA level from the Table 2 model. Every
+// field is derived from the request and the document — never from how or
+// where the point executed — so reports reproduce byte-identically.
+type Point struct {
+	Exp      string  `json:"exp"`
+	Workload string  `json:"workload"`
+	ISA      string  `json:"isa"`
+	Width    int     `json:"width"`
+	Mem      string  `json:"mem"`
+	Scale    string  `json:"scale"`
+	Sample   string  `json:"sample,omitempty"` // sampling regime of the grid run ("" = exact)
+	Key      string  `json:"key"`              // content address of the grid run
+	Cycles   int64   `json:"cycles"`           // exact, or the sampled estimate
+	Insts    uint64  `json:"insts"`            // graduated (sampled: total-stream count)
+	IPC      float64 `json:"ipc"`
+	Area     float64 `json:"area"` // normalised multimedia register-file area (Table 2)
+	// Dominated marks a point beaten on both axes of the cycles-vs-area
+	// trade-off by some other point; the frontier is the undominated rest.
+	Dominated bool `json:"dominated"`
+	// Refined: the metrics above were replaced by an exact re-run (under
+	// ExactKey) because the point sat on the frontier of a sampled sweep.
+	Refined  bool   `json:"refined,omitempty"`
+	ExactKey string `json:"exact_key,omitempty"`
+}
+
+// resultDoc is the slice of the canonical kernel/app result document the
+// reducer needs.
+type resultDoc struct {
+	Schema   int    `json:"schema"`
+	Workload string `json:"workload"`
+	Cycles   int64  `json:"cycles"`
+	Insts    uint64 `json:"insts"`
+	Sampled  *struct {
+		TotalInsts uint64 `json:"total_insts"`
+		EstCycles  int64  `json:"est_cycles"`
+	} `json:"sampled"`
+}
+
+// adopt replaces the point's metrics with those of a canonical result
+// document. Sampled documents contribute their whole-stream estimates
+// (est_cycles over total_insts), so sampled and exact points compare on
+// the same axis.
+func (p *Point) adopt(doc []byte) error {
+	var d resultDoc
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return fmt.Errorf("sweep: result document for %s %s: %w", p.Exp, p.Workload, err)
+	}
+	p.Cycles, p.Insts = d.Cycles, d.Insts
+	if d.Sampled != nil {
+		p.Cycles, p.Insts = d.Sampled.EstCycles, d.Sampled.TotalInsts
+	}
+	if p.Cycles > 0 {
+		p.IPC = float64(p.Insts) / float64(p.Cycles)
+	} else {
+		p.IPC = 0
+	}
+	return nil
+}
+
+// Reduce turns the executed grid into report points, in grid order. Only
+// single-workload runs ("kernel"/"app") carry the per-point metrics the
+// Pareto axes need; other experiments in the grid execute fine but are
+// counted as skipped rather than reduced.
+func Reduce(reqs []mom.JobRequest, docs Results) ([]Point, int, error) {
+	points := make([]Point, 0, len(reqs))
+	skipped := 0
+	for _, r := range reqs {
+		if r.Exp != "kernel" && r.Exp != "app" {
+			skipped++
+			continue
+		}
+		key, err := r.Key()
+		if err != nil {
+			return nil, skipped, err
+		}
+		doc, ok := docs[key]
+		if !ok {
+			return nil, skipped, fmt.Errorf("sweep: no document for point %s (%s %s)", key[:12], r.Exp, workload(r))
+		}
+		area, ok := regfile.NormalizedArea(r.ISA)
+		if !ok {
+			return nil, skipped, fmt.Errorf("sweep: no register-file area model for ISA %q", r.ISA)
+		}
+		p := Point{
+			Exp: r.Exp, Workload: workload(r), ISA: r.ISA, Width: r.Width,
+			Mem: r.Mem, Scale: r.Scale, Sample: r.Sample().String(),
+			Key: key, Area: area,
+		}
+		if err := p.adopt(doc); err != nil {
+			return nil, skipped, err
+		}
+		points = append(points, p)
+	}
+	return points, skipped, nil
+}
+
+// markDominated marks every point beaten on the (cycles, area) trade-off:
+// p is dominated when some q is no worse on both axes and strictly better
+// on at least one. Ties on both axes dominate neither way, so duplicate
+// trade-off points share the frontier.
+func markDominated(points []Point) {
+	for i := range points {
+		p := &points[i]
+		p.Dominated = false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			q := &points[j]
+			if q.Cycles <= p.Cycles && q.Area <= p.Area &&
+				(q.Cycles < p.Cycles || q.Area < p.Area) {
+				p.Dominated = true
+				break
+			}
+		}
+	}
+}
+
+// frontierKeys lists the undominated points' keys, ordered by cycles
+// ascending (ties: area, then key) — a deterministic frontier identity
+// that local and remote runs of the same spec agree on byte for byte.
+func frontierKeys(points []Point) []string {
+	var f []*Point
+	for i := range points {
+		if !points[i].Dominated {
+			f = append(f, &points[i])
+		}
+	}
+	sort.Slice(f, func(i, j int) bool {
+		if f[i].Cycles != f[j].Cycles {
+			return f[i].Cycles < f[j].Cycles
+		}
+		if f[i].Area != f[j].Area {
+			return f[i].Area < f[j].Area
+		}
+		return f[i].Key < f[j].Key
+	})
+	keys := make([]string, len(f))
+	for i, p := range f {
+		keys[i] = p.Key
+	}
+	return keys
+}
+
+// MemFrontierRow is one memory configuration's entry in the IPC-versus-
+// memory-model trade-off: the best IPC any grid point achieved under that
+// model, against the model's complexity rank (its position in
+// mom.MemModelNames — idealised models first, the banked/MSHR hierarchies
+// after). A row is dominated when a lower-ranked (simpler) configuration
+// already reaches at least its IPC.
+type MemFrontierRow struct {
+	Mem       string  `json:"mem"`
+	Rank      int     `json:"rank"`
+	IPC       float64 `json:"ipc"`
+	Key       string  `json:"key"` // the point that achieved the row's IPC
+	Dominated bool    `json:"dominated"`
+}
+
+// memFrontier reduces the points to one row per memory configuration
+// present in the grid, ordered by complexity rank.
+func memFrontier(points []Point) []MemFrontierRow {
+	rank := map[string]int{}
+	for i, name := range mom.MemModelNames {
+		rank[name] = i
+	}
+	best := map[string]*MemFrontierRow{}
+	for i := range points {
+		p := &points[i]
+		row, ok := best[p.Mem]
+		if !ok {
+			best[p.Mem] = &MemFrontierRow{Mem: p.Mem, Rank: rank[p.Mem], IPC: p.IPC, Key: p.Key}
+			continue
+		}
+		// Deterministic winner: higher IPC, ties to the smaller key.
+		if p.IPC > row.IPC || (p.IPC == row.IPC && p.Key < row.Key) {
+			row.IPC, row.Key = p.IPC, p.Key
+		}
+	}
+	rows := make([]MemFrontierRow, 0, len(best))
+	for _, row := range best {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Rank < rows[j].Rank })
+	for i := range rows {
+		for j := range rows {
+			if rows[j].Rank < rows[i].Rank && rows[j].IPC >= rows[i].IPC {
+				rows[i].Dominated = true
+				break
+			}
+		}
+	}
+	return rows
+}

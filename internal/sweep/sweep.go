@@ -1,0 +1,264 @@
+// Package sweep is the design-space exploration engine: it executes the
+// deduplicated grid a mom.SweepSpec expands to — in-process on a bounded
+// worker pool, or remotely against a momserver's batch endpoint — and
+// reduces the canonical result documents to Pareto-frontier reports
+// (cycles versus register-file area from the Table 2 model, and IPC
+// versus memory configuration).
+//
+// The engine is built on the content-address identity of JobRequest: the
+// grid is deduplicated by key before anything runs, results are memoised
+// under the same keys (a local store for in-process runs, the momserver
+// store for remote ones), and because every driver is deterministic the
+// report assembled from those documents is byte-identical across runs and
+// across execution paths. The sampled-first/exact-refine strategy runs
+// the grid under its sampling regime first, then re-runs only the
+// Pareto-frontier points exact until the frontier is confirmed.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	mom "repro"
+	"repro/internal/par"
+	"repro/internal/store"
+)
+
+// Results maps content-address keys to canonical result documents.
+type Results map[string][]byte
+
+// Stats summarises how a sweep executed. It is reporting-only and never
+// part of the report document, so execution-path details (hits versus
+// computes, retries) cannot break the report's byte reproducibility.
+type Stats struct {
+	Points    int // grid points submitted for execution (including refine re-runs)
+	StoreHits int // answered by a content-addressed store without running
+	Coalesced int // attached to an in-flight computation (remote only)
+	Computed  int // actually executed
+	Retried   int // submit rounds beyond the first (remote admission backoff)
+	Skipped   int // executed points that are not reducible to report rows
+}
+
+func (s *Stats) add(o Stats) {
+	s.Points += o.Points
+	s.StoreHits += o.StoreHits
+	s.Coalesced += o.Coalesced
+	s.Computed += o.Computed
+	s.Retried += o.Retried
+	s.Skipped += o.Skipped
+}
+
+// String renders the stats as the one-line execution summary momsweep
+// prints to stderr (machine-greppable key=value form).
+func (s Stats) String() string {
+	return fmt.Sprintf("points=%d store_hits=%d coalesced=%d computed=%d retried=%d skipped=%d",
+		s.Points, s.StoreHits, s.Coalesced, s.Computed, s.Retried, s.Skipped)
+}
+
+// An Executor runs a list of canonical requests and returns their result
+// documents keyed by content address. Local runs in-process; Client runs
+// against a momserver.
+type Executor interface {
+	Execute(ctx context.Context, reqs []mom.JobRequest) (Results, Stats, error)
+}
+
+// Local executes requests in-process on a bounded worker pool, memoising
+// documents in an optional content-addressed store so re-running a sweep
+// (or overlapping sweeps) recomputes nothing.
+type Local struct {
+	Par   int          // worker count (0 = all host cores)
+	Store *store.Store // optional; nil recomputes every point
+}
+
+// Execute runs every request, first consulting the store. Documents are
+// byte-identical to what a momserver would produce: both paths run
+// mom.RunJobRequest on the canonical request form.
+func (l *Local) Execute(ctx context.Context, reqs []mom.JobRequest) (Results, Stats, error) {
+	keys, err := mom.Keys(reqs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	workers := l.Par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make(Results, len(reqs))
+	stats := Stats{Points: len(reqs)}
+	var mu sync.Mutex
+	err = par.ForN(ctx, workers, len(reqs), func(i int) error {
+		key := keys[i]
+		if l.Store != nil {
+			if val, ok := l.Store.Get(key); ok {
+				mu.Lock()
+				out[key] = val
+				stats.StoreHits++
+				mu.Unlock()
+				return nil
+			}
+		}
+		doc, err := mom.RunJobRequest(ctx, reqs[i])
+		if err != nil {
+			return fmt.Errorf("sweep: point %s (%s %s): %w", key[:12], reqs[i].Exp, workload(reqs[i]), err)
+		}
+		if l.Store != nil {
+			// Best effort, like the server's write path: a failed write
+			// only costs a future recompute.
+			_ = l.Store.Put(key, doc)
+		}
+		mu.Lock()
+		out[key] = doc
+		stats.Computed++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// workload names the axis point of a request for error messages.
+func workload(r mom.JobRequest) string {
+	if r.Kernel != "" {
+		return r.Kernel
+	}
+	if r.App != "" {
+		return r.App
+	}
+	return "-"
+}
+
+// Run executes a sweep end to end: expand the spec, execute the grid,
+// reduce to Pareto-marked points, and — when the spec asks for it —
+// refine the frontier exact. The returned report depends only on the spec
+// and the simulated machines, never on the execution path, so local and
+// remote runs of the same spec produce byte-identical reports.
+func Run(ctx context.Context, spec mom.SweepSpec, ex Executor) (*Report, Stats, error) {
+	reqs, err := spec.Expand()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	docs, stats, err := ex.Execute(ctx, reqs)
+	if err != nil {
+		return nil, stats, err
+	}
+	points, skipped, err := Reduce(reqs, docs)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Skipped += skipped
+	if len(points) == 0 {
+		return nil, stats, fmt.Errorf("sweep: no kernel/app points to reduce (the report axes need single-workload runs; the grid held %d other points)", skipped)
+	}
+	markDominated(points)
+	before := frontierKeys(points)
+	if spec.Refine {
+		if err := refine(ctx, points, docs, ex, &stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	after := frontierKeys(points)
+	rep := &Report{
+		Schema:       mom.SchemaVersion,
+		Sweep:        spec.Name,
+		Spec:         spec,
+		Points:       points,
+		AreaFrontier: after,
+		MemFrontier:  memFrontier(points),
+		Refined:      spec.Refine,
+	}
+	if spec.Refine && !equalKeys(before, after) {
+		rep.FrontierChanged = true
+	}
+	return rep, stats, nil
+}
+
+// refine implements the sampled-first/exact-refine strategy: every
+// sampled point on the current frontier is re-run exact (its sampling
+// parameters cleared — a different computation, so a different key) and
+// its metrics replaced by the exact run's; dominance is then recomputed.
+// Because refinement can promote a previously dominated sampled point
+// onto the frontier, the loop repeats until the frontier holds no
+// unrefined sampled points; it terminates because each round refines at
+// least one point.
+func refine(ctx context.Context, points []Point, docs Results, ex Executor, stats *Stats) error {
+	for {
+		var (
+			idx   []int
+			fresh []mom.JobRequest
+			want  = map[string]bool{}
+		)
+		for i := range points {
+			p := &points[i]
+			if p.Dominated || p.Sample == "" || p.Refined {
+				continue
+			}
+			exact, err := exactTwin(*p)
+			if err != nil {
+				return err
+			}
+			key, err := exact.Key()
+			if err != nil {
+				return err
+			}
+			p.ExactKey = key
+			idx = append(idx, i)
+			// The exact twin may already be in the grid (or shared by two
+			// frontier points); execute it once at most.
+			if _, ok := docs[key]; !ok && !want[key] {
+				want[key] = true
+				fresh = append(fresh, exact)
+			}
+		}
+		if len(idx) == 0 {
+			return nil
+		}
+		if len(fresh) > 0 {
+			extra, st, err := ex.Execute(ctx, fresh)
+			if err != nil {
+				return err
+			}
+			stats.add(st)
+			for k, v := range extra {
+				docs[k] = v
+			}
+		}
+		for _, i := range idx {
+			p := &points[i]
+			doc, ok := docs[p.ExactKey]
+			if !ok {
+				return fmt.Errorf("sweep: refine: no document for exact key %s", p.ExactKey)
+			}
+			if err := p.adopt(doc); err != nil {
+				return err
+			}
+			p.Refined = true
+		}
+		markDominated(points)
+	}
+}
+
+// exactTwin is the exact-simulation form of a sampled point's request.
+func exactTwin(p Point) (mom.JobRequest, error) {
+	r := mom.JobRequest{Exp: p.Exp, Scale: p.Scale, Width: p.Width, ISA: p.ISA, Mem: p.Mem}
+	if p.Exp == "kernel" {
+		r.Kernel = p.Workload
+	} else {
+		r.App = p.Workload
+	}
+	return r.Normalized()
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

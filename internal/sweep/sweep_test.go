@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	mom "repro"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// e2eSpec is a small real grid: one kernel across two ISAs, two widths
+// and two memory models (8 points).
+func e2eSpec() mom.SweepSpec {
+	return mom.SweepSpec{
+		Name: "e2e", Exps: []string{"kernel"}, Kernels: []string{"motion1"},
+		ISAs: []string{"Alpha", "MOM"}, Widths: []int{1, 4},
+		Mems: []string{"perfect", "perfect50"},
+	}
+}
+
+func reportBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunLocalStoreAndRemoteIdentical is the subsystem's core promise:
+// the same spec run in-process (twice, through a store) and against a
+// live momserver produces byte-identical reports, and the second local
+// run computes nothing.
+func TestRunLocalStoreAndRemoteIdentical(t *testing.T) {
+	ctx := context.Background()
+	spec := e2eSpec()
+
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := &Local{Par: 2, Store: st}
+	rep1, stats1, err := Run(ctx, spec, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Points != 8 || stats1.Computed != 8 || stats1.StoreHits != 0 {
+		t.Fatalf("first local run stats %+v, want 8 computed", stats1)
+	}
+	rep2, stats2, err := Run(ctx, spec, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.StoreHits != 8 || stats2.Computed != 0 {
+		t.Fatalf("second local run stats %+v, want 8 store hits", stats2)
+	}
+	b1, b2 := reportBytes(t, rep1), reportBytes(t, rep2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("local reports differ across runs:\n%s\nvs\n%s", b1, b2)
+	}
+
+	srv := serve.New(serve.Config{Workers: 2, QueueCap: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	remote := &Client{Base: ts.URL, PollEvery: 2 * time.Millisecond}
+	rep3, stats3, err := Run(ctx, spec, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Points != 8 || stats3.Computed != 8 {
+		t.Fatalf("remote run stats %+v", stats3)
+	}
+	if b3 := reportBytes(t, rep3); !bytes.Equal(b1, b3) {
+		t.Fatalf("local and remote reports differ:\n%s\nvs\n%s", b1, b3)
+	}
+
+	if len(rep1.AreaFrontier) == 0 || len(rep1.MemFrontier) == 0 {
+		t.Fatalf("empty frontier: %+v", rep1)
+	}
+	// The frontier is consistent with the dominance marks.
+	undominated := 0
+	for _, p := range rep1.Points {
+		if !p.Dominated {
+			undominated++
+		}
+	}
+	if undominated != len(rep1.AreaFrontier) {
+		t.Fatalf("%d undominated points but %d frontier keys", undominated, len(rep1.AreaFrontier))
+	}
+}
+
+// TestRunRefine: with Refine set, sampled frontier points are re-run
+// exact and adopt the exact metrics; refinement never leaves a sampled
+// unrefined point on the frontier.
+func TestRunRefine(t *testing.T) {
+	ctx := context.Background()
+	spec := mom.SweepSpec{
+		Name: "refine", Exps: []string{"kernel"}, Kernels: []string{"motion1"},
+		ISAs: []string{"MMX", "MOM"}, Samples: []string{"1501:100:150"},
+		Refine: true,
+	}
+	rep, stats, err := Run(ctx, spec, &Local{Par: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Refined {
+		t.Fatal("report does not record the refine pass")
+	}
+	refined := 0
+	for _, p := range rep.Points {
+		if p.Dominated {
+			continue
+		}
+		if p.Sample == "" || !p.Refined || p.ExactKey == "" {
+			t.Fatalf("frontier point not refined: %+v", p)
+		}
+		refined++
+
+		// The adopted metrics are exactly the exact run's.
+		exact, err := exactTwin(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := mom.RunJobRequest(ctx, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var check Point
+		if err := (&check).adopt(doc); err != nil {
+			t.Fatal(err)
+		}
+		if p.Cycles != check.Cycles || p.Insts != check.Insts {
+			t.Fatalf("refined point %s carries cycles=%d insts=%d, exact run says %d/%d",
+				p.ISA, p.Cycles, p.Insts, check.Cycles, check.Insts)
+		}
+	}
+	if refined == 0 {
+		t.Fatal("no frontier point was refined")
+	}
+	// Grid of 2 plus at least one exact re-run.
+	if stats.Points < 3 {
+		t.Fatalf("stats %+v, want refine re-runs on top of the 2-point grid", stats)
+	}
+}
+
+// TestRunNoReduciblePoints: a grid without kernel/app runs executes but
+// cannot feed the Pareto axes — a descriptive error, not a panic or an
+// empty report.
+func TestRunNoReduciblePoints(t *testing.T) {
+	_, _, err := Run(context.Background(), mom.SweepSpec{Exps: []string{"fig5"}}, &Local{Par: 1})
+	if err == nil {
+		t.Fatal("Run accepted a grid with no reducible points")
+	}
+}

@@ -27,6 +27,26 @@ var ExpNames = []string{
 	"regsweep", "memsweep", "kernel", "app",
 }
 
+// expDescriptions gives every runnable experiment a one-line description,
+// surfaced by `momsim -exp list` and the sweep-spec docs so the exp axis
+// of a SweepSpec is discoverable from the CLI.
+var expDescriptions = map[string]string{
+	"fig5":     "kernel speed-ups for every kernel × ISA × width on perfect memory (Figure 5)",
+	"fig7":     "application speed-ups on the detailed cache hierarchies (Figure 7)",
+	"latency":  "kernel slow-downs when memory latency rises from 1 to 50 cycles (Section 4.1)",
+	"profile":  "nine-bucket cycle attribution for every kernel × ISA at 1- and 50-cycle memory",
+	"fetch":    "dynamic instruction counts and packed word-operations per instruction",
+	"hotspots": "per-PC cycle attribution (annotated disassembly) for every kernel × ISA",
+	"regsweep": "cycle cost versus physical matrix-register-file size for one kernel",
+	"memsweep": "cycle cost versus MSHR and L1-bank counts for one application",
+	"kernel":   "one kernel on one machine point (ISA × width × memory, exact or sampled)",
+	"app":      "one application on one machine point (ISA × width × memory, exact or sampled)",
+}
+
+// ExpDescription returns the one-line description of a runnable
+// experiment ("" for names outside ExpNames).
+func ExpDescription(name string) string { return expDescriptions[name] }
+
 // JobRequest identifies one experiment computation. Exp selects the
 // driver; the remaining fields parameterise it. Fields an experiment does
 // not consume are cleared by Normalized so they cannot split the store key
@@ -176,6 +196,16 @@ func (r JobRequest) Normalized() (JobRequest, error) {
 		n.SamplePeriod, n.SampleWarmup, n.SampleInterval = sp.Period, sp.Warmup, sp.Interval
 		return nil
 	}
+	// Experiments outside the sampled-capable set reject sampling
+	// parameters instead of silently dropping them: a caller asking for a
+	// sampled fig5 would otherwise get (and cache) an exact run under a
+	// request that promised something else.
+	exactOnly := func() error {
+		if r.Sample().Enabled() {
+			return fmt.Errorf("experiment %q is exact-only: sampling is not supported (sampled-capable: fig7, profile, hotspots, kernel, app)", r.Exp)
+		}
+		return nil
+	}
 	point := func(kind string) error {
 		if err := width(); err != nil {
 			return err
@@ -206,12 +236,17 @@ func (r JobRequest) Normalized() (JobRequest, error) {
 	}
 	switch r.Exp {
 	case "fig5", "fetch":
-		// scale only
+		if err := exactOnly(); err != nil {
+			return n, err
+		}
 	case "fig7":
 		if err := sample(); err != nil {
 			return n, err
 		}
 	case "latency":
+		if err := exactOnly(); err != nil {
+			return n, err
+		}
 		if err := width(); err != nil {
 			return n, err
 		}
@@ -223,11 +258,17 @@ func (r JobRequest) Normalized() (JobRequest, error) {
 			return n, err
 		}
 	case "regsweep":
+		if err := exactOnly(); err != nil {
+			return n, err
+		}
 		n.Kernel = r.Kernel
 		if err := validName("kernel", n.Kernel, KernelNames()); err != nil {
 			return n, err
 		}
 	case "memsweep":
+		if err := exactOnly(); err != nil {
+			return n, err
+		}
 		n.App = r.App
 		if err := validName("app", n.App, AppNames()); err != nil {
 			return n, err

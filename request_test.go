@@ -38,6 +38,8 @@ func TestRequestValidation(t *testing.T) {
 		{JobRequest{Exp: "nope"}, "valid: fig5"},
 		{JobRequest{Exp: "fig5", Scale: "huge"}, "valid: test, bench"},
 		{JobRequest{Exp: "latency", Width: 3}, "valid: 1, 2, 4, 8"},
+		{JobRequest{Exp: "latency", Width: -4}, "valid: 1, 2, 4, 8"},
+		{JobRequest{Exp: "kernel", Kernel: "idct", Width: -1}, "valid: 1, 2, 4, 8"},
 		{JobRequest{Exp: "kernel"}, "missing kernel"},
 		{JobRequest{Exp: "kernel", Kernel: "nope"}, "unknown kernel"},
 		{JobRequest{Exp: "kernel", Kernel: "idct", ISA: "sse"}, "unknown ISA"},
@@ -45,6 +47,15 @@ func TestRequestValidation(t *testing.T) {
 		{JobRequest{Exp: "app", App: "nope"}, "unknown app"},
 		{JobRequest{Exp: "memsweep"}, "missing app"},
 		{JobRequest{Exp: "regsweep", Kernel: "bogus"}, "unknown kernel"},
+		// Exact-only experiments reject sampling parameters instead of
+		// silently caching an exact run under a sampled-looking request.
+		{JobRequest{Exp: "fig5", SamplePeriod: 1501, SampleWarmup: 100, SampleInterval: 150}, "exact-only"},
+		{JobRequest{Exp: "fetch", SampleInterval: 150, SamplePeriod: 1501}, "exact-only"},
+		{JobRequest{Exp: "latency", SampleInterval: 150, SamplePeriod: 1501}, "exact-only"},
+		{JobRequest{Exp: "regsweep", Kernel: "idct", SampleInterval: 150, SamplePeriod: 1501}, "exact-only"},
+		{JobRequest{Exp: "memsweep", App: "mpeg2decode", SampleInterval: 150, SamplePeriod: 1501}, "exact-only"},
+		// Sampled-capable experiments still validate the spec itself.
+		{JobRequest{Exp: "kernel", Kernel: "idct", SampleInterval: 150}, "sample"},
 	} {
 		_, err := tc.req.Normalized()
 		if err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -1,0 +1,160 @@
+package mom
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSweepExpandDeterministic: the same spec always expands to the same
+// ordered key list — the property the content-addressed result set (and
+// the byte-identical sweep report) is built on.
+func TestSweepExpandDeterministic(t *testing.T) {
+	spec := SweepSpec{
+		Exps:    []string{"kernel", "fig5"},
+		Kernels: []string{"motion1", "idct"},
+		ISAs:    []string{"MMX", "MOM"},
+		Widths:  []int{2, 4},
+		Mems:    []string{"perfect", "perfect50"},
+		Samples: []string{"", "1501:100:150"},
+	}
+	a, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := Keys(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, _ := Keys(b)
+	if !reflect.DeepEqual(ka, kb) {
+		t.Fatalf("expansion not deterministic:\n%v\nvs\n%v", ka, kb)
+	}
+	// kernel: 2 kernels × 2 ISAs × 2 widths × 2 mems × 2 samples = 32,
+	// fig5: scale only = 1.
+	if len(a) != 33 {
+		t.Fatalf("expanded to %d requests, want 33", len(a))
+	}
+	seen := map[string]bool{}
+	for _, k := range ka {
+		if seen[k] {
+			t.Fatalf("duplicate key %s in expansion", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestSweepExpandDedup: axis values that normalise to the same canonical
+// request collapse to one grid point, and unconsumed axes never multiply
+// the grid.
+func TestSweepExpandDedup(t *testing.T) {
+	// fig5 consumes no axis but scale: four ISAs × two widths still
+	// expand to exactly one request.
+	reqs, err := SweepSpec{Exps: []string{"fig5"}, Widths: []int{1, 2, 4, 8}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("fig5 sweep expanded to %d requests, want 1", len(reqs))
+	}
+	// ISA names differing only in case are the same machine.
+	reqs, err = SweepSpec{
+		Exps: []string{"kernel"}, Kernels: []string{"motion1"},
+		ISAs: []string{"mom", "MOM", "Mom"}, Widths: []int{4},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 {
+		t.Fatalf("case-variant ISA axis expanded to %d requests, want 1", len(reqs))
+	}
+	if reqs[0].ISA != "MOM" || reqs[0].Scale != "test" {
+		t.Fatalf("expansion did not normalise: %+v", reqs[0])
+	}
+}
+
+// TestSweepExpandValidation: a bad axis value fails expansion with the
+// valid vocabulary, and exps is required.
+func TestSweepExpandValidation(t *testing.T) {
+	for _, tc := range []struct {
+		spec SweepSpec
+		want string
+	}{
+		{SweepSpec{}, "exps is required"},
+		{SweepSpec{Exps: []string{"bogus"}}, "unknown experiment"},
+		{SweepSpec{Exps: []string{"kernel"}, Kernels: []string{"nope"}}, "unknown kernel"},
+		{SweepSpec{Exps: []string{"kernel"}, ISAs: []string{"sse"}}, "unknown ISA"},
+		{SweepSpec{Exps: []string{"kernel"}, Widths: []int{3}}, "invalid width"},
+		{SweepSpec{Exps: []string{"kernel"}, Samples: []string{"bad"}}, "invalid sample spec"},
+		{SweepSpec{Exps: []string{"app"}, Scales: []string{"huge"}}, "unknown scale"},
+	} {
+		if _, err := tc.spec.Expand(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: error %v, want one containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestSweepSpecParseStrict: unknown fields in a spec document are an
+// error, not a silently smaller grid.
+func TestSweepSpecParseStrict(t *testing.T) {
+	if _, err := ParseSweepSpec([]byte(`{"exps":["fig5"],"widhts":[4]}`)); err == nil {
+		t.Fatal("typoed axis name parsed without error")
+	}
+	s, err := ParseSweepSpec([]byte(`{"exps":["fig5"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Exps) != 1 || s.Exps[0] != "fig5" {
+		t.Fatalf("parsed spec %+v", s)
+	}
+}
+
+// TestSweepExampleSpec pins the committed example: it must parse, expand
+// to at least 24 deduplicated requests, and stay deterministic — the CI
+// sweep smoke runs exactly this file against a live momserver.
+func TestSweepExampleSpec(t *testing.T) {
+	data, err := os.ReadFile("examples/sweeps/motion-width.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSweepSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 24 {
+		t.Fatalf("example spec expanded to %d requests, want >= 24", len(reqs))
+	}
+	keys, err := Keys(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("example spec expansion contains duplicate key %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestExpDescriptions: every runnable experiment has a one-liner (the
+// `momsim -exp list` surface the sweep spec's exp axis is discovered by).
+func TestExpDescriptions(t *testing.T) {
+	for _, e := range ExpNames {
+		if ExpDescription(e) == "" {
+			t.Errorf("experiment %q has no description", e)
+		}
+	}
+	if ExpDescription("bogus") != "" {
+		t.Error("unknown experiment has a description")
+	}
+}
