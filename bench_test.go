@@ -255,3 +255,52 @@ func BenchmarkTransposeAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkColdStartApp measures what the persistent trace artifact store
+// buys a fresh process: the cost of making an application's trace
+// available for replay. "cold" starts from an empty artifact directory —
+// full functional capture plus the write-through — while "warm" starts
+// against a directory a previous "process" already filled, so the trace
+// decodes back from disk instead of being re-emulated. The RAM slot is
+// evicted before every iteration; that is exactly the state a restarted
+// momserver or a fresh momsim invocation begins in. Every replay the
+// process then runs (each width × memory configuration) pays this
+// acquisition cost exactly once, so the cold/warm gap here is the
+// restart head-start the store provides.
+func BenchmarkColdStartApp(b *testing.B) {
+	app := AppNames()[0]
+	key := traceKey{app: true, name: app, isa: MOM, scale: ScaleTest}
+	acquire := func(b *testing.B) {
+		b.Helper()
+		if tr := CaptureWorkloadTrace(true, app, MOM, ScaleTest); tr == nil {
+			b.Fatalf("trace of %s unavailable", app)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		st := installArtifactDir(b, b.TempDir())
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			resetTraceEntry(b, key)
+			st.Invalidate(key.artifactKey())
+			b.StartTimer()
+			acquire(b)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		installArtifactDir(b, b.TempDir())
+		resetTraceEntry(b, key) // a RAM hit would skip the write-through
+		acquire(b)              // prime the artifact directory once, off the clock
+		before := ReadTraceStats()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			resetTraceEntry(b, key)
+			b.StartTimer()
+			acquire(b)
+		}
+		ts := ReadTraceStats()
+		if hits := ts.DiskHits - before.DiskHits; hits != int64(b.N) {
+			b.Fatalf("%d disk hits over %d warm acquisitions — the store was not serving", hits, b.N)
+		}
+	})
+}

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	mom "repro"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -51,6 +52,8 @@ func main() {
 		addr       = flag.String("addr", ":8344", "listen address")
 		storeDir   = flag.String("store", "momstore", "result store directory (empty: no store, recompute always)")
 		storeBytes = flag.Int64("store-bytes", 256<<20, "result store size bound in bytes (<=0: unbounded)")
+		traceDir   = flag.String("trace-store", "", "trace artifact store directory (empty: no persistence, recapture on restart)")
+		traceBytes = flag.Int64("trace-store-bytes", 1<<31, "trace artifact store size bound in bytes (<=0: unbounded)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job workers")
 		queueCap   = flag.Int("queue", 64, "admission queue capacity (full queue answers 429)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job deadline")
@@ -96,6 +99,19 @@ func main() {
 			"bytes", s.Bytes, "bound_bytes", *storeBytes)
 		cfg.Store = st
 	}
+	if *traceDir != "" {
+		// The artifact store is installed process-wide: the trace cache
+		// consults it before re-capturing, so a restart against a warm
+		// directory replays previously-traced workloads from disk.
+		st, err := mom.OpenTraceArtifacts(*traceDir, *traceBytes)
+		if err != nil {
+			fatal(err)
+		}
+		s := st.Stats()
+		logger.Info("trace store opened", "dir", *traceDir, "entries", s.Entries,
+			"bytes", s.Bytes, "bound_bytes", *traceBytes)
+		cfg.TraceStore = st
+	}
 	if *peers != "" {
 		ps, err := serve.NewPeerSet(*self, strings.Split(*peers, ","))
 		if err != nil {
@@ -138,6 +154,13 @@ func main() {
 			s := cfg.Store.Stats()
 			logger.Info("store at exit", "entries", s.Entries, "bytes", s.Bytes,
 				"hits", s.Hits, "misses", s.Misses, "evictions", s.Evictions)
+		}
+		if cfg.TraceStore != nil {
+			s := cfg.TraceStore.Stats()
+			ts := mom.ReadTraceStats()
+			logger.Info("trace store at exit", "entries", s.Entries, "bytes", s.Bytes,
+				"disk_hits", ts.DiskHits, "disk_writes", ts.DiskWrites,
+				"peer_fetches", ts.PeerFetches, "stream_replays", ts.StreamReplays)
 		}
 		logger.Info("drained cleanly")
 	}

@@ -33,21 +33,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|hotspots|isacount|all (or \"list\" to describe each)")
-		scale   = flag.String("scale", "test", "workload scale: test|bench")
-		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
-		width   = flag.Int("width", 4, "issue width: 1|2|4|8")
-		kernel  = flag.String("kernel", "", "run a single kernel")
-		app     = flag.String("app", "", "run a single application")
-		cache   = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
-		sample  = flag.String("sample", "", "sampled simulation as period:warmup:interval dynamic instructions (fig7|profile|hotspots or single -kernel/-app runs); empty = exact")
-		samPar  = flag.Int("sample-par", 0, "sampled-simulation worker count (0 = all host cores, 1 = serial; needs -sample; never changes results)")
-		verify  = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
-		format  = flag.String("format", "table", "experiment output format: table|csv|json")
-		asJSON  = flag.Bool("json", false, "emit JSON (shorthand for -format json; also applies to single runs)")
-		verbose = flag.Bool("v", false, "report trace capture/replay timing per experiment")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		exp      = flag.String("exp", "", "experiment: fig5|latency|fig7|table1|table2|table3|fetch|profile|hotspots|isacount|all (or \"list\" to describe each)")
+		scale    = flag.String("scale", "test", "workload scale: test|bench")
+		isaStr   = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+		width    = flag.Int("width", 4, "issue width: 1|2|4|8")
+		kernel   = flag.String("kernel", "", "run a single kernel")
+		app      = flag.String("app", "", "run a single application")
+		cache    = flag.String("cache", "perfect", "memory: perfect|perfect50|conv|multi|vector|collapsing")
+		sample   = flag.String("sample", "", "sampled simulation as period:warmup:interval dynamic instructions (fig7|profile|hotspots or single -kernel/-app runs); empty = exact")
+		samPar   = flag.Int("sample-par", 0, "sampled-simulation worker count (0 = all host cores, 1 = serial; needs -sample; never changes results)")
+		verify   = flag.Bool("verify", false, "verify every workload bit-exactly against the goldens")
+		format   = flag.String("format", "table", "experiment output format: table|csv|json")
+		asJSON   = flag.Bool("json", false, "emit JSON (shorthand for -format json; also applies to single runs)")
+		verbose  = flag.Bool("v", false, "report trace capture/replay timing per experiment")
+		traceDir = flag.String("trace-store", "", "persist captured traces in this directory and replay from it on later runs")
+		traceMax = flag.Int64("trace-store-bytes", 1<<31, "trace artifact store size bound in bytes (<=0: unbounded; needs -trace-store)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 	defer runAtExit()
@@ -105,6 +107,11 @@ func main() {
 	sp, err := mom.ParseSampleSpec(*sample)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceDir != "" {
+		if _, err := mom.OpenTraceArtifacts(*traceDir, *traceMax); err != nil {
+			fatal(err)
+		}
 	}
 	if sp.Enabled() && *verify {
 		fatal(fmt.Errorf("-sample cannot be combined with -verify (verification is bit-exact by definition)"))
@@ -363,11 +370,18 @@ func printTraceStats(exp string, before, after mom.TraceStats) {
 	discarded := after.Discarded - before.Discarded
 	replays := after.Replays - before.Replays
 	live := after.LiveRuns - before.LiveRuns
-	fmt.Printf("# %s traces: %d captured (%v), %d discarded, %d replayed (%v), %d live runs; cache holds %d traces, %.1f MB\n",
+	fmt.Printf("# %s traces: %d captured (%v), %d discarded, %d replayed (%v), %d live runs (%d budget, %d fault); cache holds %d traces, %.1f MB\n",
 		exp, captures, (after.CaptureTime - before.CaptureTime).Round(time.Millisecond),
 		discarded,
 		replays, (after.ReplayTime - before.ReplayTime).Round(time.Millisecond),
-		live, after.CachedTraces, float64(after.CachedBytes)/(1<<20))
+		live, after.LiveBudget-before.LiveBudget, after.LiveFault-before.LiveFault,
+		after.CachedTraces, float64(after.CachedBytes)/(1<<20))
+	if st, ok := mom.TraceArtifactStats(); ok {
+		fmt.Printf("# %s artifacts: %d disk hits, %d disk misses, %d disk writes, %d stream replays; store holds %d artifacts, %.1f MB\n",
+			exp, after.DiskHits-before.DiskHits, after.DiskMisses-before.DiskMisses,
+			after.DiskWrites-before.DiskWrites, after.StreamReplays-before.StreamReplays,
+			st.Entries, float64(st.Bytes)/(1<<20))
+	}
 }
 
 // emitResult reports one timed run as a human-readable summary or, with

@@ -10,6 +10,7 @@
 //	momsweep -exps kernel -kernels idct -isas MMX,MOM -widths 2,4,8
 //	momsweep -spec grid.json -refine                            # exact-refine the frontier
 //	momsweep -spec grid.json -expand                            # show the grid, run nothing
+//	momsweep -spec grid.json -server http://host:8347 -resume   # skip stored points
 //
 // The report goes to stdout (-format table|csv|json); the execution
 // summary (points, store hits, computes, retries) goes to stderr, so
@@ -47,11 +48,14 @@ func main() {
 		refine   = flag.Bool("refine", false, "re-run the sampled Pareto-frontier points exact to confirm the ranking")
 		expand   = flag.Bool("expand", false, "print the expanded grid (count and keys) without running it")
 
-		server   = flag.String("server", "", "execute against this momserver base URL instead of in-process")
-		storeDir = flag.String("store", "", "in-process only: memoise results in this content-addressed store directory")
-		parN     = flag.Int("par", 0, "in-process worker count (0 = all host cores)")
-		jobMS    = flag.Int64("job-timeout-ms", 0, "remote only: per-job deadline hint sent to the server (0 = server default)")
-		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for the sweep (0 = none)")
+		server     = flag.String("server", "", "execute against this momserver base URL instead of in-process")
+		storeDir   = flag.String("store", "", "in-process only: memoise results in this content-addressed store directory")
+		resume     = flag.Bool("resume", false, "skip grid points whose results are already stored (needs -store or -server)")
+		traceDir   = flag.String("trace-store", "", "in-process only: persist captured traces in this artifact store directory")
+		traceBytes = flag.Int64("trace-store-bytes", 1<<31, "trace artifact store size bound in bytes (<=0: unbounded)")
+		parN       = flag.Int("par", 0, "in-process worker count (0 = all host cores)")
+		jobMS      = flag.Int64("job-timeout-ms", 0, "remote only: per-job deadline hint sent to the server (0 = server default)")
+		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget for the sweep (0 = none)")
 
 		format = flag.String("format", "table", "report format: table|csv|json")
 		asJSON = flag.Bool("json", false, "emit JSON (shorthand for -format json)")
@@ -136,10 +140,16 @@ func main() {
 		if *storeDir != "" || *parN != 0 {
 			fatal(fmt.Errorf("-store and -par configure the in-process path and cannot be combined with -server"))
 		}
-		ex = &sweep.Client{Base: strings.TrimRight(*server, "/"), TimeoutMS: *jobMS}
+		if *traceDir != "" {
+			fatal(fmt.Errorf("-trace-store configures in-process trace capture; the server manages its own (momserver -trace-store)"))
+		}
+		ex = &sweep.Client{Base: strings.TrimRight(*server, "/"), TimeoutMS: *jobMS, Resume: *resume}
 	default:
 		if *jobMS != 0 {
 			fatal(fmt.Errorf("-job-timeout-ms needs -server (in-process runs are bounded by -timeout)"))
+		}
+		if *resume && *storeDir == "" {
+			fatal(fmt.Errorf("-resume skips points already stored, so it needs -store or -server"))
 		}
 		var st *store.Store
 		if *storeDir != "" {
@@ -148,7 +158,12 @@ func main() {
 				fatal(err)
 			}
 		}
-		ex = &sweep.Local{Par: *parN, Store: st}
+		if *traceDir != "" {
+			if _, err := mom.OpenTraceArtifacts(*traceDir, *traceBytes); err != nil {
+				fatal(err)
+			}
+		}
+		ex = &sweep.Local{Par: *parN, Store: st, Resume: *resume}
 	}
 
 	rep, stats, err := sweep.Run(ctx, spec, ex)

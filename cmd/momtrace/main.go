@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -44,16 +45,19 @@ const maxSteps = 400_000_000
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "motion1", "kernel name")
-		app     = flag.String("app", "", "application name (overrides -kernel)")
-		isaStr  = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
-		stats   = flag.Bool("stats", false, "record the trace and report encoding and capture/replay statistics")
-		profile = flag.Bool("profile", false, "also run the timing simulator (4-way, perfect memory) and report the cycle-attribution breakdown")
-		hot     = flag.Bool("hot", false, "also run the timing simulator and print the per-PC hotspot listing (annotated disassembly)")
-		pipe    = flag.String("pipe", "", "write a Chrome trace-event JSON pipeline trace (Perfetto) to this file")
-		konata  = flag.String("konata", "", "write a Kanata pipeline log (Konata viewer) to this file")
-		trStart = flag.Uint64("trace-start", 0, "first dynamic instruction the pipeline trace records")
-		trInsts = flag.Uint64("trace-insts", 10000, "dynamic instructions the pipeline trace records (0 = to end of run)")
+		kernel   = flag.String("kernel", "motion1", "kernel name")
+		app      = flag.String("app", "", "application name (overrides -kernel)")
+		isaStr   = flag.String("isa", "MOM", "ISA: Alpha|MMX|MDMX|MOM")
+		stats    = flag.Bool("stats", false, "record the trace and report encoding and capture/replay statistics")
+		profile  = flag.Bool("profile", false, "also run the timing simulator (4-way, perfect memory) and report the cycle-attribution breakdown")
+		hot      = flag.Bool("hot", false, "also run the timing simulator and print the per-PC hotspot listing (annotated disassembly)")
+		pipe     = flag.String("pipe", "", "write a Chrome trace-event JSON pipeline trace (Perfetto) to this file")
+		konata   = flag.String("konata", "", "write a Kanata pipeline log (Konata viewer) to this file")
+		trStart  = flag.Uint64("trace-start", 0, "first dynamic instruction the pipeline trace records")
+		trInsts  = flag.Uint64("trace-insts", 10000, "dynamic instructions the pipeline trace records (0 = to end of run)")
+		storeDir = flag.String("store", "", "trace artifact store directory (capture/replay through it; -export/-import use it too)")
+		export   = flag.String("export", "", "write the workload's trace artifact to this file and exit")
+		imp      = flag.String("import", "", "read a trace artifact file, verify it against the workload, store it (with -store) and exit")
 	)
 	flag.Parse()
 
@@ -71,6 +75,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "momtrace:", err)
 		os.Exit(1)
+	}
+	if *storeDir != "" {
+		if _, err := mom.OpenTraceArtifacts(*storeDir, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace:", err)
+			os.Exit(1)
+		}
+	}
+	workload := *kernel
+	if *app != "" {
+		workload = *app
+	}
+	if *imp != "" {
+		importArtifact(*imp, p, *app != "", workload, level)
+		return
+	}
+	if *export != "" {
+		exportArtifact(*export, *app != "", workload, level)
+		return
 	}
 
 	// The analysis consumes any trace.Source. Without -stats it reads the
@@ -145,6 +167,22 @@ func main() {
 			sw.Checkpoints,
 			float64(sw.SnapshotBytes)/1024,
 			float64(sw.Insts)/max(sweepT.Seconds(), 1e-9)/1e6)
+
+		// With a store installed, run the same workload through the full
+		// artifact layer (disk fill or capture + write-through) and report
+		// what the disk did.
+		if _, ok := mom.TraceArtifactStats(); ok {
+			before := mom.ReadTraceStats()
+			if mom.CaptureWorkloadTrace(*app != "", workload, level, mom.ScaleTest) == nil {
+				fmt.Fprintln(os.Stderr, "momtrace: artifact-layer capture failed")
+				os.Exit(1)
+			}
+			after := mom.ReadTraceStats()
+			st, _ := mom.TraceArtifactStats()
+			fmt.Printf("  artifacts     disk hits %d, misses %d, writes %d; store holds %d artifacts, %.1f MB\n",
+				after.DiskHits-before.DiskHits, after.DiskMisses-before.DiskMisses,
+				after.DiskWrites-before.DiskWrites, st.Entries, float64(st.Bytes)/(1<<20))
+		}
 		fmt.Println()
 		src = tr.Reader()
 	}
@@ -308,6 +346,58 @@ func main() {
 			fmt.Printf(" -> %s", *pipe)
 		}
 		fmt.Println()
+	}
+}
+
+// exportArtifact writes one workload's trace artifact to a file: the
+// single-file interchange form of the on-disk store (momtrace -import reads
+// it back, anywhere). The trace comes through the artifact layer, so a warm
+// -store serves it without re-capturing.
+func exportArtifact(path string, app bool, name string, level mom.ISA) {
+	tr := mom.CaptureWorkloadTrace(app, name, level, mom.ScaleTest)
+	if tr == nil {
+		fmt.Fprintln(os.Stderr, "momtrace: capture failed")
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace:", err)
+		os.Exit(1)
+	}
+	n, err := tr.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace: export:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exported %s: %d records, %d bytes -> %s\n", name, tr.Records(), n, path)
+}
+
+// importArtifact reads a trace artifact file, verifies it against the named
+// workload (format version, fingerprint, per-frame checksums — a damaged or
+// mismatched file is rejected, never half-adopted) and, when a -store is
+// open, persists the verified bytes under the workload's content address.
+func importArtifact(path string, p *isa.Program, app bool, name string, level mom.ISA) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "momtrace:", err)
+		os.Exit(1)
+	}
+	tr, err := trace.Decode(bytes.NewReader(blob), p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "momtrace: %s does not hold a valid trace of %s: %v\n", path, name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("imported %s: %d records, %d chunks, %d bytes\n", path, tr.Records(), tr.Chunks(), len(blob))
+	if s := mom.TraceArtifacts(); s != nil {
+		key := mom.TraceArtifactKey(app, name, level, mom.ScaleTest)
+		if err := s.Put(key, blob); err != nil {
+			fmt.Fprintln(os.Stderr, "momtrace: store:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stored under %s\n", key)
 	}
 }
 

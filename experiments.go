@@ -475,11 +475,11 @@ type RegSweepRow struct {
 // trace is captured once and replayed for every variant — it is width-
 // and resource-independent — with mk rebuilding the machine for the live
 // fallback; build returns variant i's processor and memory configuration.
-func variantCycles(ctx context.Context, n int, tr *trace.Trace, mk func() *emu.Machine, build func(i int) (cpu.Config, mem.Model)) ([]int64, error) {
+func variantCycles(ctx context.Context, n int, tr *trace.Trace, cause liveCause, mk func() *emu.Machine, build func(i int) (cpu.Config, mem.Model)) ([]int64, error) {
 	cycles := make([]int64, n)
 	err := par.For(ctx, n, func(i int) error {
 		cfg, model := build(i)
-		res, err := runConfig(cfg, model, tr, mk)
+		res, err := runConfig(cfg, model, tr, cause, mk)
 		if err != nil {
 			return err
 		}
@@ -500,9 +500,9 @@ func RegisterSweep(ctx context.Context, sc Scale, kernel string) ([]RegSweepRow,
 	if err != nil {
 		return nil, err
 	}
-	tr := cachedTrace(traceKey{name: kernel, isa: MOM, scale: sc})
+	tr, cause := cachedTraceCause(traceKey{name: kernel, isa: MOM, scale: sc})
 	sizes := []int{17, 18, 20, 24, 32}
-	cycles, err := variantCycles(ctx, len(sizes), tr,
+	cycles, err := variantCycles(ctx, len(sizes), tr, cause,
 		func() *emu.Machine { return emu.New(k.Build(isa.ExtMOM)) },
 		func(i int) (cpu.Config, mem.Model) {
 			cfg := cpu.NewConfig(4, isa.ExtMOM)
@@ -548,8 +548,8 @@ func MemorySweep(ctx context.Context, sc Scale, app string) ([]MemSweepRow, erro
 	if err != nil {
 		return nil, err
 	}
-	tr := cachedTrace(traceKey{app: true, name: app, isa: MOM, scale: sc})
-	cycles, err := variantCycles(ctx, len(variants), tr,
+	tr, cause := cachedTraceCause(traceKey{app: true, name: app, isa: MOM, scale: sc})
+	cycles, err := variantCycles(ctx, len(variants), tr, cause,
 		func() *emu.Machine { return emu.New(a.Build(isa.ExtMOM)) },
 		func(i int) (cpu.Config, mem.Model) {
 			return cpu.NewConfig(4, isa.ExtMOM), mem.NewHierarchy(mem.HierConfig{

@@ -93,26 +93,39 @@ func runObserved(app bool, name string, i ISA, width int, m MemModel, sc Scale, 
 	sim := cpu.New(cpu.NewConfig(width, i.ext()), m.build(width))
 	sim.Obs = o
 	var src trace.Source
-	if tr := cachedTrace(key); tr != nil {
+	tr, cause := cachedTraceCause(key)
+	switch {
+	case tr != nil:
 		traceStats.replays.Add(1)
 		src = tr.Reader()
-	} else {
-		traceStats.liveRuns.Add(1)
-		var mk *emu.Machine
-		if app {
-			a, err := apps.ByName(name, apps.Scale(sc))
-			if err != nil {
-				return Result{}, err
+	default:
+		if cause == liveBudget {
+			// The trace would not fit RAM but may be persisted: stream it.
+			if st, closer, ok := openArtifactStream(key); ok {
+				defer closer.Close()
+				traceStats.replays.Add(1)
+				traceStats.streamReplays.Add(1)
+				src = st
 			}
-			mk = emu.New(a.Build(i.ext()))
-		} else {
-			k, err := kernels.ByName(name, kernels.Scale(sc))
-			if err != nil {
-				return Result{}, err
-			}
-			mk = emu.New(k.Build(i.ext()))
 		}
-		src = trace.NewLive(mk)
+		if src == nil {
+			countLiveRun(cause)
+			var mk *emu.Machine
+			if app {
+				a, err := apps.ByName(name, apps.Scale(sc))
+				if err != nil {
+					return Result{}, err
+				}
+				mk = emu.New(a.Build(i.ext()))
+			} else {
+				k, err := kernels.ByName(name, kernels.Scale(sc))
+				if err != nil {
+					return Result{}, err
+				}
+				mk = emu.New(k.Build(i.ext()))
+			}
+			src = trace.NewLive(mk)
+		}
 	}
 	res, err := sim.RunSampled(src, maxDynInsts, sp.cpu())
 	if err != nil {

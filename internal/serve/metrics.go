@@ -58,6 +58,7 @@ type metrics struct {
 	peerProxied   uint64 // flights forwarded to their owning peer
 	peerFills     uint64 // local store fills from a peer's store or result
 	peerErrors    uint64 // failed peer round trips
+	traceFetches  uint64 // trace artifacts fetched from their owning peer
 }
 
 func (m *metrics) init() {
@@ -260,6 +261,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP momserved_peer_errors_total Failed peer round trips.")
 	fmt.Fprintln(w, "# TYPE momserved_peer_errors_total counter")
 	fmt.Fprintf(w, "momserved_peer_errors_total %d\n", s.metrics.peerErrors)
+	fmt.Fprintln(w, "# HELP momserved_trace_peer_fetches_total Trace artifacts fetched from their owning peer.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_peer_fetches_total counter")
+	fmt.Fprintf(w, "momserved_trace_peer_fetches_total %d\n", s.metrics.traceFetches)
 	s.metrics.mu.Unlock()
 	if s.cfg.Peers != nil {
 		fmt.Fprintln(w, "# HELP momserved_peers Configured cluster size (this node included).")
@@ -298,9 +302,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP momserved_trace_replays_total Timing runs fed from a recorded trace.")
 	fmt.Fprintln(w, "# TYPE momserved_trace_replays_total counter")
 	fmt.Fprintf(w, "momserved_trace_replays_total %d\n", ts.Replays)
-	fmt.Fprintln(w, "# HELP momserved_trace_live_runs_total Timing runs that fell back to live emulation.")
+	fmt.Fprintln(w, "# HELP momserved_trace_live_runs_total Timing runs that fell back to live emulation, by cause.")
 	fmt.Fprintln(w, "# TYPE momserved_trace_live_runs_total counter")
-	fmt.Fprintf(w, "momserved_trace_live_runs_total %d\n", ts.LiveRuns)
+	fmt.Fprintf(w, "momserved_trace_live_runs_total{cause=\"budget\"} %d\n", ts.LiveBudget)
+	fmt.Fprintf(w, "momserved_trace_live_runs_total{cause=\"fault\"} %d\n", ts.LiveFault)
 	fmt.Fprintln(w, "# HELP momserved_trace_discarded_total Trace captures discarded by the cache budget.")
 	fmt.Fprintln(w, "# TYPE momserved_trace_discarded_total counter")
 	fmt.Fprintf(w, "momserved_trace_discarded_total %d\n", ts.Discarded)
@@ -316,6 +321,40 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP momserved_trace_cached_bytes Trace bytes currently held in memory.")
 	fmt.Fprintln(w, "# TYPE momserved_trace_cached_bytes gauge")
 	fmt.Fprintf(w, "momserved_trace_cached_bytes %d\n", ts.CachedBytes)
+
+	// Trace artifact layer (disk persistence of captured traces).
+	fmt.Fprintln(w, "# HELP momserved_trace_disk_hits_total Traces materialised from a local disk artifact.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_disk_hits_total counter")
+	fmt.Fprintf(w, "momserved_trace_disk_hits_total %d\n", ts.DiskHits)
+	fmt.Fprintln(w, "# HELP momserved_trace_disk_misses_total Artifact lookups that found nothing usable locally.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_disk_misses_total counter")
+	fmt.Fprintf(w, "momserved_trace_disk_misses_total %d\n", ts.DiskMisses)
+	fmt.Fprintln(w, "# HELP momserved_trace_disk_writes_total Traces persisted to the local artifact store.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_disk_writes_total counter")
+	fmt.Fprintf(w, "momserved_trace_disk_writes_total %d\n", ts.DiskWrites)
+	fmt.Fprintln(w, "# HELP momserved_trace_fetches_total Traces filled from a peer's artifact store.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_fetches_total counter")
+	fmt.Fprintf(w, "momserved_trace_fetches_total %d\n", ts.PeerFetches)
+	fmt.Fprintln(w, "# HELP momserved_trace_stream_replays_total Replays streamed straight from a disk artifact.")
+	fmt.Fprintln(w, "# TYPE momserved_trace_stream_replays_total counter")
+	fmt.Fprintf(w, "momserved_trace_stream_replays_total %d\n", ts.StreamReplays)
+
+	// Trace artifact store occupancy.
+	if s.cfg.TraceStore != nil {
+		st := s.cfg.TraceStore.Stats()
+		fmt.Fprintln(w, "# HELP momserved_trace_store_hits_total Trace-artifact lookups served from disk.")
+		fmt.Fprintln(w, "# TYPE momserved_trace_store_hits_total counter")
+		fmt.Fprintf(w, "momserved_trace_store_hits_total %d\n", st.Hits)
+		fmt.Fprintln(w, "# HELP momserved_trace_store_misses_total Trace-artifact lookups that missed.")
+		fmt.Fprintln(w, "# TYPE momserved_trace_store_misses_total counter")
+		fmt.Fprintf(w, "momserved_trace_store_misses_total %d\n", st.Misses)
+		fmt.Fprintln(w, "# HELP momserved_trace_store_entries Trace artifacts currently stored.")
+		fmt.Fprintln(w, "# TYPE momserved_trace_store_entries gauge")
+		fmt.Fprintf(w, "momserved_trace_store_entries %d\n", st.Entries)
+		fmt.Fprintln(w, "# HELP momserved_trace_store_bytes On-disk bytes of stored trace artifacts.")
+		fmt.Fprintln(w, "# TYPE momserved_trace_store_bytes gauge")
+		fmt.Fprintf(w, "momserved_trace_store_bytes %d\n", st.Bytes)
+	}
 }
 
 // trimFloat formats a bucket bound the way Prometheus clients do (no

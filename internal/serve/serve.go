@@ -65,6 +65,7 @@ type Config struct {
 	Workers        int           // worker goroutines (default GOMAXPROCS)
 	QueueCap       int           // admission queue capacity (default 64)
 	Store          *store.Store  // optional result store (nil: recompute always)
+	TraceStore     *store.Store  // optional trace artifact store served to peers (nil: 404)
 	DefaultTimeout time.Duration // per-job deadline when the request names none (default 10m)
 	MaxTimeout     time.Duration // upper clamp on requested deadlines (default 1h)
 	MaxJobs        int           // retained job records; oldest finished are pruned (default 4096)
@@ -166,6 +167,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
+	s.mux.HandleFunc("GET /v1/traces/{key}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/flights", s.handleFlights)
 	if cfg.EnablePprof {
@@ -181,6 +183,9 @@ func New(cfg Config) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	subscribeCaptures(s)
+	if cfg.Peers != nil {
+		subscribeTraceFetch(s)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -200,6 +205,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.draining = true
 		close(s.queue)
 		unsubscribeCaptures(s)
+		unsubscribeTraceFetch(s)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})

@@ -160,6 +160,87 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return val, true
 }
 
+// Has reports whether key is currently indexed, without opening or
+// verifying the entry and without touching recency or the hit/miss
+// counters. Callers that need the bytes still use Get/GetStream — an
+// indexed entry can turn out damaged.
+func (s *Store) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// GetStream opens the stored value for key as a payload reader, so large
+// values stream to their consumer instead of materialising. Only the header
+// is verified here — magic, declared length — NOT the payload checksum:
+// GetStream exists for payloads that carry their own internal framing
+// checks (trace artifacts verify per-chunk CRCs and a program fingerprint
+// as they decode). A consumer whose own verification fails must call
+// Invalidate. The returned size is the declared payload length; the reader
+// yields at most that many bytes and the caller owns Close.
+func (s *Store) GetStream(key string) (io.ReadCloser, int64, bool) {
+	if !validKey(key) {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, 0, false
+	}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, 0, false
+	}
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		s.removeDamaged(key)
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, 0, false
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	header, err := br.ReadString('\n')
+	var n int64
+	if err == nil {
+		var wantHex string
+		_, err = fmt.Sscanf(header, fileMagic+" %64s %d\n", &wantHex, &n)
+	}
+	if err != nil || n < 0 {
+		f.Close()
+		s.removeDamaged(key)
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, 0, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.path(key), now, now)
+	s.count(func(st *Stats) { st.Hits++ })
+	return &streamEntry{r: io.LimitReader(br, n), f: f}, n, true
+}
+
+// streamEntry couples a payload-bounded reader with its file handle.
+type streamEntry struct {
+	r io.Reader
+	f *os.File
+}
+
+func (s *streamEntry) Read(p []byte) (int, error) { return s.r.Read(p) }
+func (s *streamEntry) Close() error               { return s.f.Close() }
+
+// Invalidate drops an entry whose payload a GetStream consumer found
+// damaged by its own verification, so the corrupt bytes are not served
+// again. Invalidating an absent key is a no-op.
+func (s *Store) Invalidate(key string) {
+	if !validKey(key) {
+		return
+	}
+	s.removeDamaged(key)
+}
+
 // Put stores val under key, atomically (write to a temp file in the same
 // directory, fsync, rename) and then evicts least-recently-used entries
 // until the store fits its budget. Re-putting an existing key refreshes

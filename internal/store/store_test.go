@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -251,4 +252,81 @@ func TestFill(t *testing.T) {
 	if err := s.Fill("not-a-key", val); err == nil {
 		t.Fatal("invalid key accepted")
 	}
+}
+
+// TestHas probes the index without disturbing counters or recency.
+func TestHas(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if s.Has(key("a")) {
+		t.Fatal("Has on empty store")
+	}
+	if s.Has("bogus") {
+		t.Fatal("Has accepted an invalid key")
+	}
+	if err := s.Put(key("a"), []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key("a")) {
+		t.Fatal("Has missed a stored key")
+	}
+	st := s.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Has touched the hit/miss counters: %+v", st)
+	}
+}
+
+// TestGetStream streams a payload back byte-identically, counts a hit, and
+// treats header damage as a removing miss.
+func TestGetStream(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	val := []byte("payload bytes that stream back")
+	if _, _, ok := s.GetStream(key("a")); ok {
+		t.Fatal("stream hit on empty store")
+	}
+	if err := s.Put(key("a"), val); err != nil {
+		t.Fatal(err)
+	}
+	rc, n, ok := s.GetStream(key("a"))
+	if !ok || n != int64(len(val)) {
+		t.Fatalf("GetStream ok=%v n=%d, want %d payload bytes", ok, n, len(val))
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != string(val) {
+		t.Fatalf("streamed %q (err=%v), want %q", got, err, val)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Wreck the header; the stream must miss and drop the entry.
+	path := s.path(key("a"))
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.GetStream(key("a")); ok {
+		t.Fatal("GetStream served a damaged header")
+	}
+	if s.Has(key("a")) {
+		t.Fatal("damaged entry still indexed")
+	}
+}
+
+// TestInvalidate lets a streaming consumer reject a payload its own
+// verification caught (GetStream does not checksum payloads).
+func TestInvalidate(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if err := s.Put(key("a"), []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate(key("a"))
+	if s.Has(key("a")) {
+		t.Fatal("Invalidate left the entry indexed")
+	}
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("Invalidate left the entry readable")
+	}
+	s.Invalidate(key("a")) // absent key: no-op
+	s.Invalidate("bogus")  // invalid key: no-op
 }

@@ -26,6 +26,7 @@ type Client struct {
 	Base      string       // server base URL, e.g. "http://127.0.0.1:8347"
 	HTTP      *http.Client // nil = http.DefaultClient
 	TimeoutMS int64        // per-job server-side deadline hint (0 = server default)
+	Resume    bool         // probe GET /v1/store/{key} first; submit only the misses
 
 	MaxAttempts int           // submit rounds per item before giving up (default 8)
 	BaseDelay   time.Duration // first backoff step (default 250ms)
@@ -94,12 +95,28 @@ func (c *Client) Execute(ctx context.Context, reqs []mom.JobRequest) (Results, S
 	}
 	attempts, base, maxDelay, poll, batchSize, jitter := c.defaults()
 	stats := Stats{Points: len(reqs)}
+	out := make(Results, len(reqs))
 
 	jobs := make(map[string]*tracked, len(reqs)) // by key
 	var order []string                           // keys in first-seen order, for deterministic polling
-	pending := make([]int, len(reqs))
+	pending := make([]int, 0, len(reqs))
 	for i := range reqs {
-		pending[i] = i
+		if c.Resume {
+			// The resume pre-pass asks the store directly, point by point,
+			// before submitting anything: a sweep interrupted yesterday
+			// resubmits only what it never finished.
+			doc, ok, err := c.probeStored(ctx, keys[i])
+			if err != nil {
+				return nil, stats, err
+			}
+			if ok {
+				out[keys[i]] = doc
+				stats.StoreHits++
+				stats.Resumed++
+				continue
+			}
+		}
+		pending = append(pending, i)
 	}
 
 	for attempt := 1; len(pending) > 0; attempt++ {
@@ -167,7 +184,6 @@ func (c *Client) Execute(ctx context.Context, reqs []mom.JobRequest) (Results, S
 	}
 
 	// Poll every job to a terminal state, then fetch documents.
-	out := make(Results, len(jobs))
 	for _, key := range order {
 		j := jobs[key]
 		for j.state != serve.StateDone {
@@ -230,6 +246,36 @@ func (c *Client) postBatch(ctx context.Context, reqs []mom.JobRequest, slice []i
 		return nil, 0, fmt.Errorf("sweep: batch response: %w", err)
 	}
 	return out.Jobs, ra, nil
+}
+
+// probeStored asks the server's content-addressed store for one key's
+// document. A 404 is a miss (the point must run); any other non-200 is a
+// hard error — a resume pass against a broken server should fail loudly,
+// not silently recompute the whole grid.
+func (c *Client) probeStored(ctx context.Context, key string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/store/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		doc, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("sweep: resume probe %s: %w", key[:12], err)
+		}
+		return doc, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, false, fmt.Errorf("sweep: resume probe %s: status %d: %s", key[:12], resp.StatusCode, bytes.TrimSpace(msg))
+	}
 }
 
 // pollJob refreshes one job's state from GET /v1/jobs/{id}.

@@ -22,6 +22,8 @@ import (
 type stubServer struct {
 	t      *testing.T
 	posts  atomic.Int32
+	probes atomic.Int32
+	stored map[string][]byte // documents GET /v1/store/{key} serves (nil: all 404)
 	rounds []func(w http.ResponseWriter, keys []string, items []serve.BatchItem)
 }
 
@@ -51,6 +53,15 @@ func (s *stubServer) handler() http.Handler {
 			return
 		}
 		s.rounds[n](w, keys, items)
+	})
+	mux.HandleFunc("GET /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		s.probes.Add(1)
+		doc, ok := s.stored[r.PathValue("key")]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write(doc)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
@@ -276,6 +287,92 @@ func TestClientPerItemError(t *testing.T) {
 	if stub.posts.Load() != 1 {
 		t.Fatal("validation errors must not be retried")
 	}
+}
+
+// TestClientResumeSkipsStoredPoints: with Resume set, points whose
+// documents the server store already holds are fetched in the pre-pass
+// and never submitted; only the misses reach the batch endpoint.
+func TestClientResumeSkipsStoredPoints(t *testing.T) {
+	reqs := twoReqs(t)
+	keys, _ := mom.Keys(reqs)
+	stub := &stubServer{t: t, stored: map[string][]byte{keys[0]: []byte("doc:" + keys[0])}}
+	stub.rounds = []func(http.ResponseWriter, []string, []serve.BatchItem){
+		func(w http.ResponseWriter, keys []string, items []serve.BatchItem) {
+			if len(items) != 1 || keys[0] != reqKey(t, reqs[1]) {
+				t.Errorf("resume submitted %d items (first key %s), want only the missing point", len(items), keys[0][:12])
+			}
+			admitAll(w, keys, items)
+		},
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Resume: true}
+	out, stats, err := c.Execute(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.posts.Load() != 1 || stub.probes.Load() != 2 {
+		t.Fatalf("server saw %d POSTs and %d probes, want 1 and 2", stub.posts.Load(), stub.probes.Load())
+	}
+	if stats.Resumed != 1 || stats.StoreHits != 1 || stats.Computed != 1 || stats.Points != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	for _, k := range keys {
+		if string(out[k]) != "doc:"+k {
+			t.Fatalf("document for %s = %q", k[:12], out[k])
+		}
+	}
+}
+
+// TestClientResumeAllStored: a fully-stored grid resumes without a single
+// batch submission.
+func TestClientResumeAllStored(t *testing.T) {
+	reqs := twoReqs(t)
+	keys, _ := mom.Keys(reqs)
+	stub := &stubServer{t: t, stored: map[string][]byte{}}
+	for _, k := range keys {
+		stub.stored[k] = []byte("doc:" + k)
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	out, stats, err := (&Client{Base: ts.URL, Resume: true}).Execute(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.posts.Load() != 0 {
+		t.Fatalf("fully-stored resume still POSTed %d times", stub.posts.Load())
+	}
+	if stats.Resumed != 2 || stats.StoreHits != 2 || stats.Computed != 0 || len(out) != 2 {
+		t.Fatalf("stats %+v with %d documents", stats, len(out))
+	}
+}
+
+// TestClientResumeProbeError: a store probe answering neither 200 nor 404
+// aborts the sweep — silently recomputing a whole grid because the store
+// endpoint is broken would defeat the point of resuming.
+func TestClientResumeProbeError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "store exploded", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	_, _, err := (&Client{Base: ts.URL, Resume: true}).Execute(context.Background(), twoReqs(t))
+	if err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("err = %v, want the probe failure surfaced", err)
+	}
+}
+
+func reqKey(t *testing.T, r mom.JobRequest) string {
+	t.Helper()
+	k, err := r.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }
 
 // TestEqualJitter: the default jitter keeps delays in [d/2, d].

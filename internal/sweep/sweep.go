@@ -39,6 +39,7 @@ type Stats struct {
 	Computed  int // actually executed
 	Retried   int // submit rounds beyond the first (remote admission backoff)
 	Skipped   int // executed points that are not reducible to report rows
+	Resumed   int // store hits found by the -resume pre-pass (subset of StoreHits)
 }
 
 func (s *Stats) add(o Stats) {
@@ -48,13 +49,14 @@ func (s *Stats) add(o Stats) {
 	s.Computed += o.Computed
 	s.Retried += o.Retried
 	s.Skipped += o.Skipped
+	s.Resumed += o.Resumed
 }
 
 // String renders the stats as the one-line execution summary momsweep
 // prints to stderr (machine-greppable key=value form).
 func (s Stats) String() string {
-	return fmt.Sprintf("points=%d store_hits=%d coalesced=%d computed=%d retried=%d skipped=%d",
-		s.Points, s.StoreHits, s.Coalesced, s.Computed, s.Retried, s.Skipped)
+	return fmt.Sprintf("points=%d store_hits=%d coalesced=%d computed=%d retried=%d skipped=%d resumed=%d",
+		s.Points, s.StoreHits, s.Coalesced, s.Computed, s.Retried, s.Skipped, s.Resumed)
 }
 
 // An Executor runs a list of canonical requests and returns their result
@@ -68,8 +70,9 @@ type Executor interface {
 // documents in an optional content-addressed store so re-running a sweep
 // (or overlapping sweeps) recomputes nothing.
 type Local struct {
-	Par   int          // worker count (0 = all host cores)
-	Store *store.Store // optional; nil recomputes every point
+	Par    int          // worker count (0 = all host cores)
+	Store  *store.Store // optional; nil recomputes every point
+	Resume bool         // count store hits as resumed points (momsweep -resume)
 }
 
 // Execute runs every request, first consulting the store. Documents are
@@ -94,6 +97,9 @@ func (l *Local) Execute(ctx context.Context, reqs []mom.JobRequest) (Results, St
 				mu.Lock()
 				out[key] = val
 				stats.StoreHits++
+				if l.Resume {
+					stats.Resumed++
+				}
 				mu.Unlock()
 				return nil
 			}

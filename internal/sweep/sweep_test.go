@@ -94,6 +94,74 @@ func TestRunLocalStoreAndRemoteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunResume: an interrupted sweep resumed against the same stores
+// recomputes only what never finished. In-process, resume is the store
+// short-circuit with its hits counted; against a live momserver, the
+// resume pre-pass probes GET /v1/store/{key} and submits only the misses
+// — and both paths still produce the byte-identical report.
+func TestRunResume(t *testing.T) {
+	ctx := context.Background()
+	spec := e2eSpec()
+
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, _, err := Run(ctx, spec, &Local{Par: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, stats2, err := Run(ctx, spec, &Local{Par: 2, Store: st, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Resumed != 8 || stats2.Computed != 0 {
+		t.Fatalf("local resume stats %+v, want 8 resumed", stats2)
+	}
+	if b1, b2 := reportBytes(t, rep1), reportBytes(t, rep2); !bytes.Equal(b1, b2) {
+		t.Fatalf("resumed report differs:\n%s\nvs\n%s", b1, b2)
+	}
+
+	// A momserver whose store holds half the grid: the resuming client
+	// computes exactly the other half.
+	srvStore, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := mom.Keys(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		doc, ok := st.Get(keys[i])
+		if !ok {
+			t.Fatalf("local store lost key %s", keys[i][:12])
+		}
+		if err := srvStore.Put(keys[i], doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := serve.New(serve.Config{Workers: 2, QueueCap: 64, Store: srvStore})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	rep3, stats3, err := Run(ctx, spec, &Client{Base: ts.URL, PollEvery: 2 * time.Millisecond, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Resumed != 4 || stats3.Computed != 4 {
+		t.Fatalf("remote resume stats %+v, want 4 resumed + 4 computed", stats3)
+	}
+	if b1, b3 := reportBytes(t, rep1), reportBytes(t, rep3); !bytes.Equal(b1, b3) {
+		t.Fatalf("remote resumed report differs:\n%s\nvs\n%s", b1, b3)
+	}
+}
+
 // TestRunRefine: with Refine set, sampled frontier points are re-run
 // exact and adopt the exact metrics; refinement never leaves a sampled
 // unrefined point on the frontier.

@@ -40,15 +40,26 @@ type TraceStats struct {
 	Captures     int64         // traces recorded AND retained in the cache
 	CaptureTime  time.Duration // wall-clock spent capturing retained traces
 	Discarded    int64         // captures abandoned because the byte budget ran out
-	Replays      int64         // timing runs fed from a recorded trace
+	Replays      int64         // timing runs fed from a recorded trace (streamed included)
 	ReplayTime   time.Duration // wall-clock spent in trace-fed timing runs
 	LiveRuns     int64         // timing runs that fell back to live emulation
+	LiveBudget   int64         // ...of which: no trace within the RAM byte budget (transient)
+	LiveFault    int64         // ...of which: capture failed permanently (build/emulation fault)
 	CachedTraces int64         // traces currently held
 	CachedBytes  int64         // bytes currently held
+
+	// The disk artifact layer (zero when no artifact store is installed).
+	DiskHits      int64 // traces materialised from a local disk artifact
+	DiskMisses    int64 // artifact lookups that found nothing usable locally
+	DiskWrites    int64 // traces persisted to the local artifact store
+	PeerFetches   int64 // traces fetched from a peer's artifact store
+	StreamReplays int64 // replays streamed straight from disk (RAM budget full)
 }
 
 var traceStats struct {
-	captures, captureNS, discarded, replays, replayNS, liveRuns atomic.Int64
+	captures, captureNS, discarded, replays, replayNS            atomic.Int64
+	liveRuns, liveBudget, liveFault                              atomic.Int64
+	diskHits, diskMisses, diskWrites, peerFetches, streamReplays atomic.Int64
 }
 
 // ReadTraceStats returns a snapshot of the trace-layer counters.
@@ -63,14 +74,42 @@ func ReadTraceStats() TraceStats {
 	bytes := traceCache.bytes
 	traceCache.mu.Unlock()
 	return TraceStats{
-		Captures:     traceStats.captures.Load(),
-		CaptureTime:  time.Duration(traceStats.captureNS.Load()),
-		Discarded:    traceStats.discarded.Load(),
-		Replays:      traceStats.replays.Load(),
-		ReplayTime:   time.Duration(traceStats.replayNS.Load()),
-		LiveRuns:     traceStats.liveRuns.Load(),
-		CachedTraces: held,
-		CachedBytes:  bytes,
+		Captures:      traceStats.captures.Load(),
+		CaptureTime:   time.Duration(traceStats.captureNS.Load()),
+		Discarded:     traceStats.discarded.Load(),
+		Replays:       traceStats.replays.Load(),
+		ReplayTime:    time.Duration(traceStats.replayNS.Load()),
+		LiveRuns:      traceStats.liveRuns.Load(),
+		LiveBudget:    traceStats.liveBudget.Load(),
+		LiveFault:     traceStats.liveFault.Load(),
+		CachedTraces:  held,
+		CachedBytes:   bytes,
+		DiskHits:      traceStats.diskHits.Load(),
+		DiskMisses:    traceStats.diskMisses.Load(),
+		DiskWrites:    traceStats.diskWrites.Load(),
+		PeerFetches:   traceStats.peerFetches.Load(),
+		StreamReplays: traceStats.streamReplays.Load(),
+	}
+}
+
+// liveCause explains why a timing run fell back to live emulation, so
+// operators can tell congestion (budget; transient, tunable) from faults
+// (permanent) in momsim -v and the /metrics live-runs labels.
+type liveCause int8
+
+const (
+	liveNone   liveCause = iota
+	liveBudget           // no trace within the RAM byte budget right now
+	liveFault            // capture failed permanently (build or emulation fault)
+)
+
+// countLiveRun records one live-fallback timing run with its cause.
+func countLiveRun(cause liveCause) {
+	traceStats.liveRuns.Add(1)
+	if cause == liveFault {
+		traceStats.liveFault.Add(1)
+	} else {
+		traceStats.liveBudget.Add(1)
 	}
 }
 
@@ -105,13 +144,22 @@ var traceCache = struct {
 	reserved int64 // in-flight capture reservations (see captureTrace)
 }{entries: map[traceKey]*traceEntry{}}
 
-// cachedTrace returns the recorded trace for a workload, capturing it on
-// first use. It returns nil when the workload cannot be captured within the
-// cache budget (or faults); callers then use the live path. A capture
-// discarded because concurrent captures held the budget leaves the slot
-// empty, so a later request retries it; only faults and traces larger than
-// the whole budget fail permanently.
+// cachedTrace returns the recorded trace for a workload, filling the slot
+// on first use. It returns nil when no trace can be materialised within the
+// cache budget (or the workload faults); callers then use the live path.
 func cachedTrace(key traceKey) *trace.Trace {
+	tr, _ := cachedTraceCause(key)
+	return tr
+}
+
+// cachedTraceCause is cachedTrace plus the reason a nil came back, so
+// fallback paths can try a disk-streamed replay (budget) or count the right
+// live-run cause (fault). An empty slot fills from the artifact layer —
+// local disk, then the peer fetcher — before falling back to a fresh
+// capture, which is written through to disk. A fill discarded for budget
+// leaves the slot empty, so a later request retries once memory frees; only
+// faults and traces larger than the whole budget fail permanently.
+func cachedTraceCause(key traceKey) (*trace.Trace, liveCause) {
 	traceCache.mu.Lock()
 	e, ok := traceCache.entries[key]
 	if !ok {
@@ -123,10 +171,10 @@ func cachedTrace(key traceKey) *trace.Trace {
 		case capDone:
 			tr := e.tr
 			traceCache.mu.Unlock()
-			return tr
+			return tr, liveNone
 		case capFailed:
 			traceCache.mu.Unlock()
-			return nil
+			return nil, liveFault
 		case capRunning:
 			w := e.waitc
 			traceCache.mu.Unlock()
@@ -137,13 +185,13 @@ func cachedTrace(key traceKey) *trace.Trace {
 				// live now rather than piling on immediate retries; the
 				// next request finds capEmpty and tries again.
 				traceCache.mu.Unlock()
-				return nil
+				return nil, liveBudget
 			}
 		case capEmpty:
 			e.state = capRunning
 			e.waitc = make(chan struct{})
 			traceCache.mu.Unlock()
-			tr, permanent := captureTrace(key)
+			tr, permanent := acquireTrace(key)
 			traceCache.mu.Lock()
 			switch {
 			case tr != nil:
@@ -155,9 +203,34 @@ func cachedTrace(key traceKey) *trace.Trace {
 			}
 			close(e.waitc)
 			traceCache.mu.Unlock()
-			return tr
+			if tr != nil {
+				return tr, liveNone
+			}
+			if permanent {
+				return nil, liveFault
+			}
+			return nil, liveBudget
 		}
 	}
+}
+
+// acquireTrace fills one empty cache slot: the artifact layer first, then a
+// fresh capture, written through to disk on success. A budget-refused
+// artifact decode reports neither a trace nor permanence — the slot stays
+// retryable and replay streams the artifact from disk in the meantime.
+func acquireTrace(key traceKey) (tr *trace.Trace, permanent bool) {
+	tr, budgetRefused := loadArtifact(key)
+	if tr != nil {
+		return tr, false
+	}
+	if budgetRefused {
+		return nil, false
+	}
+	tr, permanent = captureTrace(key)
+	if tr != nil {
+		storeArtifact(key, tr)
+	}
+	return tr, permanent
 }
 
 // captureTrace records one workload, drawing memory from the shared cache
@@ -220,11 +293,20 @@ func captureTrace(key traceKey) (tr *trace.Trace, permanent bool) {
 }
 
 // runTraced times one workload from its recorded trace, sampled when sp is
-// enabled (RunSampled with a disabled spec is exactly Run). ok is false
-// when no trace is available, in which case the caller must run live.
+// enabled (RunSampled with a disabled spec is exactly Run). When the trace
+// cannot be materialised in RAM for budget but a disk artifact exists, the
+// run streams straight from the file. ok is false when no trace is
+// available at all — the live-fallback cause has already been counted and
+// the caller must run live.
 func runTraced(key traceKey, width int, m MemModel, sp SampleSpec) (Result, bool, error) {
-	tr := cachedTrace(key)
+	tr, cause := cachedTraceCause(key)
 	if tr == nil {
+		if cause == liveBudget {
+			if res, ok, err := runStreamed(key, width, m, sp); ok {
+				return res, true, err
+			}
+		}
+		countLiveRun(cause)
 		return Result{}, false, nil
 	}
 	sim := cpu.New(cpu.NewConfig(width, key.isa.ext()), m.build(width))
@@ -238,6 +320,34 @@ func runTraced(key traceKey, width int, m MemModel, sp SampleSpec) (Result, bool
 	return fromCPU(key.name, key.isa, width, m.Name(), res), true, nil
 }
 
+// runStreamed feeds one timing run straight from the disk artifact — the
+// replay path of a trace too large to materialise under TraceCacheBytes but
+// already persisted. The streaming decoder keeps memory at one chunk; a
+// corruption surfaced mid-replay drops the artifact and reports ok=false so
+// the caller falls back to live emulation (never a wrong result: the
+// decoder verifies every frame before the timing model sees its records).
+func runStreamed(key traceKey, width int, m MemModel, sp SampleSpec) (Result, bool, error) {
+	src, closer, ok := openArtifactStream(key)
+	if !ok {
+		return Result{}, false, nil
+	}
+	defer closer.Close()
+	sim := cpu.New(cpu.NewConfig(width, key.isa.ext()), m.build(width))
+	t0 := time.Now()
+	res, err := sim.RunSampled(src, maxDynInsts, sp.cpu())
+	if err != nil {
+		if src.Err() != nil {
+			invalidateArtifact(key)
+			return Result{}, false, nil
+		}
+		return Result{}, true, err
+	}
+	traceStats.replays.Add(1)
+	traceStats.streamReplays.Add(1)
+	traceStats.replayNS.Add(int64(time.Since(t0)))
+	return fromCPU(key.name, key.isa, width, m.Name(), res), true, nil
+}
+
 // runKernelCached is RunKernel through the trace cache: replay when a trace
 // is available, live emulation otherwise. The sample spec applies on both
 // paths (sampling over a live source saves no capture time but produces
@@ -247,7 +357,6 @@ func runKernelCached(kernel string, i ISA, width int, m MemModel, sc Scale, sp S
 	if res, ok, err := runTraced(key, width, m, sp); ok {
 		return res, err
 	}
-	traceStats.liveRuns.Add(1)
 	if !sp.Enabled() {
 		return RunKernel(kernel, i, width, m, sc)
 	}
@@ -269,7 +378,6 @@ func runAppCached(app string, i ISA, width int, m MemModel, sc Scale, sp SampleS
 	if res, ok, err := runTraced(key, width, m, sp); ok {
 		return res, err
 	}
-	traceStats.liveRuns.Add(1)
 	if !sp.Enabled() {
 		return RunApp(app, i, width, m, sc)
 	}
@@ -287,8 +395,9 @@ func runAppCached(app string, i ISA, width int, m MemModel, sc Scale, sp SampleS
 
 // runConfig times one run under an explicit processor configuration,
 // replaying the trace when one is available and otherwise falling back to a
-// live machine built by mk.
-func runConfig(cfg cpu.Config, model mem.Model, tr *trace.Trace, mk func() *emu.Machine) (cpu.Result, error) {
+// live machine built by mk; cause says why tr is nil so the fallback is
+// attributed correctly (callers obtain both from cachedTraceCause).
+func runConfig(cfg cpu.Config, model mem.Model, tr *trace.Trace, cause liveCause, mk func() *emu.Machine) (cpu.Result, error) {
 	sim := cpu.New(cfg, model)
 	if tr != nil {
 		t0 := time.Now()
@@ -297,8 +406,18 @@ func runConfig(cfg cpu.Config, model mem.Model, tr *trace.Trace, mk func() *emu.
 		traceStats.replayNS.Add(int64(time.Since(t0)))
 		return res, err
 	}
-	traceStats.liveRuns.Add(1)
+	countLiveRun(cause)
 	return sim.Run(trace.NewLive(mk()), maxDynInsts)
+}
+
+// CaptureWorkloadTrace returns the recorded trace of one workload through
+// the process trace cache — RAM first, then the artifact store (and peer
+// fetcher, when installed), then a fresh capture written through to disk —
+// so tools like momtrace observe the same fill path and TraceStats the
+// experiment drivers do. It returns nil when the trace cannot be
+// materialised within TraceCacheBytes or the workload cannot be traced.
+func CaptureWorkloadTrace(app bool, name string, i ISA, sc Scale) *trace.Trace {
+	return cachedTrace(traceKey{app: app, name: name, isa: i, scale: sc})
 }
 
 // warmTraces captures the traces for a workload×ISA job list in parallel

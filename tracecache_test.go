@@ -8,7 +8,7 @@ import (
 // resetTraceEntry removes a cache slot (and its committed bytes) so a test
 // can exercise the capture path from a known-empty state, or unpoison a
 // slot it deliberately drove to a failure state.
-func resetTraceEntry(t *testing.T, key traceKey) {
+func resetTraceEntry(t testing.TB, key traceKey) {
 	t.Helper()
 	traceCache.mu.Lock()
 	defer traceCache.mu.Unlock()
